@@ -1,0 +1,243 @@
+// Package repro's top-level benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (regenerating the experiment
+// end to end), plus microbenchmarks of the training engines themselves and
+// ablations of the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/zero"
+)
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func benchTable(b *testing.B, driver func() experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := driver()
+		t.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig1(b *testing.B)       { benchTable(b, experiments.Fig1) }
+func BenchmarkTable1(b *testing.B)     { benchTable(b, experiments.Table1) }
+func BenchmarkTable2(b *testing.B)     { benchTable(b, experiments.Table2) }
+func BenchmarkFig2(b *testing.B)       { benchTable(b, experiments.Fig2) }
+func BenchmarkFig3(b *testing.B)       { benchTable(b, experiments.Fig3) }
+func BenchmarkFig4(b *testing.B)       { benchTable(b, experiments.Fig4) }
+func BenchmarkFig5(b *testing.B)       { benchTable(b, experiments.Fig5) }
+func BenchmarkFig6(b *testing.B)       { benchTable(b, experiments.Fig6) }
+func BenchmarkFig7(b *testing.B)       { benchTable(b, experiments.Fig7) }
+func BenchmarkFig8(b *testing.B)       { benchTable(b, experiments.Fig8) }
+func BenchmarkCommVolume(b *testing.B) { benchTable(b, experiments.CommVolume) }
+
+// --- Training-engine microbenchmarks -------------------------------------
+
+func benchConfig() model.Config {
+	return model.Config{Layers: 2, Hidden: 64, Heads: 4, Vocab: 64, Seq: 32}
+}
+
+// BenchmarkSingleProcessStep is the no-communication reference.
+func BenchmarkSingleProcessStep(b *testing.B) {
+	cfg := benchConfig()
+	m := model.New(cfg, 1)
+	ids, targets := model.SyntheticBatch(1, 4, cfg.Seq, cfg.Vocab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrads()
+		m.Loss(ids, targets, 4)
+		m.Backward()
+	}
+}
+
+func benchWorld(b *testing.B, run func(c *comm.Comm, ids, targets []int)) {
+	b.Helper()
+	cfg := benchConfig()
+	ids, targets := model.SyntheticBatch(1, 4, cfg.Seq, cfg.Vocab)
+	w := comm.NewWorld(4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		run(c, ids, targets)
+	})
+}
+
+func BenchmarkDDPStep(b *testing.B) {
+	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
+		tr := ddp.New(c, benchConfig(), 1, 1e-3)
+		for i := 0; i < b.N; i++ {
+			tr.Step(ids, targets, 4)
+		}
+	})
+}
+
+func benchZeROStage(b *testing.B, stage zero.Stage) {
+	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
+		tr := zero.New(c, benchConfig(), zero.Options{Stage: stage, LR: 1e-3, Seed: 1})
+		for i := 0; i < b.N; i++ {
+			tr.Step(ids, targets, 4)
+		}
+	})
+}
+
+func BenchmarkZeROStage1Step(b *testing.B) { benchZeROStage(b, zero.StageOS) }
+func BenchmarkZeROStage2Step(b *testing.B) { benchZeROStage(b, zero.StageOSG) }
+func BenchmarkZeROStage3Step(b *testing.B) { benchZeROStage(b, zero.StageOSGP) }
+
+// --- Ablations ------------------------------------------------------------
+
+// Bucketed vs unfused reduce-scatter (the CB design choice): same math,
+// different message framing.
+func BenchmarkZeROStage2Bucketed(b *testing.B) {
+	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
+		tr := zero.New(c, benchConfig(), zero.Options{
+			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, BucketElems: 4096,
+		})
+		for i := 0; i < b.N; i++ {
+			tr.Step(ids, targets, 4)
+		}
+	})
+}
+
+// Activation checkpointing trades ~33% recompute for activation memory.
+func BenchmarkZeROStage2Checkpointed(b *testing.B) {
+	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
+		tr := zero.New(c, benchConfig(), zero.Options{
+			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, Checkpoint: true,
+		})
+		for i := 0; i < b.N; i++ {
+			tr.Step(ids, targets, 4)
+		}
+	})
+}
+
+// FP16 simulation cost (rounding passes + master-shard bookkeeping).
+func BenchmarkZeROStage2FP16(b *testing.B) {
+	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
+		tr := zero.New(c, benchConfig(), zero.Options{
+			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, FP16: true,
+		})
+		for i := 0; i < b.N; i++ {
+			tr.Step(ids, targets, 4)
+		}
+	})
+}
+
+// Collective primitives at gradient-buffer scale.
+func BenchmarkAllReduce1M(b *testing.B) {
+	const n, elems = 4, 1 << 20
+	w := comm.NewWorld(n)
+	b.SetBytes(elems * 4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		x := make([]float32, elems)
+		for i := 0; i < b.N; i++ {
+			c.AllReduce(x)
+		}
+	})
+}
+
+func BenchmarkReduceScatter1M(b *testing.B) {
+	const n, elems = 4, 1 << 20
+	w := comm.NewWorld(n)
+	b.SetBytes(elems * 4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		x := make([]float32, elems)
+		parts := comm.Partition(elems, c.Size())
+		for i := 0; i < b.N; i++ {
+			c.ReduceScatter(x, parts)
+		}
+	})
+}
+
+// --- Extension benchmarks -------------------------------------------------
+
+func BenchmarkAblations(b *testing.B) { benchTable(b, experiments.Ablations) }
+
+func BenchmarkHierarchicalAllReduce1M(b *testing.B) {
+	const n, elems, nodeSize = 8, 1 << 20, 4
+	w := comm.NewWorld(n)
+	b.SetBytes(elems * 4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		x := make([]float32, elems)
+		for i := 0; i < b.N; i++ {
+			c.AllReduceHierarchical(x, nodeSize)
+		}
+	})
+}
+
+func BenchmarkParallelBlock(b *testing.B) {
+	const n, hidden, heads, batch, seq = 4, 64, 4, 2, 16
+	x := make([]float32, batch*seq*hidden)
+	dy := make([]float32, batch*seq*hidden)
+	w := comm.NewWorld(n)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		blk := mp.NewParallelBlock(c, hidden, heads, 1)
+		for i := 0; i < b.N; i++ {
+			blk.Forward(x, batch, seq)
+			blk.Backward(dy)
+		}
+	})
+}
+
+func BenchmarkZeROStage2Clipped(b *testing.B) {
+	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
+		tr := zero.New(c, benchConfig(), zero.Options{
+			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, ClipNorm: 1,
+		})
+		for i := 0; i < b.N; i++ {
+			tr.Step(ids, targets, 4)
+		}
+	})
+}
+
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	cfg := benchConfig()
+	ids, targets := model.SyntheticBatch(1, 4, cfg.Seq, cfg.Vocab)
+	w := comm.NewWorld(4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		tr := zero.New(c, cfg, zero.Options{Stage: zero.StageOSG, LR: 1e-3, Seed: 1})
+		tr.Step(ids, targets, 4)
+		for i := 0; i < b.N; i++ {
+			snap := tr.Save()
+			if c.Rank() == 0 {
+				snap = zero.BroadcastSnapshot(c, snap)
+			} else {
+				snap = zero.BroadcastSnapshot(c, nil)
+			}
+			if err := tr.Load(snap); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMegatronGPTStep measures one training step of the full
+// Megatron-parallel GPT at MP=4 (the executable baseline of Figure 2).
+func BenchmarkMegatronGPTStep(b *testing.B) {
+	const layers, hidden, heads, vocab, seq, batch = 2, 64, 4, 64, 16, 2
+	ids, targets := model.SyntheticBatch(1, batch, seq, vocab)
+	w := comm.NewWorld(4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		m := mp.NewGPT(c, layers, hidden, heads, vocab, seq, 1)
+		for i := 0; i < b.N; i++ {
+			m.ZeroGrads()
+			m.Loss(ids, targets, batch)
+			m.Backward()
+			m.SGDStep(0.01)
+		}
+	})
+}

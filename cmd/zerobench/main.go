@@ -1,0 +1,73 @@
+// Command zerobench regenerates every table and figure of the ZeRO paper's
+// evaluation from this repository's implementation.
+//
+// Usage:
+//
+//	zerobench <experiment>...
+//	zerobench all
+//
+// Experiments: fig1 table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+// commvolume. Output is an aligned text table per experiment; EXPERIMENTS.md
+// records the comparison against the paper's reported values.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var drivers = map[string]func() experiments.Table{
+	"fig1":       experiments.Fig1,
+	"table1":     experiments.Table1,
+	"table2":     experiments.Table2,
+	"fig2":       experiments.Fig2,
+	"fig3":       experiments.Fig3,
+	"fig4":       experiments.Fig4,
+	"fig5":       experiments.Fig5,
+	"fig6":       experiments.Fig6,
+	"fig7":       experiments.Fig7,
+	"fig8":       experiments.Fig8,
+	"commvolume": experiments.CommVolume,
+	"ablations":  experiments.Ablations,
+}
+
+// order fixes the "all" sequence to the paper's presentation order.
+var order = []string{
+	"fig1", "table1", "table2", "fig2", "fig3", "fig4",
+	"fig5", "fig6", "fig7", "fig8", "commvolume", "ablations",
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		driver, ok := drivers[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zerobench: unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		t := driver()
+		t.Render(os.Stdout)
+	}
+}
+
+func usage() {
+	names := make([]string, 0, len(drivers))
+	for n := range drivers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "usage: zerobench <experiment>... | all\nexperiments: %s\n",
+		strings.Join(names, " "))
+}

@@ -1,0 +1,113 @@
+// ZeRO-R walkthrough: the three residual-memory mechanisms of §6 on the
+// simulated device and communicator.
+//
+//  1. MD — memory defragmentation: an interleaved short/long-lived
+//     allocation pattern OOMs from fragmentation even with free memory to
+//     spare; routing the long-lived tensors through a pre-allocated
+//     contiguous region fixes it.
+//  2. Pa — partitioned activation checkpointing: an MP-replicated
+//     checkpoint is stored at 1/Nm per rank and re-gathered on demand,
+//     with the §8 traffic accounting printed.
+//  3. CB — constant-size buffers: fused-buffer memory stays flat as the
+//     model grows.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/device"
+	"repro/internal/zero"
+)
+
+func main() {
+	demoMD()
+	demoPa()
+	demoCB()
+}
+
+func demoMD() {
+	fmt.Println("== MD: memory defragmentation ==")
+	const cap = 1 << 20
+	run := func(useRegion bool) error {
+		d := device.New(cap)
+		var region *device.Region
+		if useRegion {
+			region, _ = d.NewRegion(cap / 2)
+		}
+		var short []device.Block
+		for i := 0; i < 8; i++ {
+			s, err := d.Alloc(cap / 16) // short-lived activation
+			if err != nil {
+				return err
+			}
+			short = append(short, s)
+			if useRegion {
+				if _, err := region.Alloc(cap / 16); err != nil { // checkpoint
+					return err
+				}
+			} else {
+				if _, err := d.Alloc(cap / 16); err != nil {
+					return err
+				}
+			}
+		}
+		for _, b := range short {
+			d.Free(b)
+		}
+		_, err := d.Alloc(cap / 4) // the big request that fragmentation kills
+		return err
+	}
+	err := run(false)
+	var oom *device.OOMError
+	if errors.As(err, &oom) {
+		fmt.Printf("  without MD: OOM (fragmented=%v, free=%d, largest contiguous=%d)\n",
+			oom.Fragmented, oom.FreeTotal, oom.LargestFree)
+	}
+	if err := run(true); err == nil {
+		fmt.Println("  with MD region: same trace succeeds — checkpoints no longer shred the heap")
+	}
+}
+
+func demoPa() {
+	fmt.Println("\n== Pa: partitioned activation checkpointing ==")
+	const mpDegree, elems = 4, 1 << 16
+	ckpt := make([]float32, elems)
+	for i := range ckpt {
+		ckpt[i] = float32(i % 97)
+	}
+	w := comm.NewWorld(mpDegree)
+	w.Run(func(c *comm.Comm) {
+		store := zero.NewPartitionedStore(c, false)
+		store.Put(0, ckpt)  // forward: keep only 1/Nm
+		got := store.Get(0) // backward: all-gather before recompute
+		if c.Rank() == 0 {
+			fmt.Printf("  checkpoint: %d elems; resident/rank: %d bytes (1/%d of %d)\n",
+				elems, store.DeviceBytes(), mpDegree, elems*2)
+			ok := true
+			for i := range got {
+				if got[i] != ckpt[i] {
+					ok = false
+					break
+				}
+			}
+			fmt.Printf("  reconstruction exact: %v; all-gather sent %d elems/rank (= E(Nm-1)/Nm)\n",
+				ok, w.Stats(0).ElemsSent)
+		}
+	})
+}
+
+func demoCB() {
+	fmt.Println("\n== CB: constant-size fused buffers ==")
+	fmt.Printf("%-8s %-22s %-18s\n", "Model", "Fused fp32 buffer (4Ψ)", "CB buffer")
+	for _, psi := range []int64{1_500_000_000, 8_000_000_000, 100_000_000_000} {
+		shape := zero.ShapeForParams(psi)
+		with := zero.ResidualBytes(shape, zero.ResidualConfig{Batch: 1, Seq: 1024, MP: 1, CB: true})
+		without := zero.ResidualBytes(shape, zero.ResidualConfig{Batch: 1, Seq: 1024, MP: 1})
+		fmt.Printf("%-8s %10.1f GB          %10.2f GB\n",
+			fmt.Sprintf("%.1fB", float64(psi)/1e9),
+			(without-with)/zero.GB+0.256, 0.256)
+	}
+	fmt.Println("  (§6.2: buffer memory decoupled from model size, still large enough for bandwidth)")
+}

@@ -1,0 +1,186 @@
+package comm
+
+// Ring and tree collectives. Per-rank traffic for a buffer of Ψ elements on
+// N ranks (the quantities the paper's §7 analysis is built on):
+//
+//	ReduceScatter: sends Ψ·(N-1)/N   ≈ Ψ
+//	AllGather:     sends Ψ·(N-1)/N   ≈ Ψ
+//	AllReduce:     sends 2Ψ·(N-1)/N  ≈ 2Ψ  (reduce-scatter + all-gather)
+//	Broadcast:     tree; root sends ≤ Ψ·⌈log2 N⌉ aggregate, Ψ per edge
+//
+// All collectives must be entered by every rank of the world with buffers of
+// identical length; they are synchronizing operations.
+
+// AllReduce sums x elementwise across all ranks, in place, using the
+// two-phase ring algorithm (pipelined reduce-scatter then all-gather).
+func (c *Comm) AllReduce(x []float32) {
+	n := c.w.n
+	if n == 1 {
+		return
+	}
+	parts := Partition(len(x), n)
+	c.ringReduceScatter("allreduce", x, parts)
+	c.ringAllGather("allreduce", x, parts, c.rank)
+}
+
+// AllReduceAvg sums x across ranks and divides by the world size — the
+// gradient-averaging step of data-parallel training.
+func (c *Comm) AllReduceAvg(x []float32) {
+	c.AllReduce(x)
+	inv := 1 / float32(c.w.n)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// ReduceScatter reduces x elementwise across ranks and leaves rank r owning
+// the fully reduced partition parts[r] (in place; other regions of x hold
+// partially reduced garbage afterwards). parts must come from
+// Partition(len(x), Size()). Returns this rank's reduced shard as a subslice
+// of x.
+func (c *Comm) ReduceScatter(x []float32, parts []Range) []float32 {
+	if len(parts) != c.w.n {
+		panic("comm: ReduceScatter partition count != world size")
+	}
+	if c.w.n > 1 {
+		c.ringReduceScatter("reducescatter", x, parts)
+	}
+	p := parts[c.rank]
+	return x[p.Lo:p.Hi]
+}
+
+// AllGather collects each rank's shard (shard = x[parts[rank]] already in
+// place) into the full buffer x on every rank. parts must come from
+// Partition(len(x), Size()).
+func (c *Comm) AllGather(x []float32, parts []Range) {
+	if len(parts) != c.w.n {
+		panic("comm: AllGather partition count != world size")
+	}
+	if c.w.n == 1 {
+		return
+	}
+	c.ringAllGather("allgather", x, parts, c.rank)
+}
+
+// Broadcast distributes root's x to every rank, in place, over a binomial
+// tree (⌈log2 N⌉ latency, one buffer per tree edge).
+func (c *Comm) Broadcast(x []float32, root int) {
+	n := c.w.n
+	if n == 1 {
+		return
+	}
+	// Virtual rank with root at 0 simplifies the tree arithmetic.
+	vr := (c.rank - root + n) % n
+	// Receive once from the parent: the node with this rank's lowest set
+	// bit cleared.
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			parent := ((vr - mask) + root) % n
+			data := c.recv("broadcast", parent)
+			copy(x, data)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children at decreasing distances below the receive bit.
+	mask >>= 1
+	for mask > 0 {
+		if child := vr + mask; child < n {
+			c.send("broadcast", (child+root)%n, x)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce sums x across ranks onto root (in place at root; other ranks' x is
+// unchanged). Implemented as reduce-scatter + gather-to-root so per-rank
+// volume stays O(Ψ).
+func (c *Comm) Reduce(x []float32, root int) {
+	n := c.w.n
+	if n == 1 {
+		return
+	}
+	parts := Partition(len(x), n)
+	work := make([]float32, len(x))
+	copy(work, x)
+	c.ringReduceScatter("reduce", work, parts)
+	mine := parts[c.rank]
+	if c.rank == root {
+		copy(x[mine.Lo:mine.Hi], work[mine.Lo:mine.Hi])
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			shard := c.recv("reduce", r)
+			p := parts[r]
+			copy(x[p.Lo:p.Hi], shard)
+		}
+	} else {
+		c.send("reduce", root, work[mine.Lo:mine.Hi])
+	}
+}
+
+// Gather collects each rank's shard to root. shard lengths may differ per
+// rank; root receives them in rank order into out (caller-sized). Non-root
+// ranks pass out == nil.
+func (c *Comm) Gather(shard []float32, root int, out [][]float32) {
+	if c.rank == root {
+		if len(out) != c.w.n {
+			panic("comm: Gather out must have one slot per rank")
+		}
+		out[root] = append([]float32(nil), shard...)
+		for r := 0; r < c.w.n; r++ {
+			if r == root {
+				continue
+			}
+			out[r] = c.recv("gather", r)
+		}
+		return
+	}
+	c.send("gather", root, shard)
+}
+
+// ringReduceScatter runs the N-1 step ring so that, on return, rank r holds
+// the fully reduced chunk parts[r] inside x.
+func (c *Comm) ringReduceScatter(op string, x []float32, parts []Range) {
+	n := c.w.n
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((c.rank-s-1)%n + n) % n
+		recvIdx := ((c.rank-s-2)%n + n) % n
+		sp := parts[sendIdx]
+		c.send(op, right, x[sp.Lo:sp.Hi])
+		data := c.recv(op, left)
+		rp := parts[recvIdx]
+		dst := x[rp.Lo:rp.Hi]
+		if len(data) != len(dst) {
+			panic("comm: ring chunk length mismatch (buffers must be equal-length on all ranks)")
+		}
+		for i, v := range data {
+			dst[i] += v
+		}
+	}
+}
+
+// ringAllGather runs the N-1 step ring so that, on return, every rank holds
+// every chunk. ownIdx names the chunk this rank contributes.
+func (c *Comm) ringAllGather(op string, x []float32, parts []Range, ownIdx int) {
+	n := c.w.n
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((ownIdx-s)%n + n) % n
+		recvIdx := ((ownIdx-s-1)%n + n) % n
+		sp := parts[sendIdx]
+		c.send(op, right, x[sp.Lo:sp.Hi])
+		data := c.recv(op, left)
+		rp := parts[recvIdx]
+		dst := x[rp.Lo:rp.Hi]
+		if len(data) != len(dst) {
+			panic("comm: ring chunk length mismatch (buffers must be equal-length on all ranks)")
+		}
+		copy(dst, data)
+	}
+}

@@ -1,0 +1,152 @@
+package comm
+
+// Group is a communicator over an arbitrary subset of the world's ranks —
+// the building block for 2D parallelism, where the paper's deployment
+// (§10.1) nests Megatron model parallelism inside each node (an MP group of
+// consecutive ranks) under ZeRO data parallelism across nodes (a DP group
+// of strided ranks).
+type Group struct {
+	c     *Comm
+	ranks []int
+	pos   int    // index of c's rank within ranks
+	label string // traffic-accounting label ("mp", "dp", ...)
+}
+
+// Group creates a subgroup communicator over the given ranks (which must
+// include this rank, appear in a consistent order on every member, and
+// contain no duplicates). Collectives on the group must be entered by
+// every member.
+func (c *Comm) Group(ranks []int) *Group {
+	pos := -1
+	seen := make(map[int]bool, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= c.w.n {
+			panic("comm: group rank out of range")
+		}
+		if seen[r] {
+			panic("comm: duplicate rank in group")
+		}
+		seen[r] = true
+		if r == c.rank {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		panic("comm: this rank is not a member of the group")
+	}
+	return &Group{c: c, ranks: append([]int(nil), ranks...), pos: pos}
+}
+
+// Named sets the group's traffic-accounting label: collectives record under
+// "group-<op>:<label>" in Stats.PerCollective, so MP and DP traffic of a 2D
+// layout can be separated.
+func (g *Group) Named(label string) *Group {
+	g.label = label
+	return g
+}
+
+func (g *Group) op(base string) string {
+	if g.label == "" {
+		return base
+	}
+	return base + ":" + g.label
+}
+
+// MPGroup returns the model-parallel group this rank belongs to when the
+// world is laid out as consecutive blocks of mpSize ranks (ranks 0..mp-1
+// form replica 0, etc. — MP inside the "node").
+func (c *Comm) MPGroup(mpSize int) *Group {
+	if mpSize <= 0 || c.w.n%mpSize != 0 {
+		panic("comm: world size must be a multiple of mpSize")
+	}
+	base := (c.rank / mpSize) * mpSize
+	ranks := make([]int, mpSize)
+	for i := range ranks {
+		ranks[i] = base + i
+	}
+	return c.Group(ranks).Named("mp")
+}
+
+// DPGroup returns the data-parallel group: ranks with the same MP position
+// across replicas (stride mpSize).
+func (c *Comm) DPGroup(mpSize int) *Group {
+	if mpSize <= 0 || c.w.n%mpSize != 0 {
+		panic("comm: world size must be a multiple of mpSize")
+	}
+	local := c.rank % mpSize
+	ranks := make([]int, c.w.n/mpSize)
+	for i := range ranks {
+		ranks[i] = i*mpSize + local
+	}
+	return c.Group(ranks).Named("dp")
+}
+
+// Rank returns this member's position within the group.
+func (g *Group) Rank() int { return g.pos }
+
+// Size returns the group's member count.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// AllReduce sums x elementwise across the group, in place (ring).
+func (g *Group) AllReduce(x []float32) {
+	if len(g.ranks) == 1 {
+		return
+	}
+	parts := Partition(len(x), len(g.ranks))
+	g.c.groupReduceScatter(g.op("group-allreduce"), x, parts, g.ranks, g.pos)
+	g.c.groupAllGather(g.op("group-allreduce"), x, parts, g.ranks, g.pos, g.pos)
+}
+
+// AllReduceAvg sums and divides by the group size.
+func (g *Group) AllReduceAvg(x []float32) {
+	g.AllReduce(x)
+	inv := 1 / float32(len(g.ranks))
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// ReduceScatter reduces x so member i owns the fully reduced parts[i];
+// returns this member's shard (a subslice of x).
+func (g *Group) ReduceScatter(x []float32, parts []Range) []float32 {
+	if len(parts) != len(g.ranks) {
+		panic("comm: group ReduceScatter partition count != group size")
+	}
+	if len(g.ranks) > 1 {
+		g.c.groupReduceScatter(g.op("group-reducescatter"), x, parts, g.ranks, g.pos)
+	}
+	p := parts[g.pos]
+	return x[p.Lo:p.Hi]
+}
+
+// AllGather collects each member's shard into the full buffer on every
+// member.
+func (g *Group) AllGather(x []float32, parts []Range) {
+	if len(parts) != len(g.ranks) {
+		panic("comm: group AllGather partition count != group size")
+	}
+	if len(g.ranks) > 1 {
+		g.c.groupAllGather(g.op("group-allgather"), x, parts, g.ranks, g.pos, g.pos)
+	}
+}
+
+// Broadcast distributes the root member's x to the whole group (root is a
+// group-local index). Linear fan-out: group sizes here are node-scale.
+func (g *Group) Broadcast(x []float32, root int) {
+	if root < 0 || root >= len(g.ranks) {
+		panic("comm: group Broadcast root out of range")
+	}
+	if len(g.ranks) == 1 {
+		return
+	}
+	if g.pos == root {
+		for i, r := range g.ranks {
+			if i != root {
+				g.c.send(g.op("group-broadcast"), r, x)
+			}
+		}
+		return
+	}
+	data := g.c.recv(g.op("group-broadcast"), g.ranks[root])
+	copy(x, data)
+}

@@ -1,0 +1,109 @@
+package comm
+
+// Hierarchical (two-level) all-reduce, the NCCL-style algorithm clusters of
+// multi-GPU nodes use: an intra-node reduce-scatter concentrates each local
+// rank's share of the node's sum, only that 1/nodeSize share crosses the
+// node uplink for an inter-node all-reduce, and an intra-node all-gather
+// redistributes the result. Per-rank inter-node traffic drops from
+// 2Ψ(N-1)/N to 2(Ψ/nodeSize)(M-1)/M for M nodes — the reason DP
+// communication survives the node boundary while flat MP all-reduces do
+// not (the effective-bandwidth model in internal/perfmodel.DPBandwidth).
+//
+// Traffic is accounted separately under "hier-intra" and "hier-inter" in
+// Stats.PerCollective, so the intra/inter split is measurable.
+
+// AllReduceHierarchical sums x elementwise across all ranks, in place,
+// using the two-level algorithm with the given node width. The world size
+// must be a multiple of nodeSize.
+func (c *Comm) AllReduceHierarchical(x []float32, nodeSize int) {
+	n := c.w.n
+	if nodeSize <= 0 || n%nodeSize != 0 {
+		panic("comm: world size must be a multiple of nodeSize")
+	}
+	if n == 1 {
+		return
+	}
+	if nodeSize == 1 || nodeSize == n {
+		c.AllReduce(x)
+		return
+	}
+	node := c.rank / nodeSize
+	local := c.rank % nodeSize
+	nodes := n / nodeSize
+
+	intra := make([]int, nodeSize)
+	for i := range intra {
+		intra[i] = node*nodeSize + i
+	}
+	inter := make([]int, nodes)
+	for i := range inter {
+		inter[i] = i*nodeSize + local
+	}
+
+	// 1. Intra-node reduce-scatter: local rank i ends up owning chunk i of
+	//    this node's partial sum.
+	parts := Partition(len(x), nodeSize)
+	c.groupReduceScatter("hier-intra", x, parts, intra, local)
+
+	// 2. Inter-node all-reduce of the owned chunk across same-local peers.
+	own := parts[local]
+	chunk := x[own.Lo:own.Hi]
+	subParts := Partition(len(chunk), nodes)
+	c.groupReduceScatter("hier-inter", chunk, subParts, inter, node)
+	c.groupAllGather("hier-inter", chunk, subParts, inter, node, node)
+
+	// 3. Intra-node all-gather of the globally reduced chunks.
+	c.groupAllGather("hier-intra", x, parts, intra, local, local)
+}
+
+// groupReduceScatter runs the ring reduce-scatter over an arbitrary rank
+// subset. group lists the member ranks in ring order; pos is this rank's
+// index in group; parts has one range per member. On return, member i owns
+// the fully reduced parts[i].
+func (c *Comm) groupReduceScatter(op string, x []float32, parts []Range, group []int, pos int) {
+	g := len(group)
+	if g == 1 {
+		return
+	}
+	right := group[(pos+1)%g]
+	left := group[(pos-1+g)%g]
+	for s := 0; s < g-1; s++ {
+		sendIdx := ((pos-s-1)%g + g) % g
+		recvIdx := ((pos-s-2)%g + g) % g
+		sp := parts[sendIdx]
+		c.send(op, right, x[sp.Lo:sp.Hi])
+		data := c.recv(op, left)
+		rp := parts[recvIdx]
+		dst := x[rp.Lo:rp.Hi]
+		if len(data) != len(dst) {
+			panic("comm: group ring chunk length mismatch")
+		}
+		for i, v := range data {
+			dst[i] += v
+		}
+	}
+}
+
+// groupAllGather runs the ring all-gather over an arbitrary rank subset;
+// ownIdx names the chunk this member contributes.
+func (c *Comm) groupAllGather(op string, x []float32, parts []Range, group []int, pos, ownIdx int) {
+	g := len(group)
+	if g == 1 {
+		return
+	}
+	right := group[(pos+1)%g]
+	left := group[(pos-1+g)%g]
+	for s := 0; s < g-1; s++ {
+		sendIdx := ((ownIdx-s)%g + g) % g
+		recvIdx := ((ownIdx-s-1)%g + g) % g
+		sp := parts[sendIdx]
+		c.send(op, right, x[sp.Lo:sp.Hi])
+		data := c.recv(op, left)
+		rp := parts[recvIdx]
+		dst := x[rp.Lo:rp.Hi]
+		if len(data) != len(dst) {
+			panic("comm: group ring chunk length mismatch")
+		}
+		copy(dst, data)
+	}
+}

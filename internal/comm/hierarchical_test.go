@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Hierarchical all-reduce must compute the same sums as the flat ring for
+// every (world, nodeSize) split, including sizes that do not divide the
+// buffer evenly.
+func TestHierarchicalAllReduceCorrectness(t *testing.T) {
+	cases := []struct{ n, nodeSize int }{
+		{4, 2}, {8, 2}, {8, 4}, {12, 4}, {16, 4}, {6, 3}, {4, 4}, {4, 1},
+	}
+	for _, tc := range cases {
+		for _, size := range []int{1, 7, 64, 1013} {
+			r := rand.New(rand.NewSource(int64(tc.n*10000 + tc.nodeSize*100 + size)))
+			inputs := make([][]float32, tc.n)
+			for i := range inputs {
+				inputs[i] = randVec(r, size)
+			}
+			want := expectedSum(inputs)
+			w := NewWorld(tc.n)
+			results := make([][]float32, tc.n)
+			w.Run(func(c *Comm) {
+				x := append([]float32(nil), inputs[c.Rank()]...)
+				c.AllReduceHierarchical(x, tc.nodeSize)
+				results[c.Rank()] = x
+			})
+			for rk, got := range results {
+				if !approxEqual(got, want, 1e-3) {
+					t.Fatalf("n=%d node=%d size=%d rank %d: hierarchical sum mismatch",
+						tc.n, tc.nodeSize, size, rk)
+				}
+			}
+		}
+	}
+}
+
+// The point of the hierarchy: per-rank *inter-node* traffic shrinks by the
+// node width. For Ψ elements, N ranks, M nodes of size S: flat ring sends
+// 2Ψ(N-1)/N inter-or-intra; hierarchical sends only ≈2(Ψ/S)(M-1)/M across
+// nodes.
+func TestHierarchicalInterNodeVolume(t *testing.T) {
+	const psi = 1 << 12
+	const n, nodeSize = 8, 4
+	const nodes = n / nodeSize
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		x := make([]float32, psi)
+		c.AllReduceHierarchical(x, nodeSize)
+	})
+	wantInter := int64(2 * (psi / nodeSize) * (nodes - 1) / nodes)
+	flatTotal := int64(2 * psi * (n - 1) / n)
+	for r := 0; r < n; r++ {
+		st := w.Stats(r)
+		inter := st.PerCollective["hier-inter"]
+		if inter != wantInter {
+			t.Errorf("rank %d inter-node elems %d, want %d", r, inter, wantInter)
+		}
+		if inter*4 > flatTotal {
+			t.Errorf("rank %d: hierarchy should cut inter-node traffic ≥4x vs flat ring (%d vs %d)",
+				r, inter, flatTotal)
+		}
+		if st.PerCollective["hier-intra"] == 0 {
+			t.Errorf("rank %d: no intra-node traffic recorded", r)
+		}
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for indivisible nodeSize")
+			}
+		}()
+		c.AllReduceHierarchical(make([]float32, 8), 3)
+	})
+}
+
+func TestHierarchicalSingleRank(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		x := []float32{5}
+		c.AllReduceHierarchical(x, 1)
+		if x[0] != 5 {
+			t.Errorf("single-rank hierarchical changed data: %v", x[0])
+		}
+	})
+}

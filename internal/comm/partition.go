@@ -1,0 +1,36 @@
+package comm
+
+// Range is a half-open index interval [Lo, Hi) into a flat buffer.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of elements in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition splits n elements into parts near-equal ranges: the first
+// n%parts ranges get one extra element. This is the partitioning rule ZeRO
+// uses for optimizer states, gradients and parameters ("we group the
+// optimizer states into Nd equal partitions", §5.1); near-equal handles the
+// common case where the parameter count does not divide evenly.
+func Partition(n, parts int) []Range {
+	if parts <= 0 {
+		panic("comm: Partition needs at least one part")
+	}
+	if n < 0 {
+		panic("comm: Partition of negative length")
+	}
+	out := make([]Range, parts)
+	base := n / parts
+	extra := n % parts
+	lo := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/zero"
+)
+
+// CommVolume reproduces the §7-§8 communication analysis with *measured*
+// traffic: it trains a small real model under baseline DDP and ZeRO stages
+// 1-3 on in-process worlds, counts every element each rank sends through
+// the collectives, and compares against the closed forms (2Ψ for DP and
+// Pos/Pos+g, 3Ψ for Pos+g+p; Pa ≤ 10% of Megatron MP traffic).
+func CommVolume() Table {
+	cfg := model.Config{Layers: 3, Hidden: 32, Heads: 4, Vocab: 31, Seq: 8}
+	psi := int64(cfg.ParamCount())
+	const n, batch = 4, 4
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+
+	var rows [][]string
+	addRow := func(name string, measured int64, psiMult float64) {
+		// Per-rank measured average; theory uses the (N-1)/N ring factor.
+		perRank := float64(measured) / float64(n)
+		theory := psiMult * float64(psi) * float64(n-1) / float64(n)
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.0f", perRank),
+			fmt.Sprintf("%.0f", theory),
+			fmtF(perRank/float64(psi), 2) + "Ψ",
+			fmtF(psiMult*float64(n-1)/float64(n), 2) + "Ψ",
+		})
+	}
+
+	// Baseline DDP.
+	{
+		w := comm.NewWorld(n)
+		w.Run(func(c *comm.Comm) {
+			tr := ddp.New(c, cfg, 1, 1e-3)
+			tr.BucketElems = 0
+			tr.Step(ids, targets, batch)
+		})
+		addRow("DP all-reduce", w.TotalElemsSent(), 2)
+	}
+	// ZeRO stages.
+	for _, st := range []zero.Stage{zero.StageOS, zero.StageOSG, zero.StageOSGP} {
+		mult := 2.0
+		if st == zero.StageOSGP {
+			mult = 3.0
+		}
+		w := comm.NewWorld(n)
+		w.Run(func(c *comm.Comm) {
+			tr := zero.New(c, cfg, zero.Options{Stage: st, LR: 1e-3, Seed: 1})
+			tr.Step(ids, targets, batch)
+		})
+		addRow("ZeRO "+st.String(), w.TotalElemsSent(), mult)
+	}
+
+	// Pa overhead vs Megatron MP traffic (analytic §8 identity).
+	paRatio := float64(mp.PaOverheadElems(16, 1024, 8192)) /
+		float64(mp.BlockAllReduceElems(16, 1024, 8192))
+	rows = append(rows, []string{
+		"Pa vs MP traffic", "-", "-",
+		fmtF(paRatio*100, 1) + "%", "≤10% (§8)",
+	})
+
+	return Table{
+		Title: "§7-§8 communication volume: measured on the wire vs analysis",
+		Note: fmt.Sprintf("Real training step, N=%d ranks, Ψ=%d parameters; elements sent per rank.",
+			n, psi),
+		Header: []string{"System", "Measured/rank", "Theory/rank", "Measured (Ψ)", "Theory (Ψ)"},
+		Rows:   rows,
+	}
+}

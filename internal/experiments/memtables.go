@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/zero"
+)
+
+// Fig1 reproduces Figure 1: the per-device model-state memory of the
+// worked example (Ψ = 7.5B, Nd = 64, K = 12) across the three ZeRO-DP
+// stages, with the formulas.
+func Fig1() Table {
+	const psi, nd = 7_500_000_000, 64
+	rows := [][]string{}
+	specs := []struct {
+		stage   zero.Stage
+		formula string
+	}{
+		{zero.StageDP, "(2+2+K)Ψ"},
+		{zero.StageOS, "2Ψ+2Ψ+KΨ/Nd"},
+		{zero.StageOSG, "2Ψ+(2+K)Ψ/Nd"},
+		{zero.StageOSGP, "(2+2+K)Ψ/Nd"},
+	}
+	for _, s := range specs {
+		rows = append(rows, []string{
+			s.stage.String(),
+			s.formula,
+			fmtF(zero.ModelStateGB(psi, s.stage, nd), 2) + " GB",
+		})
+	}
+	return Table{
+		Title:  "Figure 1: per-device model-state memory (Ψ=7.5B, Nd=64, K=12)",
+		Header: []string{"Stage", "Formula", "Memory"},
+		Rows:   rows,
+	}
+}
+
+// Table1 reproduces Table 1: per-device model-state GB for 7.5B / 128B /
+// 1T parameter models across DP degrees and ZeRO-DP stages.
+func Table1() Table {
+	models := []struct {
+		label string
+		psi   int64
+	}{
+		{"7.5B", 7_500_000_000},
+		{"128B", 128_000_000_000},
+		{"1T", 1_000_000_000_000},
+	}
+	dps := []int{1, 4, 16, 64, 256, 1024}
+	header := []string{"DP"}
+	for _, m := range models {
+		for _, st := range []zero.Stage{zero.StageOS, zero.StageOSG, zero.StageOSGP} {
+			header = append(header, m.label+" "+st.String())
+		}
+	}
+	var rows [][]string
+	for _, nd := range dps {
+		row := []string{fmt.Sprint(nd)}
+		for _, m := range models {
+			for _, st := range []zero.Stage{zero.StageOS, zero.StageOSG, zero.StageOSGP} {
+				row = append(row, fmtF(zero.ModelStateGB(m.psi, st, nd), 2))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table{
+		Title:  "Table 1: per-device model-state memory (GB) vs DP degree",
+		Note:   "Bold cells in the paper (fit on 32GB V100) are those ≤ 32.",
+		Header: header,
+		Rows:   rows,
+	}
+}
+
+// Table2 reproduces Table 2: maximum theoretical model size from the
+// memory analysis (left) and the measured maximum once residual states are
+// charged (right), for MP ∈ {1..16} with Nd = 64.
+func Table2() Table {
+	const budget = 32 * zero.GB
+	var rows [][]string
+	for _, mp := range []int{1, 2, 4, 8, 16} {
+		theo := func(st zero.Stage) string {
+			return fmtB(zero.MaxTheoreticalParams(budget, st, 64, mp))
+		}
+		// Measured: baseline without ZeRO-R; ZeRO-OS (Pos) with CB+MD,
+		// matching the paper's ZeRO-OS implementation.
+		baseRC := zero.ResidualConfig{Batch: 8, Seq: 1024, MP: mp}
+		zeroRC := zero.ResidualConfig{Batch: 8, Seq: 1024, MP: mp, CB: true, MD: true}
+		// MaxMeasuredParams already accounts for MP: it returns the total
+		// model size whose per-device share (states/MP + residuals) fits.
+		measBase := zero.MaxMeasuredParams(budget, zero.StageDP, 64, baseRC)
+		measZeRO := zero.MaxMeasuredParams(budget, zero.StageOS, 64, zeroRC)
+		rows = append(rows, []string{
+			fmt.Sprint(mp), fmt.Sprint(64 * mp),
+			theo(zero.StageDP), theo(zero.StageOS), theo(zero.StageOSG), theo(zero.StageOSGP),
+			fmtB(measBase), fmtB(measZeRO),
+		})
+	}
+	return Table{
+		Title: "Table 2: max model size, theoretical (left) vs measured (right), Nd=64",
+		Note:  "Measured charges activations, buffers and fragmentation (ZeRO-OS = Pos + CB + MD).",
+		Header: []string{"MP", "GPUs", "Baseline", "Pos", "Pos+g", "Pos+g+p",
+			"Measured base", "Measured ZeRO-OS"},
+		Rows: rows,
+	}
+}
+
+// fmtB formats a parameter count in billions/trillions.
+func fmtB(p int64) string {
+	f := float64(p)
+	if f >= 1e12 {
+		return fmtF(f/1e12, 2) + "T"
+	}
+	return fmtF(f/1e9, 1) + "B"
+}

@@ -1,0 +1,198 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// causalMask is added to attention scores above the diagonal; large enough
+// that exp underflows to zero after the softmax max-shift.
+const causalMask = -1e9
+
+// blockForward computes one transformer block given acts.x (the block
+// input, [M,h]) and fills the remaining activation fields. It returns the
+// block output.
+func (m *Model) blockForward(i int, acts *blockActs, batch, seqLen int) []float32 {
+	h := m.Cfg.Hidden
+	heads := m.Cfg.Heads
+	dh := h / heads
+	ffn := 4 * h
+	mRows := batch * seqLen
+	off := m.Layout.blocks[i]
+	p := m.Params
+
+	// LN1.
+	acts.a = make([]float32, mRows*h)
+	acts.xhat1 = make([]float32, mRows*h)
+	acts.invStd1 = make([]float32, mRows)
+	tensor.LayerNorm(acts.a, acts.xhat1, acts.invStd1, acts.x,
+		p[off.ln1Gamma:off.ln1Gamma+h], p[off.ln1Beta:off.ln1Beta+h], mRows, h, lnEps)
+
+	// QKV projection.
+	acts.qkv = make([]float32, mRows*3*h)
+	tensor.MatMul(acts.qkv, acts.a, p[off.wQKV:off.wQKV+h*3*h], mRows, h, 3*h)
+	tensor.AddBiasRows(acts.qkv, p[off.bQKV:off.bQKV+3*h], mRows, 3*h)
+
+	// Multi-head causal self-attention.
+	acts.probs = make([]float32, batch*heads*seqLen*seqLen)
+	acts.ctx = make([]float32, mRows*h)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	qh := make([]float32, seqLen*dh)
+	kh := make([]float32, seqLen*dh)
+	vh := make([]float32, seqLen*dh)
+	ctxh := make([]float32, seqLen*dh)
+	for b := 0; b < batch; b++ {
+		for hd := 0; hd < heads; hd++ {
+			m.gatherHead(acts.qkv, qh, kh, vh, b, hd, batch, seqLen)
+			probs := acts.probs[(b*heads+hd)*seqLen*seqLen : (b*heads+hd+1)*seqLen*seqLen]
+			tensor.MatMulBT(probs, qh, kh, seqLen, dh, seqLen)
+			for t := 0; t < seqLen; t++ {
+				row := probs[t*seqLen : (t+1)*seqLen]
+				for u := range row {
+					if u > t {
+						row[u] = causalMask
+					} else {
+						row[u] *= scale
+					}
+				}
+			}
+			tensor.SoftmaxRows(probs, probs, seqLen, seqLen)
+			tensor.MatMul(ctxh, probs, vh, seqLen, seqLen, dh)
+			// Scatter the head's context back into [M,h].
+			for t := 0; t < seqLen; t++ {
+				copy(acts.ctx[(b*seqLen+t)*h+hd*dh:(b*seqLen+t)*h+(hd+1)*dh], ctxh[t*dh:(t+1)*dh])
+			}
+		}
+	}
+
+	// Output projection + residual.
+	attnOut := make([]float32, mRows*h)
+	tensor.MatMul(attnOut, acts.ctx, p[off.wProj:off.wProj+h*h], mRows, h, h)
+	tensor.AddBiasRows(attnOut, p[off.bProj:off.bProj+h], mRows, h)
+	acts.x2 = make([]float32, mRows*h)
+	copy(acts.x2, acts.x)
+	tensor.Add(acts.x2, attnOut)
+
+	// LN2 + MLP + residual.
+	acts.mlin = make([]float32, mRows*h)
+	acts.xhat2 = make([]float32, mRows*h)
+	acts.invStd2 = make([]float32, mRows)
+	tensor.LayerNorm(acts.mlin, acts.xhat2, acts.invStd2, acts.x2,
+		p[off.ln2Gamma:off.ln2Gamma+h], p[off.ln2Beta:off.ln2Beta+h], mRows, h, lnEps)
+	acts.h1 = make([]float32, mRows*ffn)
+	tensor.MatMul(acts.h1, acts.mlin, p[off.wFC1:off.wFC1+h*ffn], mRows, h, ffn)
+	tensor.AddBiasRows(acts.h1, p[off.bFC1:off.bFC1+ffn], mRows, ffn)
+	acts.g = make([]float32, mRows*ffn)
+	tensor.GELU(acts.g, acts.h1)
+	out := make([]float32, mRows*h)
+	tensor.MatMul(out, acts.g, p[off.wFC2:off.wFC2+ffn*h], mRows, ffn, h)
+	tensor.AddBiasRows(out, p[off.bFC2:off.bFC2+h], mRows, h)
+	tensor.Add(out, acts.x2)
+	return out
+}
+
+// gatherHead copies one (sample, head) slice of the packed QKV activations
+// into contiguous [T,dh] scratch matrices.
+func (m *Model) gatherHead(qkv, qh, kh, vh []float32, b, hd, batch, seqLen int) {
+	h := m.Cfg.Hidden
+	dh := h / m.Cfg.Heads
+	for t := 0; t < seqLen; t++ {
+		base := (b*seqLen + t) * 3 * h
+		copy(qh[t*dh:(t+1)*dh], qkv[base+hd*dh:base+(hd+1)*dh])
+		copy(kh[t*dh:(t+1)*dh], qkv[base+h+hd*dh:base+h+(hd+1)*dh])
+		copy(vh[t*dh:(t+1)*dh], qkv[base+2*h+hd*dh:base+2*h+(hd+1)*dh])
+	}
+}
+
+// blockBackward consumes dOut (gradient of the block output) and the
+// activations from blockForward, accumulates parameter gradients, and
+// returns the gradient with respect to the block input.
+func (m *Model) blockBackward(i int, acts *blockActs, dOut []float32, batch, seqLen int) []float32 {
+	h := m.Cfg.Hidden
+	heads := m.Cfg.Heads
+	dh := h / heads
+	ffn := 4 * h
+	mRows := batch * seqLen
+	off := m.Layout.blocks[i]
+	p, g := m.Params, m.Grads
+
+	// Residual: out = x2 + MLP(LN2(x2)) ⇒ dx2 starts as dOut.
+	dX2 := make([]float32, mRows*h)
+	copy(dX2, dOut)
+
+	// MLP backward.
+	dG := make([]float32, mRows*ffn)
+	tensor.MatMulBT(dG, dOut, p[off.wFC2:off.wFC2+ffn*h], mRows, h, ffn)
+	tensor.MatMulATAdd(g[off.wFC2:off.wFC2+ffn*h], acts.g, dOut, mRows, ffn, h)
+	tensor.BiasGradRows(g[off.bFC2:off.bFC2+h], dOut, mRows, h)
+	dH1 := make([]float32, mRows*ffn)
+	tensor.GELUBackward(dH1, dG, acts.h1)
+	dMlin := make([]float32, mRows*h)
+	tensor.MatMulBT(dMlin, dH1, p[off.wFC1:off.wFC1+h*ffn], mRows, ffn, h)
+	tensor.MatMulATAdd(g[off.wFC1:off.wFC1+h*ffn], acts.mlin, dH1, mRows, h, ffn)
+	tensor.BiasGradRows(g[off.bFC1:off.bFC1+ffn], dH1, mRows, ffn)
+	tensor.LayerNormBackward(dX2, g[off.ln2Gamma:off.ln2Gamma+h], g[off.ln2Beta:off.ln2Beta+h],
+		dMlin, acts.xhat2, acts.invStd2, p[off.ln2Gamma:off.ln2Gamma+h], mRows, h)
+
+	// Attention output projection backward (dAttnOut == dX2: x2 = x + attnOut).
+	dCtx := make([]float32, mRows*h)
+	tensor.MatMulBT(dCtx, dX2, p[off.wProj:off.wProj+h*h], mRows, h, h)
+	tensor.MatMulATAdd(g[off.wProj:off.wProj+h*h], acts.ctx, dX2, mRows, h, h)
+	tensor.BiasGradRows(g[off.bProj:off.bProj+h], dX2, mRows, h)
+
+	// Attention core backward, per (sample, head).
+	dQKV := make([]float32, mRows*3*h)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	qh := make([]float32, seqLen*dh)
+	kh := make([]float32, seqLen*dh)
+	vh := make([]float32, seqLen*dh)
+	dctxh := make([]float32, seqLen*dh)
+	dP := make([]float32, seqLen*seqLen)
+	dS := make([]float32, seqLen*seqLen)
+	dqh := make([]float32, seqLen*dh)
+	dkh := make([]float32, seqLen*dh)
+	dvh := make([]float32, seqLen*dh)
+	for b := 0; b < batch; b++ {
+		for hd := 0; hd < heads; hd++ {
+			m.gatherHead(acts.qkv, qh, kh, vh, b, hd, batch, seqLen)
+			probs := acts.probs[(b*heads+hd)*seqLen*seqLen : (b*heads+hd+1)*seqLen*seqLen]
+			for t := 0; t < seqLen; t++ {
+				copy(dctxh[t*dh:(t+1)*dh], dCtx[(b*seqLen+t)*h+hd*dh:(b*seqLen+t)*h+(hd+1)*dh])
+			}
+			// ctx = P·V.
+			tensor.MatMulBT(dP, dctxh, vh, seqLen, dh, seqLen)
+			tensor.Zero(dvh)
+			tensor.MatMulATAdd(dvh, probs, dctxh, seqLen, seqLen, dh)
+			// Softmax.
+			tensor.Zero(dS)
+			tensor.SoftmaxRowsBackward(dS, dP, probs, seqLen, seqLen)
+			// Scale (applied to scores before softmax).
+			tensor.Scale(dS, scale)
+			// scores = scale·Q·Kᵀ.
+			tensor.MatMul(dqh, dS, kh, seqLen, seqLen, dh)
+			tensor.Zero(dkh)
+			tensor.MatMulATAdd(dkh, dS, qh, seqLen, seqLen, dh)
+			// Scatter head gradients into packed dQKV.
+			for t := 0; t < seqLen; t++ {
+				base := (b*seqLen + t) * 3 * h
+				copy(dQKV[base+hd*dh:base+(hd+1)*dh], dqh[t*dh:(t+1)*dh])
+				copy(dQKV[base+h+hd*dh:base+h+(hd+1)*dh], dkh[t*dh:(t+1)*dh])
+				copy(dQKV[base+2*h+hd*dh:base+2*h+(hd+1)*dh], dvh[t*dh:(t+1)*dh])
+			}
+		}
+	}
+
+	// QKV projection backward.
+	dA := make([]float32, mRows*h)
+	tensor.MatMulBT(dA, dQKV, p[off.wQKV:off.wQKV+h*3*h], mRows, 3*h, h)
+	tensor.MatMulATAdd(g[off.wQKV:off.wQKV+h*3*h], acts.a, dQKV, mRows, h, 3*h)
+	tensor.BiasGradRows(g[off.bQKV:off.bQKV+3*h], dQKV, mRows, 3*h)
+
+	// LN1 + residual: dx = dx2 (residual) + LN1-backward(dA).
+	dX := make([]float32, mRows*h)
+	copy(dX, dX2)
+	tensor.LayerNormBackward(dX, g[off.ln1Gamma:off.ln1Gamma+h], g[off.ln1Beta:off.ln1Beta+h],
+		dA, acts.xhat1, acts.invStd1, p[off.ln1Gamma:off.ln1Gamma+h], mRows, h)
+	return dX
+}

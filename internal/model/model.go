@@ -1,0 +1,250 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Model is a GPT-2-like transformer with parameters and gradients stored in
+// flat buffers so data-parallel engines (DDP, ZeRO stages 1-3) can
+// partition, bucket and gather them by offset.
+type Model struct {
+	Cfg    Config
+	Layout Layout
+
+	// Params is the flat fp32 parameter buffer (the "fp32 master" copy of
+	// mixed-precision training).
+	Params []float32
+	// Grads is the flat gradient buffer, same layout as Params.
+	Grads []float32
+
+	// Checkpoint enables activation checkpointing: the forward pass keeps
+	// only each block's input and the backward pass recomputes block
+	// internals (§3.2's "activation recomputation", the base ZeRO-R builds
+	// Pa on).
+	Checkpoint bool
+
+	// Store, when non-nil and Checkpoint is on, receives each block's
+	// checkpoint instead of it being held inline. ZeRO-R's Pa plugs in
+	// here: a store that partitions the checkpoint across the MP group and
+	// all-gathers it back on Get (§6.1), or offloads it to host memory
+	// (Pa+cpu).
+	Store CheckpointStore
+
+	// saved forward state for backward
+	fwd *forwardState
+}
+
+// forwardState holds the activations of one forward pass.
+type forwardState struct {
+	batch, seqLen int
+	ids           []int
+	targets       []int
+	x0            []float32 // embedding output
+	blocks        []blockActs
+	xL            []float32 // last block output
+	xhatF         []float32
+	invStdF       []float32
+	xf            []float32 // final layernorm output
+	probs         []float32 // softmax over vocab
+}
+
+// blockActs holds one block's intermediate activations. Under activation
+// checkpointing only x (the checkpoint) survives the forward pass.
+type blockActs struct {
+	x       []float32 // block input [M,h] — the activation checkpoint
+	xhat1   []float32
+	invStd1 []float32
+	a       []float32 // ln1 output
+	qkv     []float32 // [M,3h]
+	probs   []float32 // attention softmax [B*heads, T, T]
+	ctx     []float32 // attention context before proj [M,h]
+	x2      []float32 // x + attnOut
+	xhat2   []float32
+	invStd2 []float32
+	mlin    []float32 // ln2 output
+	h1      []float32 // MLP pre-GELU [M,ffn]
+	g       []float32 // GELU output [M,ffn]
+}
+
+// drop releases everything but the checkpoint.
+func (b *blockActs) drop() {
+	*b = blockActs{x: b.x}
+}
+
+// New creates a model with Gaussian-initialized weights (std 0.02, GPT-2
+// style; residual projections scaled by 1/√(2L)) and unit layernorm gains.
+func New(cfg Config, seed int64) *Model {
+	layout := BuildLayout(cfg)
+	m := &Model{
+		Cfg:    cfg,
+		Layout: layout,
+		Params: make([]float32, layout.Total),
+		Grads:  make([]float32, layout.Total),
+	}
+	r := rand.New(rand.NewSource(seed))
+	const std = 0.02
+	residStd := std / float32(math.Sqrt(2*float64(cfg.Layers)))
+	for _, seg := range layout.Segments {
+		p := m.Params[seg.Lo:seg.Hi]
+		switch {
+		case hasSuffix(seg.Name, ".gamma"):
+			tensor.Fill(p, 1)
+		case hasSuffix(seg.Name, ".wproj") || hasSuffix(seg.Name, ".w2"):
+			for i := range p {
+				p[i] = float32(r.NormFloat64()) * residStd
+			}
+		case hasSuffix(seg.Name, ".wqkv") || hasSuffix(seg.Name, ".w1") ||
+			seg.Name == "tok_emb" || seg.Name == "pos_emb":
+			for i := range p {
+				p[i] = float32(r.NormFloat64()) * std
+			}
+		}
+	}
+	return m
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// NumParams returns the flat parameter count.
+func (m *Model) NumParams() int { return m.Layout.Total }
+
+// ZeroGrads clears the gradient buffer.
+func (m *Model) ZeroGrads() { tensor.Zero(m.Grads) }
+
+// Loss runs the forward pass on ids/targets (length batch×seqLen each,
+// row-major) and returns the mean cross-entropy. State is retained for a
+// following Backward call.
+func (m *Model) Loss(ids, targets []int, batch int) float64 {
+	if len(ids) == 0 || len(ids)%batch != 0 || len(ids) != len(targets) {
+		panic("model: ids/targets must be batch x seqLen")
+	}
+	seqLen := len(ids) / batch
+	if seqLen > m.Cfg.Seq {
+		panic("model: sequence longer than configured maximum")
+	}
+	h := m.Cfg.Hidden
+	mRows := batch * seqLen
+	fs := &forwardState{
+		batch: batch, seqLen: seqLen,
+		ids: append([]int(nil), ids...), targets: append([]int(nil), targets...),
+		x0: make([]float32, mRows*h),
+	}
+
+	// Embedding: token + position.
+	tok := m.Params[m.Layout.tokEmb : m.Layout.tokEmb+m.Cfg.Vocab*h]
+	pos := m.Params[m.Layout.posEmb : m.Layout.posEmb+m.Cfg.Seq*h]
+	for b := 0; b < batch; b++ {
+		for t := 0; t < seqLen; t++ {
+			id := ids[b*seqLen+t]
+			if id < 0 || id >= m.Cfg.Vocab {
+				panic("model: token id out of range")
+			}
+			row := fs.x0[(b*seqLen+t)*h : (b*seqLen+t+1)*h]
+			copy(row, tok[id*h:(id+1)*h])
+			tensor.Add(row, pos[t*h:(t+1)*h])
+		}
+	}
+
+	// Blocks.
+	fs.blocks = make([]blockActs, m.Cfg.Layers)
+	x := fs.x0
+	for i := 0; i < m.Cfg.Layers; i++ {
+		acts := &fs.blocks[i]
+		acts.x = x
+		x = m.blockForward(i, acts, batch, seqLen)
+		if m.Checkpoint {
+			acts.drop()
+			if m.Store != nil {
+				m.Store.Put(i, acts.x)
+				acts.x = nil
+			}
+		}
+	}
+	fs.xL = x
+
+	// Final layernorm + tied-embedding head.
+	fs.xhatF = make([]float32, mRows*h)
+	fs.invStdF = make([]float32, mRows)
+	fs.xf = make([]float32, mRows*h)
+	gammaF := m.Params[m.Layout.lnF : m.Layout.lnF+h]
+	betaF := m.Params[m.Layout.lnF+h : m.Layout.lnF+2*h]
+	tensor.LayerNorm(fs.xf, fs.xhatF, fs.invStdF, x, gammaF, betaF, mRows, h, lnEps)
+
+	logits := make([]float32, mRows*m.Cfg.Vocab)
+	tensor.MatMulBT(logits, fs.xf, tok, mRows, h, m.Cfg.Vocab)
+	fs.probs = make([]float32, mRows*m.Cfg.Vocab)
+	loss := tensor.CrossEntropy(fs.probs, logits, targets, mRows, m.Cfg.Vocab)
+
+	m.fwd = fs
+	return loss
+}
+
+// Backward accumulates gradients of the last Loss call into Grads. Call
+// after Loss; panics otherwise.
+func (m *Model) Backward() {
+	fs := m.fwd
+	if fs == nil {
+		panic("model: Backward without a preceding Loss")
+	}
+	m.fwd = nil
+	h := m.Cfg.Hidden
+	mRows := fs.batch * fs.seqLen
+	v := m.Cfg.Vocab
+
+	tok := m.Params[m.Layout.tokEmb : m.Layout.tokEmb+v*h]
+	dTok := m.Grads[m.Layout.tokEmb : m.Layout.tokEmb+v*h]
+	dPos := m.Grads[m.Layout.posEmb : m.Layout.posEmb+m.Cfg.Seq*h]
+
+	// Head: dLogits, then through the tied embedding.
+	dLogits := make([]float32, mRows*v)
+	tensor.CrossEntropyBackward(dLogits, fs.probs, fs.targets, mRows, v)
+	dXf := make([]float32, mRows*h)
+	tensor.MatMul(dXf, dLogits, tok, mRows, v, h)
+	tensor.MatMulATAdd(dTok, dLogits, fs.xf, mRows, v, h)
+
+	// Final layernorm.
+	dX := make([]float32, mRows*h)
+	gammaF := m.Params[m.Layout.lnF : m.Layout.lnF+h]
+	dGammaF := m.Grads[m.Layout.lnF : m.Layout.lnF+h]
+	dBetaF := m.Grads[m.Layout.lnF+h : m.Layout.lnF+2*h]
+	tensor.LayerNormBackward(dX, dGammaF, dBetaF, dXf, fs.xhatF, fs.invStdF, gammaF, mRows, h)
+
+	// Blocks in reverse. Under checkpointing, recompute each block's
+	// internals from its saved input first.
+	for i := m.Cfg.Layers - 1; i >= 0; i-- {
+		acts := &fs.blocks[i]
+		if m.Checkpoint {
+			if m.Store != nil {
+				acts.x = m.Store.Get(i)
+			}
+			m.blockForward(i, acts, fs.batch, fs.seqLen) // rebuild internals
+		}
+		dX = m.blockBackward(i, acts, dX, fs.batch, fs.seqLen)
+	}
+
+	// Embedding gradients.
+	for b := 0; b < fs.batch; b++ {
+		for t := 0; t < fs.seqLen; t++ {
+			id := fs.ids[b*fs.seqLen+t]
+			row := dX[(b*fs.seqLen+t)*h : (b*fs.seqLen+t+1)*h]
+			tensor.Add(dTok[id*h:(id+1)*h], row)
+			tensor.Add(dPos[t*h:(t+1)*h], row)
+		}
+	}
+}
+
+const lnEps = 1e-5
+
+// CheckpointStore abstracts where activation checkpoints live between the
+// forward and backward passes. Put is called once per block during forward;
+// Get must return the identical values during backward (blocks are fetched
+// in reverse order).
+type CheckpointStore interface {
+	Put(layer int, x []float32)
+	Get(layer int) []float32
+}

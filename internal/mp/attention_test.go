@@ -1,0 +1,166 @@
+package mp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// runBlockOnWorld runs one forward+backward of a ParallelBlock on an
+// n-rank MP group over replicated input, returning rank 0's output, dx,
+// and the replicated layernorm gradients.
+func runBlockOnWorld(n, hidden, heads, batch, seq int, seed int64, x, dy []float32) (y, dx, dG1 []float32) {
+	w := comm.NewWorld(n)
+	var mu sync.Mutex
+	w.Run(func(c *comm.Comm) {
+		blk := NewParallelBlock(c, hidden, heads, seed)
+		out := blk.Forward(x, batch, seq)
+		din := blk.Backward(dy)
+		if c.Rank() == 0 {
+			mu.Lock()
+			y = out
+			dx = din
+			dG1 = append([]float32(nil), blk.DGamma1...)
+			mu.Unlock()
+		}
+	})
+	return y, dx, dG1
+}
+
+// The MP degree must be invisible: running the identical block on 1, 2 and
+// 4 ranks computes the same function and the same gradients (the MP=1 run
+// is the serial reference).
+func TestParallelBlockDegreeInvariance(t *testing.T) {
+	const hidden, heads, batch, seq = 16, 4, 2, 6
+	m := batch * seq
+	x := randInput(m, hidden, 21)
+	dy := randInput(m, hidden, 22)
+
+	refY, refDx, refDG1 := runBlockOnWorld(1, hidden, heads, batch, seq, 33, x, dy)
+	for _, n := range []int{2, 4} {
+		y, dx, dG1 := runBlockOnWorld(n, hidden, heads, batch, seq, 33, x, dy)
+		if d := tensor.MaxDiff(y, refY); d > 1e-4 {
+			t.Errorf("n=%d: forward differs from serial by %g", n, d)
+		}
+		if d := tensor.MaxDiff(dx, refDx); d > 1e-4 {
+			t.Errorf("n=%d: dx differs from serial by %g", n, d)
+		}
+		if d := tensor.MaxDiff(dG1, refDG1); d > 1e-4 {
+			t.Errorf("n=%d: layernorm grads differ from serial by %g", n, d)
+		}
+	}
+}
+
+// Gradient check of the serial (MP=1) block: validates the attention
+// backward math against finite differences through a scalar functional.
+func TestParallelBlockGradientCheck(t *testing.T) {
+	const hidden, heads, batch, seq = 8, 2, 1, 4
+	m := batch * seq
+	x := randInput(m, hidden, 31)
+	wvec := randInput(m, hidden, 32)
+
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		blk := NewParallelBlock(c, hidden, heads, 44)
+		loss := func() float64 {
+			y := blk.Forward(x, batch, seq)
+			return tensor.Dot(y, wvec)
+		}
+		_ = loss()
+		dx := blk.Backward(wvec)
+
+		const eps = 1e-3
+		for _, i := range []int{0, m * hidden / 2, m*hidden - 1} {
+			orig := x[i]
+			x[i] = orig + eps
+			lp := loss()
+			x[i] = orig - eps
+			lm := loss()
+			x[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if diff := math.Abs(float64(dx[i]) - numeric); diff > 2e-2 {
+				t.Errorf("dx[%d]: analytic %v numeric %v", i, dx[i], numeric)
+			}
+		}
+		// A weight probe in each shard type.
+		probes := []struct {
+			name string
+			w, g []float32
+		}{
+			{"attn.wqkv", blk.Attn.WQKV, blk.Attn.DWQKV},
+			{"attn.wproj", blk.Attn.WProj, blk.Attn.DWProj},
+			{"ln1.gamma", blk.Gamma1, blk.DGamma1},
+			{"mlp.fc1", blk.MLP.FC1.W, blk.MLP.FC1.DW},
+		}
+		for _, p := range probes {
+			i := len(p.w) / 2
+			orig := p.w[i]
+			p.w[i] = orig + eps
+			lp := loss()
+			p.w[i] = orig - eps
+			lm := loss()
+			p.w[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if diff := math.Abs(float64(p.g[i]) - numeric); diff > 3e-2 {
+				t.Errorf("%s grad[%d]: analytic %v numeric %v", p.name, i, p.g[i], numeric)
+			}
+		}
+	})
+}
+
+// Head sharding: each rank stores ~1/Nm of the attention weights.
+func TestAttentionWeightSharding(t *testing.T) {
+	const hidden, heads = 32, 8
+	for _, n := range []int{2, 4} {
+		w := comm.NewWorld(n)
+		var mu sync.Mutex
+		w.Run(func(c *comm.Comm) {
+			a := NewParallelAttention(c, hidden, heads, 1)
+			mu.Lock()
+			defer mu.Unlock()
+			if got, want := len(a.WQKV), hidden*3*hidden/n; got != want {
+				t.Errorf("n=%d rank %d: WQKV shard %d, want %d", n, c.Rank(), got, want)
+			}
+			if got, want := len(a.WProj), hidden*hidden/n; got != want {
+				t.Errorf("n=%d rank %d: WProj shard %d, want %d", n, c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+// The block performs exactly 2 forward + 2 backward all-reduces of
+// batch·seq·hidden elements — the §8 accounting (without recompute).
+func TestBlockAllReduceCount(t *testing.T) {
+	const n, hidden, heads, batch, seq = 4, 16, 4, 2, 8
+	m := batch * seq
+	x := randInput(m, hidden, 3)
+	dy := randInput(m, hidden, 4)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		blk := NewParallelBlock(c, hidden, heads, 5)
+		blk.Forward(x, batch, seq)
+		blk.Backward(dy)
+	})
+	// 4 all-reduces × 2·M·h·(N-1)/N per rank.
+	want := int64(4 * 2 * m * hidden * (n - 1) / n)
+	for r := 0; r < n; r++ {
+		if got := w.Stats(r).ElemsSent; got != want {
+			t.Errorf("rank %d sent %d elems, want %d (4 all-reduces of M·h)", r, got, want)
+		}
+	}
+}
+
+func TestAttentionValidation(t *testing.T) {
+	w := comm.NewWorld(2)
+	w.Run(func(c *comm.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: heads not divisible by MP degree")
+			}
+		}()
+		NewParallelAttention(c, 16, 3, 1)
+	})
+}

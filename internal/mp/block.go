@@ -1,0 +1,86 @@
+package mp
+
+import "repro/internal/tensor"
+
+// ParallelBlock is the complete Megatron transformer block: layernorm →
+// head-parallel attention → residual → layernorm → tensor-parallel MLP →
+// residual. Layernorm parameters are replicated across the MP group (as in
+// Megatron); their gradients come out identical on every rank because the
+// sub-layer outputs are replicated by the "g" all-reduces.
+type ParallelBlock struct {
+	Attn *ParallelAttention
+	MLP  *ParallelMLP
+
+	Gamma1, Beta1   []float32
+	Gamma2, Beta2   []float32
+	DGamma1, DBeta1 []float32
+	DGamma2, DBeta2 []float32
+
+	hidden int
+
+	// saved forward state
+	x, xhat1, invStd1  []float32
+	x2, xhat2, invStd2 []float32
+	m                  int
+}
+
+// NewParallelBlock builds this rank's shard of a transformer block.
+func NewParallelBlock(g Reducer, hidden, heads int, seed int64) *ParallelBlock {
+	b := &ParallelBlock{
+		Attn:   NewParallelAttention(g, hidden, heads, seed),
+		MLP:    NewParallelMLP(g, hidden, seed+10),
+		Gamma1: make([]float32, hidden), Beta1: make([]float32, hidden),
+		Gamma2: make([]float32, hidden), Beta2: make([]float32, hidden),
+		DGamma1: make([]float32, hidden), DBeta1: make([]float32, hidden),
+		DGamma2: make([]float32, hidden), DBeta2: make([]float32, hidden),
+		hidden: hidden,
+	}
+	tensor.Fill(b.Gamma1, 1)
+	tensor.Fill(b.Gamma2, 1)
+	return b
+}
+
+const blockLNEps = 1e-5
+
+// Forward computes the block over the replicated x[(batch·seq) × hidden].
+func (b *ParallelBlock) Forward(x []float32, batch, seq int) []float32 {
+	m := batch * seq
+	b.m = m
+	b.x = append(b.x[:0], x...)
+
+	a := make([]float32, m*b.hidden)
+	b.xhat1 = make([]float32, m*b.hidden)
+	b.invStd1 = make([]float32, m)
+	tensor.LayerNorm(a, b.xhat1, b.invStd1, x, b.Gamma1, b.Beta1, m, b.hidden, blockLNEps)
+
+	attnOut := b.Attn.Forward(a, batch, seq)
+	b.x2 = make([]float32, m*b.hidden)
+	copy(b.x2, x)
+	tensor.Add(b.x2, attnOut)
+
+	mlin := make([]float32, m*b.hidden)
+	b.xhat2 = make([]float32, m*b.hidden)
+	b.invStd2 = make([]float32, m)
+	tensor.LayerNorm(mlin, b.xhat2, b.invStd2, b.x2, b.Gamma2, b.Beta2, m, b.hidden, blockLNEps)
+
+	out := b.MLP.Forward(mlin, m)
+	tensor.Add(out, b.x2)
+	return out
+}
+
+// Backward consumes the replicated dOut and returns the replicated dx,
+// accumulating gradients in the shards and the replicated layernorms.
+func (b *ParallelBlock) Backward(dOut []float32) []float32 {
+	m := b.m
+	dX2 := make([]float32, m*b.hidden)
+	copy(dX2, dOut)
+
+	dMlin := b.MLP.Backward(dOut)
+	tensor.LayerNormBackward(dX2, b.DGamma2, b.DBeta2, dMlin, b.xhat2, b.invStd2, b.Gamma2, m, b.hidden)
+
+	dA := b.Attn.Backward(dX2)
+	dX := make([]float32, m*b.hidden)
+	copy(dX, dX2)
+	tensor.LayerNormBackward(dX, b.DGamma1, b.DBeta1, dA, b.xhat1, b.invStd1, b.Gamma1, m, b.hidden)
+	return dX
+}

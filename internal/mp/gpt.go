@@ -1,0 +1,255 @@
+package mp
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// CheckpointStore abstracts where activation checkpoints live between the
+// forward and backward passes (mirrors model.CheckpointStore so ZeRO-R's
+// stores plug into both model families).
+type CheckpointStore interface {
+	Put(layer int, x []float32)
+	Get(layer int) []float32
+}
+
+// GPT is a complete Megatron-parallel GPT-2-like language model: replicated
+// token/position embeddings and final layernorm around a stack of
+// ParallelBlocks whose attention heads and MLP shards are split across the
+// MP group. With the tied output head this is the model family of the
+// paper's evaluation, runnable at any MP degree — the "Megatron-LM"
+// baseline of §10.1 as an executable artifact, and the model a combined
+// ZeRO-DP × MP deployment trains (MP group inside the node, DP across).
+type GPT struct {
+	g      Reducer
+	Layers int
+	Hidden int
+	Heads  int
+	Vocab  int
+	Seq    int
+
+	// Replicated parameters (identical on all MP ranks, as in Megatron).
+	TokEmb, PosEmb   []float32
+	GammaF, BetaF    []float32
+	DTokEmb, DPosEmb []float32
+	DGammaF, DBetaF  []float32
+
+	Blocks []*ParallelBlock
+
+	// Checkpoint enables activation checkpointing: the forward pass keeps
+	// only each block's input and the backward pass re-runs the block
+	// forward — re-performing its two MP all-reduces, which is exactly the
+	// recompute traffic §8 counts ("two all-reduce for forward
+	// re-computation"). With checkpointing on, a block's measured MP
+	// traffic is the full 12·B·s·h of the paper's analysis.
+	Checkpoint bool
+	// Store routes checkpoints elsewhere when non-nil — ZeRO-R's Pa uses a
+	// store that partitions them across this same MP group (whose block
+	// inputs are replicated by construction, the precise §6.1 setting).
+	Store CheckpointStore
+
+	ckpts [][]float32 // inline checkpoint storage when Store is nil
+
+	// saved forward state
+	ids, targets  []int
+	batch, seqLen int
+	x0            []float32
+	xhatF         []float32
+	invStdF       []float32
+	xf            []float32
+	probs         []float32
+}
+
+// NewGPT builds this rank's shard of the model. All MP ranks must pass the
+// same configuration and seed.
+func NewGPT(g Reducer, layers, hidden, heads, vocab, seq int, seed int64) *GPT {
+	m := &GPT{
+		g: g, Layers: layers, Hidden: hidden, Heads: heads, Vocab: vocab, Seq: seq,
+		TokEmb: make([]float32, vocab*hidden), PosEmb: make([]float32, seq*hidden),
+		GammaF: make([]float32, hidden), BetaF: make([]float32, hidden),
+		DTokEmb: make([]float32, vocab*hidden), DPosEmb: make([]float32, seq*hidden),
+		DGammaF: make([]float32, hidden), DBetaF: make([]float32, hidden),
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := range m.TokEmb {
+		m.TokEmb[i] = float32(r.NormFloat64()) * 0.02
+	}
+	for i := range m.PosEmb {
+		m.PosEmb[i] = float32(r.NormFloat64()) * 0.02
+	}
+	tensor.Fill(m.GammaF, 1)
+	m.Blocks = make([]*ParallelBlock, layers)
+	for i := range m.Blocks {
+		m.Blocks[i] = NewParallelBlock(g, hidden, heads, seed+int64(100*(i+1)))
+	}
+	return m
+}
+
+// ZeroGrads clears every gradient buffer (replicated and sharded).
+func (m *GPT) ZeroGrads() {
+	tensor.Zero(m.DTokEmb)
+	tensor.Zero(m.DPosEmb)
+	tensor.Zero(m.DGammaF)
+	tensor.Zero(m.DBetaF)
+	for _, b := range m.Blocks {
+		tensor.Zero(b.Attn.DWQKV)
+		tensor.Zero(b.Attn.DBQKV)
+		tensor.Zero(b.Attn.DWProj)
+		tensor.Zero(b.Attn.DBProj)
+		tensor.Zero(b.MLP.FC1.DW)
+		tensor.Zero(b.MLP.FC1.DB)
+		tensor.Zero(b.MLP.FC2.DW)
+		tensor.Zero(b.MLP.FC2.DB)
+		tensor.Zero(b.DGamma1)
+		tensor.Zero(b.DBeta1)
+		tensor.Zero(b.DGamma2)
+		tensor.Zero(b.DBeta2)
+	}
+}
+
+// Loss runs the forward pass and returns the mean next-token cross-entropy.
+// ids/targets are batch×seqLen, row-major.
+func (m *GPT) Loss(ids, targets []int, batch int) float64 {
+	if len(ids) == 0 || len(ids)%batch != 0 || len(ids) != len(targets) {
+		panic("mp: ids/targets must be batch x seqLen")
+	}
+	seqLen := len(ids) / batch
+	if seqLen > m.Seq {
+		panic("mp: sequence longer than configured maximum")
+	}
+	h := m.Hidden
+	rows := batch * seqLen
+	m.ids = append(m.ids[:0], ids...)
+	m.targets = append(m.targets[:0], targets...)
+	m.batch, m.seqLen = batch, seqLen
+
+	m.x0 = make([]float32, rows*h)
+	for b := 0; b < batch; b++ {
+		for t := 0; t < seqLen; t++ {
+			id := ids[b*seqLen+t]
+			if id < 0 || id >= m.Vocab {
+				panic("mp: token id out of range")
+			}
+			row := m.x0[(b*seqLen+t)*h : (b*seqLen+t+1)*h]
+			copy(row, m.TokEmb[id*h:(id+1)*h])
+			tensor.Add(row, m.PosEmb[t*h:(t+1)*h])
+		}
+	}
+
+	x := m.x0
+	if m.Checkpoint {
+		m.ckpts = make([][]float32, m.Layers)
+	}
+	for i, blk := range m.Blocks {
+		if m.Checkpoint {
+			if m.Store != nil {
+				m.Store.Put(i, x)
+			} else {
+				m.ckpts[i] = append([]float32(nil), x...)
+			}
+		}
+		x = blk.Forward(x, batch, seqLen)
+	}
+
+	m.xhatF = make([]float32, rows*h)
+	m.invStdF = make([]float32, rows)
+	m.xf = make([]float32, rows*h)
+	tensor.LayerNorm(m.xf, m.xhatF, m.invStdF, x, m.GammaF, m.BetaF, rows, h, blockLNEps)
+
+	logits := make([]float32, rows*m.Vocab)
+	tensor.MatMulBT(logits, m.xf, m.TokEmb, rows, h, m.Vocab)
+	m.probs = make([]float32, rows*m.Vocab)
+	return tensor.CrossEntropy(m.probs, logits, targets, rows, m.Vocab)
+}
+
+// Backward accumulates gradients for the last Loss call. Sharded block
+// gradients land in the shards; replicated gradients (embeddings, final
+// norm, layernorms) come out identical on every MP rank.
+func (m *GPT) Backward() {
+	h := m.Hidden
+	rows := m.batch * m.seqLen
+
+	dLogits := make([]float32, rows*m.Vocab)
+	tensor.CrossEntropyBackward(dLogits, m.probs, m.targets, rows, m.Vocab)
+	dXf := make([]float32, rows*h)
+	tensor.MatMul(dXf, dLogits, m.TokEmb, rows, m.Vocab, h)
+	tensor.MatMulATAdd(m.DTokEmb, dLogits, m.xf, rows, m.Vocab, h)
+
+	dX := make([]float32, rows*h)
+	tensor.LayerNormBackward(dX, m.DGammaF, m.DBetaF, dXf, m.xhatF, m.invStdF, m.GammaF, rows, h)
+
+	for i := m.Layers - 1; i >= 0; i-- {
+		if m.Checkpoint {
+			// Re-materialize the checkpoint (all-gather under Pa) and
+			// recompute the block's internals, re-running its forward
+			// all-reduces.
+			x := m.ckpts[i]
+			if m.Store != nil {
+				x = m.Store.Get(i)
+			}
+			m.Blocks[i].Forward(x, m.batch, m.seqLen)
+		}
+		dX = m.Blocks[i].Backward(dX)
+	}
+
+	for b := 0; b < m.batch; b++ {
+		for t := 0; t < m.seqLen; t++ {
+			id := m.ids[b*m.seqLen+t]
+			row := dX[(b*m.seqLen+t)*h : (b*m.seqLen+t+1)*h]
+			tensor.Add(m.DTokEmb[id*h:(id+1)*h], row)
+			tensor.Add(m.DPosEmb[t*h:(t+1)*h], row)
+		}
+	}
+}
+
+// paramGrads returns (param, grad) slice pairs: replicated first, then this
+// rank's shards. SGDStep and the 2D trainers walk this list.
+func (m *GPT) paramGrads() (params, grads [][]float32) {
+	params = [][]float32{m.TokEmb, m.PosEmb, m.GammaF, m.BetaF}
+	grads = [][]float32{m.DTokEmb, m.DPosEmb, m.DGammaF, m.DBetaF}
+	for _, b := range m.Blocks {
+		params = append(params, b.Gamma1, b.Beta1, b.Gamma2, b.Beta2,
+			b.Attn.WQKV, b.Attn.BQKV, b.Attn.WProj, b.Attn.BProj,
+			b.MLP.FC1.W, b.MLP.FC1.B, b.MLP.FC2.W, b.MLP.FC2.B)
+		grads = append(grads, b.DGamma1, b.DBeta1, b.DGamma2, b.DBeta2,
+			b.Attn.DWQKV, b.Attn.DBQKV, b.Attn.DWProj, b.Attn.DBProj,
+			b.MLP.FC1.DW, b.MLP.FC1.DB, b.MLP.FC2.DW, b.MLP.FC2.DB)
+	}
+	return params, grads
+}
+
+// SGDStep applies plain SGD to every parameter this rank owns.
+func (m *GPT) SGDStep(lr float32) {
+	params, grads := m.paramGrads()
+	for i := range params {
+		tensor.AXPY(-lr, grads[i], params[i])
+	}
+}
+
+// ShardGrads returns this rank's sharded gradient buffers (the ones a DP
+// group must average; replicated gradients are already identical across MP
+// ranks but still need DP averaging — ReplicatedGrads lists those).
+func (m *GPT) ShardGrads() [][]float32 {
+	var out [][]float32
+	for _, b := range m.Blocks {
+		out = append(out, b.Attn.DWQKV, b.Attn.DBQKV, b.Attn.DWProj, b.Attn.DBProj,
+			b.MLP.FC1.DW, b.MLP.FC1.DB, b.MLP.FC2.DW, b.MLP.FC2.DB)
+	}
+	return out
+}
+
+// ReplicatedGrads returns the gradients of MP-replicated parameters.
+func (m *GPT) ReplicatedGrads() [][]float32 {
+	out := [][]float32{m.DTokEmb, m.DPosEmb, m.DGammaF, m.DBetaF}
+	for _, b := range m.Blocks {
+		out = append(out, b.DGamma1, b.DBeta1, b.DGamma2, b.DBeta2)
+	}
+	return out
+}
+
+// NumParams returns the total logical parameter count (unsharded).
+func (m *GPT) NumParams() int {
+	h := m.Hidden
+	return m.Vocab*h + m.Seq*h + 2*h + m.Layers*(12*h*h+13*h)
+}

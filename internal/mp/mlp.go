@@ -1,0 +1,64 @@
+package mp
+
+import (
+	"repro/internal/tensor"
+)
+
+// ParallelMLP is the Megatron transformer MLP: a column-parallel h→4h
+// layer, GELU, then a row-parallel 4h→h layer, with the GELU computed
+// entirely locally because the column shard of layer 1 aligns with the row
+// shard of layer 2 — the construction that lets Megatron run the whole MLP
+// with a single forward all-reduce ("g") and a single backward all-reduce
+// ("f").
+type ParallelMLP struct {
+	FC1 *ColumnLinear
+	FC2 *RowLinear
+
+	h1 []float32 // pre-GELU local activations
+	g  []float32 // GELU output
+	m  int
+}
+
+// NewParallelMLP builds the MP group's shard of an h→4h→h MLP.
+func NewParallelMLP(c Reducer, hidden int, seed int64) *ParallelMLP {
+	return &ParallelMLP{
+		FC1: NewColumnLinear(c, hidden, 4*hidden, seed),
+		FC2: NewRowLinear(c, 4*hidden, hidden, seed+1),
+	}
+}
+
+// Forward runs the parallel MLP on the replicated input x[M×h] and returns
+// the replicated output [M×h].
+func (p *ParallelMLP) Forward(x []float32, m int) []float32 {
+	p.m = m
+	p.h1 = p.FC1.Forward(x, m)
+	p.g = make([]float32, len(p.h1))
+	tensor.GELU(p.g, p.h1)
+	return p.FC2.Forward(p.g, m)
+}
+
+// Backward consumes the replicated dy[M×h] and returns the replicated
+// dx[M×h], accumulating weight gradients in both shards.
+func (p *ParallelMLP) Backward(dy []float32) []float32 {
+	dg := p.FC2.Backward(dy)
+	dh1 := make([]float32, len(dg))
+	tensor.GELUBackward(dh1, dg, p.h1)
+	return p.FC1.Backward(dh1)
+}
+
+// BlockAllReduceElems returns the §8 communication accounting for one
+// Megatron transformer block trained with activation recomputation: six
+// all-reduces (two forward, two recompute, two backward) of batch×seq×hidden
+// elements each, at 2×message-size volume per all-reduce — a total of
+// 12 × batch × seq × hidden elements on the wire per block.
+func BlockAllReduceElems(batch, seq, hidden int) int64 {
+	return 12 * int64(batch) * int64(seq) * int64(hidden)
+}
+
+// PaOverheadElems returns the additional traffic ZeRO-R's Pa adds per
+// block: one all-gather of the block's input checkpoint, volume equal to
+// the message size (§8) — batch×seq×hidden elements, i.e. 1/12 of
+// BlockAllReduceElems.
+func PaOverheadElems(batch, seq, hidden int) int64 {
+	return int64(batch) * int64(seq) * int64(hidden)
+}

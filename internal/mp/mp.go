@@ -1,0 +1,166 @@
+// Package mp implements Megatron-LM-style tensor model parallelism — the
+// paper's baseline system (§10.1) and the substrate ZeRO-R's Pa integrates
+// with. A linear layer is split across the MP group either by output
+// columns (ColumnLinear) or input rows (RowLinear); the conjugate
+// "f"/"g" operators place one all-reduce in the forward pass (g, after a
+// row-parallel layer) and one in the backward pass (f, before a
+// column-parallel layer). A transformer block composes two such pairs —
+// attention and MLP — giving the 2-all-reduces-forward,
+// 2-backward, 2-recompute pattern whose volume §8 counts as
+// 12 × batch × seq × hidden per block.
+package mp
+
+import (
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// Reducer is the communication surface the parallel layers need: an
+// all-reduce over the model-parallel group. Both *comm.Comm (whole world as
+// one MP group) and *comm.Group (an MP slice of a 2D MP x DP layout)
+// implement it.
+type Reducer interface {
+	AllReduce(x []float32)
+	Rank() int
+	Size() int
+}
+
+// ColumnLinear is a linear layer with its weight matrix split by output
+// columns across the MP group: rank r holds W[:, cols_r]. The forward pass
+// needs the full input (replicated); the backward pass all-reduces the
+// input gradient (the "f" operator).
+type ColumnLinear struct {
+	c        Reducer
+	in       int
+	outTotal int
+	cols     comm.Range // owned output columns
+
+	W  []float32 // [in × ownCols]
+	B  []float32 // [ownCols]
+	DW []float32
+	DB []float32
+
+	x []float32 // saved input for backward
+	m int
+}
+
+// NewColumnLinear builds rank c.Rank()'s shard of an in×out layer. The full
+// weight matrix is generated deterministically from seed on every rank and
+// sliced, so an MP group reconstructs exactly the same layer a serial
+// process would build.
+func NewColumnLinear(c Reducer, in, out int, seed int64) *ColumnLinear {
+	parts := comm.Partition(out, c.Size())
+	cols := parts[c.Rank()]
+	l := &ColumnLinear{
+		c: c, in: in, outTotal: out, cols: cols,
+		W:  make([]float32, in*cols.Len()),
+		B:  make([]float32, cols.Len()),
+		DW: make([]float32, in*cols.Len()),
+		DB: make([]float32, cols.Len()),
+	}
+	full := fullWeight(in, out, seed)
+	for i := 0; i < in; i++ {
+		copy(l.W[i*cols.Len():(i+1)*cols.Len()], full[i*out+cols.Lo:i*out+cols.Hi])
+	}
+	return l
+}
+
+// OutLocal returns the owned output width.
+func (l *ColumnLinear) OutLocal() int { return l.cols.Len() }
+
+// Forward computes y_local[M × ownCols] = x·W_r + b_r. x must be the full
+// (replicated) input.
+func (l *ColumnLinear) Forward(x []float32, m int) []float32 {
+	l.x = append(l.x[:0], x...)
+	l.m = m
+	y := make([]float32, m*l.cols.Len())
+	tensor.MatMul(y, x, l.W, m, l.in, l.cols.Len())
+	tensor.AddBiasRows(y, l.B, m, l.cols.Len())
+	return y
+}
+
+// Backward consumes dy_local and returns the full input gradient,
+// all-reduced across the group (each rank contributes the part flowing
+// through its columns — the "f" operator's backward all-reduce).
+func (l *ColumnLinear) Backward(dy []float32) []float32 {
+	oc := l.cols.Len()
+	tensor.MatMulATAdd(l.DW, l.x, dy, l.m, l.in, oc)
+	tensor.BiasGradRows(l.DB, dy, l.m, oc)
+	dx := make([]float32, l.m*l.in)
+	tensor.MatMulBT(dx, dy, l.W, l.m, oc, l.in)
+	l.c.AllReduce(dx)
+	return dx
+}
+
+// RowLinear is a linear layer split by input rows: rank r holds W[rows_r, :]
+// and consumes only its local slice of the input. The forward pass
+// all-reduces the partial outputs (the "g" operator); the backward pass is
+// communication-free.
+type RowLinear struct {
+	c    Reducer
+	inT  int
+	out  int
+	rows comm.Range
+
+	W  []float32 // [ownRows × out]
+	B  []float32 // [out] (replicated; added once after the all-reduce)
+	DW []float32
+	DB []float32
+
+	x []float32
+	m int
+}
+
+// NewRowLinear builds rank c.Rank()'s shard of an in×out row-parallel
+// layer from the same deterministic full matrix as a serial build.
+func NewRowLinear(c Reducer, in, out int, seed int64) *RowLinear {
+	parts := comm.Partition(in, c.Size())
+	rows := parts[c.Rank()]
+	l := &RowLinear{
+		c: c, inT: in, out: out, rows: rows,
+		W:  make([]float32, rows.Len()*out),
+		B:  make([]float32, out),
+		DW: make([]float32, rows.Len()*out),
+		DB: make([]float32, out),
+	}
+	full := fullWeight(in, out, seed)
+	copy(l.W, full[rows.Lo*out:rows.Hi*out])
+	return l
+}
+
+// InLocal returns the owned input width.
+func (l *RowLinear) InLocal() int { return l.rows.Len() }
+
+// Forward computes the full output: y = all-reduce_r(x_r·W_r) + b. xLocal
+// is this rank's [M × ownRows] input slice.
+func (l *RowLinear) Forward(xLocal []float32, m int) []float32 {
+	l.x = append(l.x[:0], xLocal...)
+	l.m = m
+	y := make([]float32, m*l.out)
+	tensor.MatMul(y, xLocal, l.W, m, l.rows.Len(), l.out)
+	l.c.AllReduce(y) // the "g" operator
+	tensor.AddBiasRows(y, l.B, m, l.out)
+	return y
+}
+
+// Backward consumes the full dy and returns the local input-slice gradient;
+// no communication (g's backward is the identity).
+func (l *RowLinear) Backward(dy []float32) []float32 {
+	tensor.MatMulATAdd(l.DW, l.x, dy, l.m, l.rows.Len(), l.out)
+	tensor.BiasGradRows(l.DB, dy, l.m, l.out)
+	dx := make([]float32, l.m*l.rows.Len())
+	tensor.MatMulBT(dx, dy, l.W, l.m, l.out, l.rows.Len())
+	return dx
+}
+
+// fullWeight deterministically generates the unsharded in×out matrix.
+func fullWeight(in, out int, seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	w := make([]float32, in*out)
+	for i := range w {
+		w[i] = float32(r.NormFloat64()) * 0.05
+	}
+	return w
+}

@@ -1,0 +1,170 @@
+package mp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// serialMLP is the unsharded reference: y = GELU(x·W1+b1)·W2+b2 built from
+// the same deterministic full weights the parallel layers slice.
+type serialMLP struct {
+	w1, b1, w2, b2 []float32
+	hidden         int
+	h1, g          []float32
+	x              []float32
+	m              int
+}
+
+func newSerialMLP(hidden int, seed int64) *serialMLP {
+	return &serialMLP{
+		hidden: hidden,
+		w1:     fullWeight(hidden, 4*hidden, seed),
+		b1:     make([]float32, 4*hidden),
+		w2:     fullWeight(4*hidden, hidden, seed+1),
+		b2:     make([]float32, hidden),
+	}
+}
+
+func (s *serialMLP) forward(x []float32, m int) []float32 {
+	s.x = append([]float32(nil), x...)
+	s.m = m
+	ffn := 4 * s.hidden
+	s.h1 = make([]float32, m*ffn)
+	tensor.MatMul(s.h1, x, s.w1, m, s.hidden, ffn)
+	s.g = make([]float32, m*ffn)
+	tensor.GELU(s.g, s.h1)
+	y := make([]float32, m*s.hidden)
+	tensor.MatMul(y, s.g, s.w2, m, ffn, s.hidden)
+	return y
+}
+
+func (s *serialMLP) backward(dy []float32) (dx, dW1, dW2 []float32) {
+	ffn := 4 * s.hidden
+	dW2 = make([]float32, ffn*s.hidden)
+	tensor.MatMulATAdd(dW2, s.g, dy, s.m, ffn, s.hidden)
+	dg := make([]float32, s.m*ffn)
+	tensor.MatMulBT(dg, dy, s.w2, s.m, s.hidden, ffn)
+	dh1 := make([]float32, s.m*ffn)
+	tensor.GELUBackward(dh1, dg, s.h1)
+	dW1 = make([]float32, s.hidden*ffn)
+	tensor.MatMulATAdd(dW1, s.x, dh1, s.m, s.hidden, ffn)
+	dx = make([]float32, s.m*s.hidden)
+	tensor.MatMulBT(dx, dh1, s.w1, s.m, ffn, s.hidden)
+	return dx, dW1, dW2
+}
+
+func randInput(m, h int, seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float32, m*h)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	return x
+}
+
+// The parallel MLP must compute the same function as the serial reference
+// for every MP degree, including degrees that do not divide 4h evenly.
+func TestParallelMLPMatchesSerial(t *testing.T) {
+	const hidden, m = 12, 6
+	x := randInput(m, hidden, 1)
+	dy := randInput(m, hidden, 2)
+
+	ref := newSerialMLP(hidden, 77)
+	wantY := ref.forward(x, m)
+	wantDx, wantDW1, wantDW2 := ref.backward(dy)
+
+	for _, n := range []int{1, 2, 3, 4} {
+		w := comm.NewWorld(n)
+		var mu sync.Mutex
+		dw1 := make([]float32, hidden*4*hidden)
+		dw2 := make([]float32, 4*hidden*hidden)
+		w.Run(func(c *comm.Comm) {
+			mlp := NewParallelMLP(c, hidden, 77)
+			y := mlp.Forward(x, m)
+			if d := tensor.MaxDiff(y, wantY); d > 1e-4 {
+				mu.Lock()
+				t.Errorf("n=%d rank %d: forward differs by %g", n, c.Rank(), d)
+				mu.Unlock()
+			}
+			dx := mlp.Backward(dy)
+			if d := tensor.MaxDiff(dx, wantDx); d > 1e-4 {
+				mu.Lock()
+				t.Errorf("n=%d rank %d: dx differs by %g", n, c.Rank(), d)
+				mu.Unlock()
+			}
+			// Assemble the sharded weight grads into full matrices.
+			mu.Lock()
+			cols := mlp.FC1.cols
+			for i := 0; i < hidden; i++ {
+				copy(dw1[i*4*hidden+cols.Lo:i*4*hidden+cols.Hi], mlp.FC1.DW[i*cols.Len():(i+1)*cols.Len()])
+			}
+			rows := mlp.FC2.rows
+			copy(dw2[rows.Lo*hidden:rows.Hi*hidden], mlp.FC2.DW)
+			mu.Unlock()
+		})
+		if d := tensor.MaxDiff(dw1, wantDW1); d > 1e-4 {
+			t.Errorf("n=%d: assembled dW1 differs by %g", n, d)
+		}
+		if d := tensor.MaxDiff(dw2, wantDW2); d > 1e-4 {
+			t.Errorf("n=%d: assembled dW2 differs by %g", n, d)
+		}
+	}
+}
+
+// Each rank stores only its shard: 1/Nm of each weight matrix (±1 row/col).
+func TestWeightSharding(t *testing.T) {
+	const hidden = 16
+	for _, n := range []int{2, 4} {
+		w := comm.NewWorld(n)
+		var mu sync.Mutex
+		w.Run(func(c *comm.Comm) {
+			mlp := NewParallelMLP(c, hidden, 3)
+			full := hidden * 4 * hidden
+			mu.Lock()
+			defer mu.Unlock()
+			if got := len(mlp.FC1.W); got > full/n+hidden {
+				t.Errorf("n=%d rank %d: FC1 shard %d elems, want ≈%d", n, c.Rank(), got, full/n)
+			}
+			if got := len(mlp.FC2.W); got > full/n+hidden {
+				t.Errorf("n=%d rank %d: FC2 shard %d elems, want ≈%d", n, c.Rank(), got, full/n)
+			}
+		})
+	}
+}
+
+// MP communication pattern: one all-reduce forward (g) + one backward (f),
+// each of M×h elements → per-rank volume 2·2·M·h·(N-1)/N per MLP
+// fwd+bwd pair.
+func TestMPCommVolume(t *testing.T) {
+	const hidden, m, n = 8, 4, 4
+	x := randInput(m, hidden, 9)
+	dy := randInput(m, hidden, 10)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		mlp := NewParallelMLP(c, hidden, 5)
+		mlp.Forward(x, m)
+		mlp.Backward(dy)
+	})
+	want := int64(2 * 2 * m * hidden * (n - 1) / n)
+	for r := 0; r < n; r++ {
+		if got := w.Stats(r).ElemsSent; got != want {
+			t.Errorf("rank %d sent %d elems, want %d", r, got, want)
+		}
+	}
+}
+
+// §8's headline inequality: Pa's extra all-gather traffic is under one
+// tenth of the Megatron block traffic, for any shape.
+func TestPaOverheadRatio(t *testing.T) {
+	for _, shape := range [][3]int{{16, 1024, 8192}, {2, 512, 1024}, {64, 2048, 16384}} {
+		mpVol := BlockAllReduceElems(shape[0], shape[1], shape[2])
+		paVol := PaOverheadElems(shape[0], shape[1], shape[2])
+		if ratio := float64(paVol) / float64(mpVol); ratio > 0.1 {
+			t.Errorf("shape %v: Pa overhead ratio %.3f, want ≤ 0.1", shape, ratio)
+		}
+	}
+}

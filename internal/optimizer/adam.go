@@ -1,0 +1,156 @@
+// Package optimizer implements the training optimizers the paper's memory
+// analysis is built around: Adam with fp32 state (the K=12 memory
+// multiplier of §3.1), momentum SGD, and the mixed-precision machinery
+// (fp32 master weights, dynamic loss scaling) whose state ZeRO partitions.
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// AdamK is the mixed-precision Adam memory multiplier: per parameter, the
+// optimizer holds an fp32 master copy (4 bytes), fp32 momentum (4) and fp32
+// variance (4) — K = 12 bytes on top of the 2-byte fp16 parameter and
+// 2-byte fp16 gradient (§3.1).
+const AdamK = 12
+
+// Adam is the Adam optimizer over a flat parameter slice (or any shard of
+// one — ZeRO ranks instantiate Adam over just their partition, which is
+// exactly how Pos shrinks optimizer memory by Nd).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	m, v []float32 // first/second moment estimates
+	t    int       // step count for bias correction
+}
+
+// NewAdam creates an Adam instance managing n parameters with the standard
+// hyperparameters (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(n int, lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make([]float32, n),
+		v:     make([]float32, n),
+	}
+}
+
+// Len returns the number of parameters this instance manages.
+func (a *Adam) Len() int { return len(a.m) }
+
+// StateBytes returns the optimizer-state footprint in bytes (fp32 momentum
+// + variance; the fp32 master copy is accounted by the caller).
+func (a *Adam) StateBytes() int64 { return int64(len(a.m)) * 2 * tensor.BytesPerFloat32 }
+
+// Step applies one Adam update to params given grads. Both slices must have
+// length Len(). The update is elementwise and deterministic, so a
+// partitioned step over shards composes to exactly the full-buffer step —
+// the invariant ZeRO-DP relies on.
+func (a *Adam) Step(params, grads []float32) {
+	if len(params) != len(a.m) || len(grads) != len(a.m) {
+		panic("optimizer: Adam.Step length mismatch")
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	b1 := float32(a.Beta1)
+	b2 := float32(a.Beta2)
+	for i, g := range grads {
+		if a.WeightDecay != 0 {
+			g += float32(a.WeightDecay) * params[i]
+		}
+		a.m[i] = b1*a.m[i] + (1-b1)*g
+		a.v[i] = b2*a.v[i] + (1-b2)*g*g
+		mhat := float64(a.m[i]) / bc1
+		vhat := float64(a.v[i]) / bc2
+		params[i] -= float32(a.LR * mhat / (math.Sqrt(vhat) + a.Eps))
+	}
+}
+
+// Steps returns the number of updates applied so far.
+func (a *Adam) Steps() int { return a.t }
+
+// State exposes the live momentum and variance buffers, in parameter
+// order. Checkpointing gathers these across ZeRO shards; mutate only when
+// restoring.
+func (a *Adam) State() (m, v []float32) { return a.m, a.v }
+
+// Restore overwrites the optimizer state (momentum, variance, step count),
+// e.g. when resuming from a checkpoint. Slice lengths must match Len().
+func (a *Adam) Restore(m, v []float32, steps int) {
+	if len(m) != len(a.m) || len(v) != len(a.v) {
+		panic("optimizer: Adam.Restore length mismatch")
+	}
+	copy(a.m, m)
+	copy(a.v, v)
+	a.t = steps
+}
+
+// GlobalGradNorm computes the L2 norm of a gradient vector from
+// partition-wise partial sums accumulated in a fixed order. Both the
+// replicated (DDP) and partitioned (ZeRO) engines compute the norm through
+// this exact arithmetic — float64 accumulation per partition, float32
+// partials summed in partition order — so gradient clipping stays bitwise
+// identical across them.
+func GlobalGradNorm(partials []float32) float64 {
+	var total float32
+	for _, p := range partials {
+		total += p
+	}
+	return math.Sqrt(float64(total))
+}
+
+// PartialSquaredSum returns the float32 partial Σg² of one partition.
+func PartialSquaredSum(g []float32) float32 {
+	var s float64
+	for _, v := range g {
+		s += float64(v) * float64(v)
+	}
+	return float32(s)
+}
+
+// ClipScale returns the multiplier that caps the gradient norm at maxNorm
+// (1 when already within bounds).
+func ClipScale(norm, maxNorm float64) float32 {
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return 1
+	}
+	return float32(maxNorm / norm)
+}
+
+// SGD is momentum SGD, the low-memory baseline the paper contrasts with
+// adaptive optimizers (§2.3).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	buf      []float32
+}
+
+// NewSGD creates a momentum-SGD instance managing n parameters.
+func NewSGD(n int, lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, buf: make([]float32, n)}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params, grads []float32) {
+	if len(params) != len(s.buf) || len(grads) != len(s.buf) {
+		panic("optimizer: SGD.Step length mismatch")
+	}
+	mu := float32(s.Momentum)
+	lr := float32(s.LR)
+	for i, g := range grads {
+		s.buf[i] = mu*s.buf[i] + g
+		params[i] -= lr * s.buf[i]
+	}
+}
+
+// StateBytes returns the SGD state footprint (one fp32 buffer).
+func (s *SGD) StateBytes() int64 { return int64(len(s.buf)) * tensor.BytesPerFloat32 }

@@ -1,0 +1,95 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LAMB is the layer-wise adaptive large-batch optimizer (You et al., cited
+// by the paper as [22]). It keeps the same 2×fp32 state as Adam but adds a
+// per-block trust ratio ‖w‖/‖update‖, making very large global batches
+// trainable — exactly the "more complex and memory hungry optimizers" §2.3
+// says ZeRO makes practical, since its state partitions the same way
+// Adam's does.
+type LAMB struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	m, v []float32
+	t    int
+}
+
+// NewLAMB creates a LAMB instance managing n parameters.
+func NewLAMB(n int, lr float64) *LAMB {
+	return &LAMB{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-6,
+		m:     make([]float32, n),
+		v:     make([]float32, n),
+	}
+}
+
+// Len returns the number of parameters this instance manages.
+func (l *LAMB) Len() int { return len(l.m) }
+
+// StateBytes returns the optimizer-state footprint (identical to Adam's).
+func (l *LAMB) StateBytes() int64 { return int64(len(l.m)) * 2 * tensor.BytesPerFloat32 }
+
+// Step applies one LAMB update, treating the whole managed slice as one
+// trust-ratio block. ZeRO shards call StepBlocks with per-tensor segments
+// to keep layer-wise semantics.
+func (l *LAMB) Step(params, grads []float32) {
+	l.StepBlocks(params, grads, []int{0, len(params)})
+}
+
+// StepBlocks applies one LAMB update with trust ratios computed per block;
+// bounds is a sorted offset list (len = #blocks+1) delimiting the blocks
+// (typically tensor boundaries from model.Layout clipped to the shard).
+func (l *LAMB) StepBlocks(params, grads []float32, bounds []int) {
+	if len(params) != len(l.m) || len(grads) != len(l.m) {
+		panic("optimizer: LAMB.StepBlocks length mismatch")
+	}
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != len(params) {
+		panic("optimizer: LAMB.StepBlocks bounds must cover the slice")
+	}
+	l.t++
+	bc1 := 1 - math.Pow(l.Beta1, float64(l.t))
+	bc2 := 1 - math.Pow(l.Beta2, float64(l.t))
+	b1 := float32(l.Beta1)
+	b2 := float32(l.Beta2)
+
+	update := make([]float32, len(params))
+	for i, g := range grads {
+		l.m[i] = b1*l.m[i] + (1-b1)*g
+		l.v[i] = b2*l.v[i] + (1-b2)*g*g
+		mhat := float64(l.m[i]) / bc1
+		vhat := float64(l.v[i]) / bc2
+		u := mhat/(math.Sqrt(vhat)+l.Eps) + l.WeightDecay*float64(params[i])
+		update[i] = float32(u)
+	}
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]
+		if lo == hi {
+			continue
+		}
+		wNorm := tensor.Norm2(params[lo:hi])
+		uNorm := tensor.Norm2(update[lo:hi])
+		trust := 1.0
+		if wNorm > 0 && uNorm > 0 {
+			trust = wNorm / uNorm
+		}
+		scale := float32(l.LR * trust)
+		for i := lo; i < hi; i++ {
+			params[i] -= scale * update[i]
+		}
+	}
+}
+
+// Steps returns the number of updates applied so far.
+func (l *LAMB) Steps() int { return l.t }

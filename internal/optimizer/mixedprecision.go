@@ -1,0 +1,103 @@
+package optimizer
+
+import (
+	"repro/internal/tensor"
+)
+
+// LossScaler implements dynamic loss scaling for fp16 training: the loss is
+// multiplied by Scale before backward so small gradients survive fp16
+// underflow; gradients are unscaled before the optimizer step; on overflow
+// (Inf/NaN gradients) the step is skipped and the scale backed off, and
+// after GrowthInterval clean steps the scale doubles.
+type LossScaler struct {
+	Scale          float64
+	GrowthFactor   float64
+	BackoffFactor  float64
+	GrowthInterval int
+
+	goodSteps int
+	skips     int
+}
+
+// NewLossScaler returns a scaler with the conventional defaults
+// (initial 2^16, ×2 growth every 1000 clean steps, ×0.5 backoff).
+func NewLossScaler() *LossScaler {
+	return &LossScaler{Scale: 65536, GrowthFactor: 2, BackoffFactor: 0.5, GrowthInterval: 1000}
+}
+
+// Update records the overflow status of a step and adjusts the scale.
+// It returns true when the step must be skipped.
+func (s *LossScaler) Update(overflow bool) (skip bool) {
+	if overflow {
+		s.Scale *= s.BackoffFactor
+		if s.Scale < 1 {
+			s.Scale = 1
+		}
+		s.goodSteps = 0
+		s.skips++
+		return true
+	}
+	s.goodSteps++
+	if s.goodSteps >= s.GrowthInterval {
+		s.Scale *= s.GrowthFactor
+		s.goodSteps = 0
+	}
+	return false
+}
+
+// Skips returns the number of overflow-skipped steps so far.
+func (s *LossScaler) Skips() int { return s.skips }
+
+// MixedPrecision couples an fp32 master parameter shard with its fp16
+// mirror, reproducing the §3.1 memory layout: 2Ψ fp16 parameters + 2Ψ fp16
+// gradients live on every rank (or shard), while the 4Ψ master + 8Ψ Adam
+// state are what ZeRO partitions.
+type MixedPrecision struct {
+	Master []float32         // fp32 master weights (authoritative)
+	Half   tensor.HalfBuffer // fp16 working copy used by forward/backward
+	Opt    *Adam
+	Scaler *LossScaler
+}
+
+// NewMixedPrecision wraps n parameters.
+func NewMixedPrecision(n int, lr float64) *MixedPrecision {
+	return &MixedPrecision{
+		Master: make([]float32, n),
+		Half:   tensor.NewHalfBuffer(n),
+		Opt:    NewAdam(n, lr),
+		Scaler: NewLossScaler(),
+	}
+}
+
+// SetMaster initializes the master weights and refreshes the fp16 mirror.
+func (mp *MixedPrecision) SetMaster(w []float32) {
+	tensor.Copy(mp.Master, w)
+	mp.Half.FromFloats(mp.Master)
+}
+
+// Step unscales grads (which were produced from a loss multiplied by
+// Scaler.Scale), checks for overflow, and either applies Adam to the master
+// weights and refreshes the fp16 mirror, or skips the step. Returns whether
+// the step was applied.
+func (mp *MixedPrecision) Step(scaledGrads []float32) bool {
+	inv := float32(1 / mp.Scaler.Scale)
+	unscaled := make([]float32, len(scaledGrads))
+	for i, g := range scaledGrads {
+		unscaled[i] = g * inv
+	}
+	overflow := tensor.HasNaNOrInf(unscaled)
+	if mp.Scaler.Update(overflow) {
+		return false
+	}
+	mp.Opt.Step(mp.Master, unscaled)
+	mp.Half.FromFloats(mp.Master)
+	return true
+}
+
+// ModelStateBytes returns this shard's model-state footprint: fp16 params +
+// fp16 grads + K·fp32 state, i.e. (2+2+K) bytes per parameter — the 16Ψ of
+// §3.1 when unpartitioned.
+func (mp *MixedPrecision) ModelStateBytes() int64 {
+	n := int64(len(mp.Master))
+	return n*(tensor.BytesPerHalf+tensor.BytesPerHalf) + n*AdamK
+}

@@ -1,0 +1,128 @@
+package perfmodel
+
+import "fmt"
+
+// ZeROConfig selects which ZeRO optimizations are active for a run, mapping
+// onto the paper's Table 3 configurations.
+type ZeROConfig struct {
+	Stage int  // 0 = baseline replicated DP, 1 = Pos, 2 = Pos+g, 3 = Pos+g+p
+	Pa    bool // partitioned activation checkpointing (needs MP > 1)
+	PaCPU bool // offload partitioned checkpoints to CPU
+}
+
+// Config is one training run: a model shape and its parallelization.
+type Config struct {
+	Shape      Shape
+	MP         int // model-parallel degree (Megatron-style, within the replica)
+	DP         int // data-parallel degree
+	MicroBatch int // per-replica batch size ("Batch size" column of Tables 5-10)
+	ZeRO       ZeROConfig
+}
+
+// GPUs returns the total device count of the run.
+func (c Config) GPUs() int { return c.MP * c.DP }
+
+// TotalBatch returns the global batch size.
+func (c Config) TotalBatch() int { return c.DP * c.MicroBatch }
+
+// Breakdown is the estimated per-step time decomposition, in seconds, plus
+// the derived throughput.
+type Breakdown struct {
+	ComputeSec   float64 // GEMM + elementwise work at modeled efficiency
+	MPCommSec    float64 // Megatron all-reduces (+ Pa all-gathers), on the critical path
+	DPCommSec    float64 // total gradient/parameter collective time (before overlap)
+	ExposedDPSec float64 // DP communication not hidden behind compute
+	OffloadSec   float64 // exposed Pa+cpu PCIe time
+	StepSec      float64 // ComputeSec + MPCommSec + ExposedDPSec + OffloadSec
+	FlopsPerGPU  float64
+	TFlopsPerGPU float64
+}
+
+// Overlap windows: fraction of compute time available to hide DP collectives
+// (gradient buckets overlap with backward, stage-3 all-gathers with
+// forward/backward) and Pa+cpu transfers (hidden behind the large arithmetic
+// intensity per §4.2.1(b), but not fully at small batch).
+const (
+	dpOverlapWindow      = 0.5
+	offloadOverlapWindow = 0.25
+	// paCPUComputeDrag models host-DMA contention and synchronization
+	// overhead of CPU offload as a fractional compute slowdown. The paper
+	// observes C5 (Pa+cpu) losing throughput versus C4 even when the PCIe
+	// bytes themselves are hidden by arithmetic intensity (Figure 8, 60B).
+	paCPUComputeDrag = 0.10
+)
+
+// fp16Bytes is the wire width of gradients, parameters and activations.
+const fp16Bytes = 2
+
+// Estimate models one training step of cfg on hw.
+func Estimate(hw Hardware, cfg Config) Breakdown {
+	if cfg.MP < 1 || cfg.DP < 1 || cfg.MicroBatch < 1 {
+		panic(fmt.Sprintf("perfmodel: invalid config %+v", cfg))
+	}
+	var b Breakdown
+
+	// Compute.
+	b.FlopsPerGPU = cfg.Shape.FlopsPerStep(cfg.MicroBatch) / float64(cfg.MP)
+	eff := hw.Efficiency(cfg.Shape.Hidden, cfg.MP, cfg.MicroBatch, cfg.Shape.Seq)
+	b.ComputeSec = b.FlopsPerGPU / (hw.PeakFlopsPerGPU * eff)
+
+	// Megatron MP traffic: 12·B·s·h elements per transformer block (§8),
+	// all on the critical path between dependent layers.
+	if cfg.MP > 1 {
+		perBlockElems := 12 * float64(cfg.MicroBatch) * float64(cfg.Shape.Seq) * float64(cfg.Shape.Hidden)
+		mpBytes := perBlockElems * float64(cfg.Shape.Layers) * fp16Bytes
+		if cfg.ZeRO.Pa {
+			// One extra all-gather per block of the partitioned checkpoint:
+			// B·s·h elements, i.e. <10% of the 12·B·s·h baseline (§8).
+			mpBytes += float64(cfg.MicroBatch) * float64(cfg.Shape.Seq) * float64(cfg.Shape.Hidden) *
+				float64(cfg.Shape.Layers) * fp16Bytes
+		}
+		b.MPCommSec = mpBytes / hw.MPBandwidth(cfg.MP)
+	}
+
+	// DP traffic per §7.2: 2Ψ elements per step for stages 0-2 (all-reduce,
+	// or reduce-scatter + all-gather), 3Ψ for stage 3. Ring collectives
+	// move volume·(N-1)/N per rank. Ψ here is the per-MP-slice share.
+	if cfg.DP > 1 {
+		psiShard := float64(cfg.Shape.Params()) / float64(cfg.MP)
+		volFactor := 2.0
+		if cfg.ZeRO.Stage == 3 {
+			volFactor = 3.0
+		}
+		ringFrac := float64(cfg.DP-1) / float64(cfg.DP)
+		dpBytes := volFactor * psiShard * ringFrac * fp16Bytes
+		b.DPCommSec = dpBytes / hw.DPBandwidth(cfg.MP, cfg.DP)
+		b.ExposedDPSec = b.DPCommSec - dpOverlapWindow*b.ComputeSec
+		if b.ExposedDPSec < 0 {
+			b.ExposedDPSec = 0
+		}
+	}
+
+	// Pa+cpu: each checkpoint crosses PCIe twice (out after forward, back
+	// before recomputation), "2x added data movement ... compared to Pa"
+	// (§8).
+	if cfg.ZeRO.PaCPU {
+		ckptBytes := float64(cfg.Shape.CheckpointElemsPerSample()) * float64(cfg.MicroBatch) * fp16Bytes
+		if cfg.MP > 1 {
+			ckptBytes /= float64(cfg.MP) // checkpoints are partitioned before offload
+		}
+		t := 2 * ckptBytes / hw.PCIeBW
+		exposed := t - offloadOverlapWindow*b.ComputeSec
+		if exposed < 0 {
+			exposed = 0
+		}
+		b.OffloadSec = exposed + paCPUComputeDrag*b.ComputeSec
+	}
+
+	b.StepSec = b.ComputeSec + b.MPCommSec + b.ExposedDPSec + b.OffloadSec
+	b.TFlopsPerGPU = b.FlopsPerGPU / b.StepSec / 1e12
+	return b
+}
+
+// AggregatePetaflops returns the cluster-wide sustained throughput of a run
+// in petaflops (the paper's "15 Petaflops" headline for 100B on 400 GPUs).
+func AggregatePetaflops(hw Hardware, cfg Config) float64 {
+	b := Estimate(hw, cfg)
+	return b.TFlopsPerGPU * float64(cfg.GPUs()) / 1e3
+}

@@ -1,0 +1,167 @@
+// Package tensor provides the numeric substrate for the ZeRO reproduction:
+// a software implementation of IEEE-754 binary16 (the "fp16" storage format
+// used by mixed-precision training), flat float32 buffers, and the dense
+// kernels (matmul, layernorm, gelu, softmax, cross-entropy) needed by the
+// transformer model together with their manual gradients.
+//
+// The package deliberately mirrors what a GPU runtime gives a training
+// framework: fp16 is a storage format (2 bytes per element, used for
+// parameters, gradients and activations) while arithmetic happens at fp32
+// precision, exactly as on V100 tensor cores.
+package tensor
+
+import "math"
+
+// Half is an IEEE-754 binary16 value stored in its raw bit representation.
+// It is the storage type for mixed-precision parameters, gradients and
+// activations; all arithmetic converts through float32.
+type Half uint16
+
+// Size constants for memory accounting, in bytes.
+const (
+	BytesPerHalf    = 2
+	BytesPerFloat32 = 4
+)
+
+const (
+	halfSignMask = 0x8000
+	halfExpMask  = 0x7c00
+	halfManMask  = 0x03ff
+	halfPosInf   = 0x7c00
+	halfNaN      = 0x7e00
+)
+
+// FromFloat32 converts an fp32 value to binary16 with round-to-nearest-even,
+// the rounding mode used by GPU hardware. Values above the fp16 range become
+// ±Inf; NaN payloads collapse to a quiet NaN.
+func FromFloat32(f float32) Half {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & halfSignMask
+	exp := int32(b>>23) & 0xff
+	man := b & 0x7fffff
+
+	if exp == 0xff { // Inf or NaN
+		if man != 0 {
+			return Half(sign | halfNaN)
+		}
+		return Half(sign | halfPosInf)
+	}
+
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1f: // overflow: round to infinity
+		return Half(sign | halfPosInf)
+	case e <= 0: // subnormal or zero in fp16
+		if e < -10 { // too small: flush to signed zero
+			return Half(sign)
+		}
+		man |= 0x800000 // make the implicit leading bit explicit
+		shift := uint32(14 - e)
+		h := uint16(man >> shift)
+		rem := man & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && h&1 == 1) {
+			h++
+		}
+		return Half(sign | h)
+	default: // normal
+		h := uint16(e)<<10 | uint16(man>>13)
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && h&1 == 1) {
+			h++ // carry may roll into the exponent; that is correct RNE
+		}
+		return Half(sign | h)
+	}
+}
+
+// Float32 converts a binary16 value back to fp32. The conversion is exact:
+// every fp16 value is representable in fp32.
+func (h Half) Float32() float32 {
+	sign := uint32(h&halfSignMask) << 16
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h & halfManMask)
+
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize into an fp32 normal.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= halfManMask
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case 0x1f:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	}
+}
+
+// IsNaN reports whether h encodes a NaN.
+func (h Half) IsNaN() bool {
+	return h&halfExpMask == halfExpMask && h&halfManMask != 0
+}
+
+// IsInf reports whether h encodes ±Inf.
+func (h Half) IsInf() bool {
+	return h&halfExpMask == halfExpMask && h&halfManMask == 0
+}
+
+// MaxHalf is the largest finite binary16 value (65504).
+const MaxHalf = 65504.0
+
+// HalfBuffer is a flat fp16 storage buffer, the unit of partitioning for
+// ZeRO parameters and gradients.
+type HalfBuffer []Half
+
+// NewHalfBuffer allocates a zeroed fp16 buffer of n elements.
+func NewHalfBuffer(n int) HalfBuffer { return make(HalfBuffer, n) }
+
+// Bytes returns the storage size of the buffer in bytes.
+func (b HalfBuffer) Bytes() int64 { return int64(len(b)) * BytesPerHalf }
+
+// FromFloats overwrites b with the rounded fp16 images of src.
+// The two slices must have equal length.
+func (b HalfBuffer) FromFloats(src []float32) {
+	if len(b) != len(src) {
+		panic("tensor: HalfBuffer.FromFloats length mismatch")
+	}
+	for i, f := range src {
+		b[i] = FromFloat32(f)
+	}
+}
+
+// ToFloats expands b into dst as fp32. The two slices must have equal length.
+func (b HalfBuffer) ToFloats(dst []float32) {
+	if len(b) != len(dst) {
+		panic("tensor: HalfBuffer.ToFloats length mismatch")
+	}
+	for i, h := range b {
+		dst[i] = h.Float32()
+	}
+}
+
+// Floats returns a freshly allocated fp32 expansion of b.
+func (b HalfBuffer) Floats() []float32 {
+	out := make([]float32, len(b))
+	b.ToFloats(out)
+	return out
+}
+
+// Overflowed reports whether any element of b is Inf or NaN. Mixed-precision
+// training uses this to detect loss-scale overflow and skip the step.
+func (b HalfBuffer) Overflowed() bool {
+	for _, h := range b {
+		if h&halfExpMask == halfExpMask {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Half
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff}, // largest finite fp16
+		{-65504, 0xfbff},
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{0.333251953125, 0x3555},        // nearest fp16 to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := c.bits.Float32(); got != c.f {
+			t.Errorf("(%#04x).Float32() = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestHalfSpecials(t *testing.T) {
+	inf := FromFloat32(float32(math.Inf(1)))
+	if !inf.IsInf() || inf != 0x7c00 {
+		t.Errorf("+Inf encodes to %#04x", inf)
+	}
+	ninf := FromFloat32(float32(math.Inf(-1)))
+	if !ninf.IsInf() || ninf != 0xfc00 {
+		t.Errorf("-Inf encodes to %#04x", ninf)
+	}
+	nan := FromFloat32(float32(math.NaN()))
+	if !nan.IsNaN() {
+		t.Errorf("NaN encodes to %#04x, not NaN", nan)
+	}
+	if !math.IsNaN(float64(nan.Float32())) {
+		t.Error("NaN round-trip lost NaN-ness")
+	}
+	// Overflow rounds to infinity.
+	if got := FromFloat32(70000); !got.IsInf() {
+		t.Errorf("70000 should overflow to Inf, got %#04x", got)
+	}
+	// Tiny values flush to signed zero.
+	if got := FromFloat32(1e-10); got != 0 {
+		t.Errorf("1e-10 should flush to +0, got %#04x", got)
+	}
+	if got := FromFloat32(-1e-10); got != 0x8000 {
+		t.Errorf("-1e-10 should flush to -0, got %#04x", got)
+	}
+}
+
+func TestHalfRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 (1+2^-10);
+	// RNE must pick the even mantissa, i.e. 1.0.
+	f := float32(1) + float32(math.Ldexp(1, -11))
+	if got := FromFloat32(f); got != 0x3c00 {
+		t.Errorf("halfway 1+2^-11 rounds to %#04x, want 0x3c00 (even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even neighbor is 1+2^-9.
+	f = float32(1) + 3*float32(math.Ldexp(1, -11))
+	if got := FromFloat32(f); got != 0x3c02 {
+		t.Errorf("halfway 1+3*2^-11 rounds to %#04x, want 0x3c02 (even)", got)
+	}
+}
+
+// Property: decoding any fp16 bit pattern and re-encoding is the identity
+// (modulo NaN payload canonicalization).
+func TestHalfRoundTripAllBitPatterns(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		h := Half(i)
+		f := h.Float32()
+		back := FromFloat32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("NaN pattern %#04x lost on round trip", i)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("bit pattern %#04x -> %v -> %#04x", i, f, back)
+		}
+	}
+}
+
+// Property: rounding error of FromFloat32 is at most half a ULP of the fp16
+// target for in-range values.
+func TestHalfRoundingErrorBound(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > MaxHalf {
+			return true
+		}
+		got := float64(FromFloat32(v).Float32())
+		// ULP at this magnitude: 2^(e-10) where e is the fp16 exponent.
+		av := math.Abs(float64(v))
+		ulp := math.Ldexp(1, -24) // subnormal ULP
+		if av >= 6.103515625e-05 {
+			_, e := math.Frexp(av)
+			ulp = math.Ldexp(1, e-11)
+		}
+		return math.Abs(got-float64(v)) <= ulp/2+1e-30
+	}
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(float32(math.Ldexp(r.Float64()*2-1, r.Intn(36)-20)))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfBuffer(t *testing.T) {
+	src := []float32{0, 1, -2.5, 3.25, 100}
+	b := NewHalfBuffer(len(src))
+	b.FromFloats(src)
+	if b.Bytes() != int64(len(src)*2) {
+		t.Errorf("Bytes() = %d, want %d", b.Bytes(), len(src)*2)
+	}
+	got := b.Floats()
+	for i := range src {
+		if got[i] != src[i] {
+			t.Errorf("element %d: got %v want %v", i, got[i], src[i])
+		}
+	}
+	if b.Overflowed() {
+		t.Error("finite buffer reported overflow")
+	}
+	b[2] = halfPosInf
+	if !b.Overflowed() {
+		t.Error("buffer with Inf did not report overflow")
+	}
+}
+
+func TestHalfBufferLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	NewHalfBuffer(3).FromFloats(make([]float32, 4))
+}

@@ -1,0 +1,194 @@
+package tensor
+
+import "math"
+
+// Nonlinear kernels and their manual gradients. Forward signatures take
+// destination first, mirroring the matmul kernels. Backward kernels follow
+// the convention dX = backward(dY, saved-forward-state).
+
+const sqrt2OverPi = 0.7978845608028654 // √(2/π), for the tanh GELU approximation
+
+// GELU applies the tanh-approximated Gaussian error linear unit
+// elementwise: y = 0.5x(1 + tanh(√(2/π)(x + 0.044715x³))).
+func GELU(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic("tensor: GELU length mismatch")
+	}
+	for i, v := range x {
+		f := float64(v)
+		u := sqrt2OverPi * (f + 0.044715*f*f*f)
+		dst[i] = float32(0.5 * f * (1 + math.Tanh(u)))
+	}
+}
+
+// GELUBackward accumulates dx[i] += dy[i] * g'(x[i]) for the tanh GELU.
+func GELUBackward(dx, dy, x []float32) {
+	if len(dx) != len(dy) || len(dx) != len(x) {
+		panic("tensor: GELUBackward length mismatch")
+	}
+	for i, v := range x {
+		f := float64(v)
+		u := sqrt2OverPi * (f + 0.044715*f*f*f)
+		t := math.Tanh(u)
+		du := sqrt2OverPi * (1 + 3*0.044715*f*f)
+		g := 0.5*(1+t) + 0.5*f*(1-t*t)*du
+		dx[i] += dy[i] * float32(g)
+	}
+}
+
+// LayerNorm normalizes each row of x[m×n] to zero mean and unit variance,
+// then applies the learned affine (gamma, beta). It writes the normalized
+// pre-affine values into xhat (needed by the backward pass) and the output
+// into y. invStd receives 1/√(var+eps) per row.
+func LayerNorm(y, xhat, invStd, x, gamma, beta []float32, m, n int, eps float32) {
+	checkDims(len(x), m*n, "x")
+	checkDims(len(y), m*n, "y")
+	checkDims(len(xhat), m*n, "xhat")
+	checkDims(len(invStd), m, "invStd")
+	checkDims(len(gamma), n, "gamma")
+	checkDims(len(beta), n, "beta")
+	for i := 0; i < m; i++ {
+		row := x[i*n : i*n+n]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		is := float32(1 / math.Sqrt(variance+float64(eps)))
+		invStd[i] = is
+		xh := xhat[i*n : i*n+n]
+		yr := y[i*n : i*n+n]
+		for j, v := range row {
+			h := (v - float32(mean)) * is
+			xh[j] = h
+			yr[j] = gamma[j]*h + beta[j]
+		}
+	}
+}
+
+// LayerNormBackward accumulates input gradients into dx and parameter
+// gradients into dGamma/dBeta, given upstream dy and the saved xhat/invStd.
+func LayerNormBackward(dx, dGamma, dBeta, dy, xhat, invStd, gamma []float32, m, n int) {
+	checkDims(len(dx), m*n, "dx")
+	checkDims(len(dy), m*n, "dy")
+	checkDims(len(xhat), m*n, "xhat")
+	checkDims(len(invStd), m, "invStd")
+	checkDims(len(gamma), n, "gamma")
+	checkDims(len(dGamma), n, "dGamma")
+	checkDims(len(dBeta), n, "dBeta")
+	for i := 0; i < m; i++ {
+		dyr := dy[i*n : i*n+n]
+		xh := xhat[i*n : i*n+n]
+		dxr := dx[i*n : i*n+n]
+		// Parameter gradients.
+		for j, g := range dyr {
+			dGamma[j] += g * xh[j]
+			dBeta[j] += g
+		}
+		// Input gradient: dx = invStd*(dxhat - mean(dxhat) - xhat*mean(dxhat⊙xhat)).
+		var sumDxh, sumDxhXh float64
+		for j, g := range dyr {
+			dxh := float64(g) * float64(gamma[j])
+			sumDxh += dxh
+			sumDxhXh += dxh * float64(xh[j])
+		}
+		meanDxh := sumDxh / float64(n)
+		meanDxhXh := sumDxhXh / float64(n)
+		is := float64(invStd[i])
+		for j, g := range dyr {
+			dxh := float64(g) * float64(gamma[j])
+			dxr[j] += float32(is * (dxh - meanDxh - float64(xh[j])*meanDxhXh))
+		}
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of x[m×n],
+// writing into y (y may alias x).
+func SoftmaxRows(y, x []float32, m, n int) {
+	checkDims(len(x), m*n, "x")
+	checkDims(len(y), m*n, "y")
+	for i := 0; i < m; i++ {
+		row := x[i*n : i*n+n]
+		out := y[i*n : i*n+n]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			out[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
+// SoftmaxRowsBackward accumulates dx given dy and the saved softmax output p:
+// dx = p ⊙ (dy - Σ dy⊙p) per row.
+func SoftmaxRowsBackward(dx, dy, p []float32, m, n int) {
+	checkDims(len(dx), m*n, "dx")
+	checkDims(len(dy), m*n, "dy")
+	checkDims(len(p), m*n, "p")
+	for i := 0; i < m; i++ {
+		dyr := dy[i*n : i*n+n]
+		pr := p[i*n : i*n+n]
+		dxr := dx[i*n : i*n+n]
+		var dot float64
+		for j, v := range dyr {
+			dot += float64(v) * float64(pr[j])
+		}
+		for j, v := range dyr {
+			dxr[j] += pr[j] * (v - float32(dot))
+		}
+	}
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// row-wise softmax(logits[m×v]) and writes softmax probabilities into probs
+// (for the backward pass). It returns the scalar loss.
+func CrossEntropy(probs, logits []float32, targets []int, m, v int) float64 {
+	checkDims(len(logits), m*v, "logits")
+	checkDims(len(probs), m*v, "probs")
+	checkDims(len(targets), m, "targets")
+	SoftmaxRows(probs, logits, m, v)
+	var loss float64
+	for i, t := range targets {
+		if t < 0 || t >= v {
+			panic("tensor: CrossEntropy target out of range")
+		}
+		p := float64(probs[i*v+t])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(m)
+}
+
+// CrossEntropyBackward writes dLogits = (probs - onehot(targets)) / m.
+func CrossEntropyBackward(dLogits, probs []float32, targets []int, m, v int) {
+	checkDims(len(dLogits), m*v, "dLogits")
+	checkDims(len(probs), m*v, "probs")
+	checkDims(len(targets), m, "targets")
+	inv := float32(1) / float32(m)
+	for i := 0; i < m; i++ {
+		row := probs[i*v : i*v+v]
+		out := dLogits[i*v : i*v+v]
+		for j, p := range row {
+			out[j] = p * inv
+		}
+		out[targets[i]] -= inv
+	}
+}

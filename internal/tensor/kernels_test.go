@@ -1,0 +1,231 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Finite-difference gradient checks for every nonlinear kernel. These anchor
+// the manual backprop in internal/model: if the primitives' gradients are
+// right and the chain rule is applied mechanically, the model gradients are
+// right too.
+
+const fdEps = 1e-3
+
+// numericalGrad computes d loss/d x[i] by central differences for a scalar
+// loss function of a slice.
+func numericalGrad(x []float32, i int, loss func() float64) float64 {
+	orig := x[i]
+	x[i] = orig + fdEps
+	lp := loss()
+	x[i] = orig - fdEps
+	lm := loss()
+	x[i] = orig
+	return (lp - lm) / (2 * fdEps)
+}
+
+func TestGELUGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	n := 16
+	x := randSlice(r, n)
+	w := randSlice(r, n) // random linear functional to form a scalar loss
+	loss := func() float64 {
+		y := make([]float32, n)
+		GELU(y, x)
+		return Dot(y, w)
+	}
+	dy := make([]float32, n)
+	copy(dy, w)
+	dx := make([]float32, n)
+	GELUBackward(dx, dy, x)
+	for i := 0; i < n; i++ {
+		want := numericalGrad(x, i, loss)
+		if diff := math.Abs(float64(dx[i]) - want); diff > 1e-2 {
+			t.Errorf("GELU grad[%d]: analytic %v numeric %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestLayerNormForwardStats(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m, n := 4, 32
+	x := randSlice(r, m*n)
+	gamma := make([]float32, n)
+	beta := make([]float32, n)
+	Fill(gamma, 1)
+	y := make([]float32, m*n)
+	xhat := make([]float32, m*n)
+	invStd := make([]float32, m)
+	LayerNorm(y, xhat, invStd, x, gamma, beta, m, n, 1e-5)
+	for i := 0; i < m; i++ {
+		row := y[i*n : i*n+n]
+		mean := Sum(row) / float64(n)
+		if math.Abs(mean) > 1e-5 {
+			t.Errorf("row %d mean %g, want ~0", i, mean)
+		}
+		var variance float64
+		for _, v := range row {
+			variance += (float64(v) - mean) * (float64(v) - mean)
+		}
+		variance /= float64(n)
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("row %d var %g, want ~1", i, variance)
+		}
+	}
+}
+
+func TestLayerNormGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m, n := 2, 8
+	x := randSlice(r, m*n)
+	gamma := randSlice(r, n)
+	beta := randSlice(r, n)
+	w := randSlice(r, m*n)
+	forward := func() float64 {
+		y := make([]float32, m*n)
+		xhat := make([]float32, m*n)
+		invStd := make([]float32, m)
+		LayerNorm(y, xhat, invStd, x, gamma, beta, m, n, 1e-5)
+		return Dot(y, w)
+	}
+	y := make([]float32, m*n)
+	xhat := make([]float32, m*n)
+	invStd := make([]float32, m)
+	LayerNorm(y, xhat, invStd, x, gamma, beta, m, n, 1e-5)
+	dx := make([]float32, m*n)
+	dGamma := make([]float32, n)
+	dBeta := make([]float32, n)
+	LayerNormBackward(dx, dGamma, dBeta, w, xhat, invStd, gamma, m, n)
+
+	for i := 0; i < m*n; i++ {
+		want := numericalGrad(x, i, forward)
+		if diff := math.Abs(float64(dx[i]) - want); diff > 2e-2 {
+			t.Errorf("LayerNorm dx[%d]: analytic %v numeric %v", i, dx[i], want)
+		}
+	}
+	for j := 0; j < n; j++ {
+		want := numericalGrad(gamma, j, forward)
+		if diff := math.Abs(float64(dGamma[j]) - want); diff > 2e-2 {
+			t.Errorf("LayerNorm dGamma[%d]: analytic %v numeric %v", j, dGamma[j], want)
+		}
+		want = numericalGrad(beta, j, forward)
+		if diff := math.Abs(float64(dBeta[j]) - want); diff > 2e-2 {
+			t.Errorf("LayerNorm dBeta[%d]: analytic %v numeric %v", j, dBeta[j], want)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	m, n := 3, 10
+	x := randSlice(r, m*n)
+	y := make([]float32, m*n)
+	SoftmaxRows(y, x, m, n)
+	for i := 0; i < m; i++ {
+		row := y[i*n : i*n+n]
+		s := Sum(row)
+		if math.Abs(s-1) > 1e-5 {
+			t.Errorf("softmax row %d sums to %g", i, s)
+		}
+		for j, v := range row {
+			if v <= 0 || v >= 1 {
+				t.Errorf("softmax[%d][%d] = %v out of (0,1)", i, j, v)
+			}
+		}
+	}
+	// Shift invariance: softmax(x + c) == softmax(x).
+	shifted := make([]float32, m*n)
+	copy(shifted, x)
+	for i := range shifted {
+		shifted[i] += 1000
+	}
+	y2 := make([]float32, m*n)
+	SoftmaxRows(y2, shifted, m, n)
+	if d := MaxDiff(y, y2); d > 1e-5 {
+		t.Errorf("softmax not shift invariant: %g", d)
+	}
+}
+
+func TestSoftmaxGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	m, n := 2, 6
+	x := randSlice(r, m*n)
+	w := randSlice(r, m*n)
+	forward := func() float64 {
+		y := make([]float32, m*n)
+		SoftmaxRows(y, x, m, n)
+		return Dot(y, w)
+	}
+	p := make([]float32, m*n)
+	SoftmaxRows(p, x, m, n)
+	dx := make([]float32, m*n)
+	SoftmaxRowsBackward(dx, w, p, m, n)
+	for i := 0; i < m*n; i++ {
+		want := numericalGrad(x, i, forward)
+		if diff := math.Abs(float64(dx[i]) - want); diff > 1e-2 {
+			t.Errorf("softmax dx[%d]: analytic %v numeric %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestCrossEntropyGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	m, v := 3, 7
+	logits := randSlice(r, m*v)
+	targets := []int{2, 0, 6}
+	forward := func() float64 {
+		probs := make([]float32, m*v)
+		return CrossEntropy(probs, logits, targets, m, v)
+	}
+	probs := make([]float32, m*v)
+	CrossEntropy(probs, logits, targets, m, v)
+	dLogits := make([]float32, m*v)
+	CrossEntropyBackward(dLogits, probs, targets, m, v)
+	for i := 0; i < m*v; i++ {
+		want := numericalGrad(logits, i, forward)
+		if diff := math.Abs(float64(dLogits[i]) - want); diff > 1e-2 {
+			t.Errorf("CE dLogits[%d]: analytic %v numeric %v", i, dLogits[i], want)
+		}
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	m, v := 2, 4
+	logits := make([]float32, m*v)
+	logits[0*v+1] = 50
+	logits[1*v+3] = 50
+	probs := make([]float32, m*v)
+	loss := CrossEntropy(probs, logits, []int{1, 3}, m, v)
+	if loss > 1e-5 {
+		t.Errorf("confident correct prediction loss %g, want ~0", loss)
+	}
+}
+
+func TestOpsBasics(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{4, 5, 6}
+	AXPY(2, x, y)
+	want := []float32{6, 9, 12}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY: got %v", y)
+		}
+	}
+	if Dot(x, x) != 14 {
+		t.Errorf("Dot = %v, want 14", Dot(x, x))
+	}
+	if MaxAbs([]float32{-5, 3}) != 5 {
+		t.Error("MaxAbs wrong")
+	}
+	if !HasNaNOrInf([]float32{1, float32(math.Inf(1))}) {
+		t.Error("HasNaNOrInf missed Inf")
+	}
+	if HasNaNOrInf(x) {
+		t.Error("HasNaNOrInf false positive")
+	}
+	Scale(x, 0)
+	if Sum(x) != 0 {
+		t.Error("Scale by 0 failed")
+	}
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Dense matrix multiplication kernels with the three orientations required
+// by backpropagation through a linear layer:
+//
+//	forward:     Y  = X·W      (MatMul)
+//	grad input:  dX = dY·Wᵀ    (MatMulBT)
+//	grad weight: dW = Xᵀ·dY    (MatMulAT)
+//
+// All matrices are row-major flat slices. The kernels block over rows and
+// fan out across GOMAXPROCS goroutines when the problem is large enough to
+// amortize the spawn cost — the same compute/communication granularity
+// argument the ZeRO paper makes for data parallelism applies inside a rank.
+
+// parallelThreshold is the number of fused multiply-adds below which the
+// kernels stay single-threaded.
+const parallelThreshold = 1 << 16
+
+// parallelRows runs fn over row ranges [lo,hi) of m rows, splitting across
+// available CPUs when work is at least parallelThreshold.
+func parallelRows(m, work int, fn func(lo, hi int)) {
+	procs := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || procs == 1 || m == 1 {
+		fn(0, m)
+		return
+	}
+	if procs > m {
+		procs = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + procs - 1) / procs
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes C[m×n] = A[m×k] · B[k×n], overwriting C.
+func MatMul(c, a, b []float32, m, k, n int) {
+	checkDims(len(a), m*k, "A")
+	checkDims(len(b), k*n, "B")
+	checkDims(len(c), m*n, "C")
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for x := range ci {
+				ci[x] = 0
+			}
+			ai := a[i*k : i*k+k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : p*n+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBT computes C[m×k] = A[m×n] · B[k×n]ᵀ, overwriting C.
+// This is the dX = dY·Wᵀ orientation when W is stored [k×n].
+func MatMulBT(c, a, b []float32, m, n, k int) {
+	checkDims(len(a), m*n, "A")
+	checkDims(len(b), k*n, "B")
+	checkDims(len(c), m*k, "C")
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*n : i*n+n]
+			ci := c[i*k : i*k+k]
+			for j := 0; j < k; j++ {
+				bj := b[j*n : j*n+n]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+}
+
+// MatMulATAdd computes C[k×n] += A[m×k]ᵀ · B[m×n]. It accumulates rather
+// than overwrites because weight gradients sum over micro-batches.
+func MatMulATAdd(c, a, b []float32, m, k, n int) {
+	checkDims(len(a), m*k, "A")
+	checkDims(len(b), m*n, "B")
+	checkDims(len(c), k*n, "C")
+	// Parallelize over the k rows of C so goroutines never share output rows.
+	parallelRows(k, m*k*n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			cj := c[j*n : j*n+n]
+			for i := 0; i < m; i++ {
+				av := a[i*k+j]
+				if av == 0 {
+					continue
+				}
+				bi := b[i*n : i*n+n]
+				for x, bv := range bi {
+					cj[x] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// AddBiasRows adds bias[n] to every row of x[m×n].
+func AddBiasRows(x, bias []float32, m, n int) {
+	checkDims(len(x), m*n, "X")
+	checkDims(len(bias), n, "bias")
+	for i := 0; i < m; i++ {
+		xi := x[i*n : i*n+n]
+		for j, b := range bias {
+			xi[j] += b
+		}
+	}
+}
+
+// BiasGradRows accumulates column sums of dY[m×n] into dBias[n].
+func BiasGradRows(dBias, dy []float32, m, n int) {
+	checkDims(len(dy), m*n, "dY")
+	checkDims(len(dBias), n, "dBias")
+	for i := 0; i < m; i++ {
+		row := dy[i*n : i*n+n]
+		for j, v := range row {
+			dBias[j] += v
+		}
+	}
+}
+
+// Transpose writes B[n×m] = A[m×n]ᵀ.
+func Transpose(b, a []float32, m, n int) {
+	checkDims(len(a), m*n, "A")
+	checkDims(len(b), m*n, "B")
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[j*m+i] = a[i*n+j]
+		}
+	}
+}
+
+func checkDims(got, want int, name string) {
+	if got != want {
+		panic("tensor: dimension mismatch for " + name)
+	}
+}

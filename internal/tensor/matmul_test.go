@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive reference implementations used to validate the blocked kernels.
+
+func refMatMul(a, b []float32, m, k, n int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randSlice(r *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(r.NormFloat64())
+	}
+	return s
+}
+
+func TestMatMulAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {16, 16, 16}, {33, 17, 65}, {64, 128, 32}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randSlice(r, m*k), randSlice(r, k*n)
+		c := make([]float32, m*n)
+		MatMul(c, a, b, m, k, n)
+		want := refMatMul(a, b, m, k, n)
+		if d := MaxDiff(c, want); d > 1e-4 {
+			t.Errorf("MatMul %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestMatMulBTAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{2, 3, 4}, {7, 5, 9}, {33, 17, 65}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(r, m*n) // A[m×n]
+		b := randSlice(r, k*n) // B[k×n]
+		c := make([]float32, m*k)
+		MatMulBT(c, a, b, m, n, k)
+		// reference: C = A · Bᵀ
+		bt := make([]float32, n*k)
+		Transpose(bt, b, k, n)
+		want := refMatMul(a, bt, m, n, k)
+		if d := MaxDiff(c, want); d > 1e-4 {
+			t.Errorf("MatMulBT %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestMatMulATAddAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{2, 3, 4}, {7, 5, 9}, {33, 17, 65}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randSlice(r, m*k) // A[m×k]
+		b := randSlice(r, m*n) // B[m×n]
+		c := make([]float32, k*n)
+		initial := randSlice(r, k*n)
+		copy(c, initial)
+		MatMulATAdd(c, a, b, m, k, n)
+		at := make([]float32, k*m)
+		Transpose(at, a, m, k)
+		want := refMatMul(at, b, k, m, n)
+		Add(want, initial)
+		if d := MaxDiff(c, want); d > 1e-4 {
+			t.Errorf("MatMulATAdd %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	n := 8
+	id := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	r := rand.New(rand.NewSource(4))
+	a := randSlice(r, n*n)
+	c := make([]float32, n*n)
+	MatMul(c, a, id, n, n, n)
+	if d := MaxDiff(c, a); d != 0 {
+		t.Errorf("A·I differs from A by %g", d)
+	}
+	MatMul(c, id, a, n, n, n)
+	if d := MaxDiff(c, a); d != 0 {
+		t.Errorf("I·A differs from A by %g", d)
+	}
+}
+
+func TestAddBiasAndBiasGrad(t *testing.T) {
+	m, n := 3, 4
+	x := make([]float32, m*n)
+	bias := []float32{1, 2, 3, 4}
+	AddBiasRows(x, bias, m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if x[i*n+j] != bias[j] {
+				t.Fatalf("AddBiasRows wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	dBias := make([]float32, n)
+	BiasGradRows(dBias, x, m, n)
+	for j := range bias {
+		if dBias[j] != float32(m)*bias[j] {
+			t.Errorf("BiasGradRows[%d] = %v, want %v", j, dBias[j], float32(m)*bias[j])
+		}
+	}
+}
+
+func TestMatMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	MatMul(make([]float32, 4), make([]float32, 4), make([]float32, 5), 2, 2, 2)
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	n := 256
+	a, bb := randSlice(r, n*n), randSlice(r, n*n)
+	c := make([]float32, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, bb, n, n, n)
+	}
+	b.SetBytes(int64(n * n * 4))
+}

@@ -1,0 +1,149 @@
+package zero
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// Snapshot is a full training checkpoint: parameters plus the Adam state
+// that ZeRO keeps partitioned across ranks. Save gathers the shards to
+// rank 0 (the "consolidated checkpoint" operation of ZeRO systems — under
+// partitioning no single rank holds the whole optimizer state, so
+// checkpointing is itself a collective).
+type Snapshot struct {
+	Stage     Stage
+	WorldSize int
+	NumParams int
+	OptSteps  int
+
+	Params []float32 // fp32 master parameters (full)
+	AdamM  []float32 // first-moment estimates (full)
+	AdamV  []float32 // second-moment estimates (full)
+}
+
+// Save gathers this world's partitioned training state to rank 0 and
+// returns the snapshot there; other ranks return nil. Every rank must
+// call Save collectively.
+func (t *Trainer) Save() *Snapshot {
+	n := t.Model.NumParams()
+	own := t.Owned()
+
+	// This rank's authoritative parameter shard: the fp32 master under
+	// FP16 mode, the live parameter shard otherwise.
+	paramShard := t.Model.Params[own.Lo:own.Hi]
+	if t.opts.FP16 {
+		paramShard = t.master
+	}
+	m, v := t.opt.State()
+
+	root := 0
+	if t.c.Rank() == root {
+		snap := &Snapshot{
+			Stage:     t.opts.Stage,
+			WorldSize: t.c.Size(),
+			NumParams: n,
+			OptSteps:  t.opt.Steps(),
+			Params:    make([]float32, n),
+			AdamM:     make([]float32, n),
+			AdamV:     make([]float32, n),
+		}
+		for _, buf := range []struct {
+			dst   []float32
+			local []float32
+		}{
+			{snap.Params, paramShard}, {snap.AdamM, m}, {snap.AdamV, v},
+		} {
+			out := make([][]float32, t.c.Size())
+			t.c.Gather(buf.local, root, out)
+			for r, shard := range out {
+				p := t.parts[r]
+				copy(buf.dst[p.Lo:p.Hi], shard)
+			}
+		}
+		return snap
+	}
+	for _, local := range [][]float32{paramShard, m, v} {
+		t.c.Gather(local, root, nil)
+	}
+	return nil
+}
+
+// Load restores a snapshot into this rank: the owned shard of the master
+// parameters and Adam state, plus the replicated (or gathered-on-demand)
+// parameter copy. Every rank must receive the same snapshot — use
+// BroadcastSnapshot after reading it on one rank. The snapshot's world
+// size need not match: repartitioning happens naturally because the state
+// is stored unpartitioned (ZeRO elasticity).
+func (t *Trainer) Load(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("zero: Load of nil snapshot")
+	}
+	if s.NumParams != t.Model.NumParams() {
+		return fmt.Errorf("zero: snapshot has %d params, model has %d", s.NumParams, t.Model.NumParams())
+	}
+	own := t.Owned()
+	t.opt.Restore(s.AdamM[own.Lo:own.Hi], s.AdamV[own.Lo:own.Hi], s.OptSteps)
+	if t.opts.FP16 {
+		copy(t.master, s.Params[own.Lo:own.Hi])
+		tensor.Copy(t.Model.Params, s.Params)
+		quantizeFP16(t.Model.Params)
+	} else {
+		tensor.Copy(t.Model.Params, s.Params)
+	}
+	if t.opts.Stage == StageOSGP {
+		t.dropUnowned()
+	}
+	return nil
+}
+
+// BroadcastSnapshot distributes rank 0's snapshot to every rank (ranks
+// other than 0 pass nil and receive a fresh copy). Must be called
+// collectively.
+func BroadcastSnapshot(c *comm.Comm, s *Snapshot) *Snapshot {
+	header := make([]float32, 4)
+	if c.Rank() == 0 {
+		header[0] = float32(s.Stage)
+		header[1] = float32(s.WorldSize)
+		header[2] = float32(s.NumParams)
+		header[3] = float32(s.OptSteps)
+	}
+	c.Broadcast(header, 0)
+	if c.Rank() != 0 {
+		n := int(header[2])
+		s = &Snapshot{
+			Stage:     Stage(header[0]),
+			WorldSize: int(header[1]),
+			NumParams: n,
+			OptSteps:  int(header[3]),
+			Params:    make([]float32, n),
+			AdamM:     make([]float32, n),
+			AdamV:     make([]float32, n),
+		}
+	}
+	c.Broadcast(s.Params, 0)
+	c.Broadcast(s.AdamM, 0)
+	c.Broadcast(s.AdamV, 0)
+	return s
+}
+
+// Encode serializes the snapshot (gob) for file persistence.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("zero: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot deserializes a snapshot produced by Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("zero: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}

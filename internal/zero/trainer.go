@@ -1,0 +1,253 @@
+package zero
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/tensor"
+)
+
+// Options configures a ZeRO-DP trainer rank.
+type Options struct {
+	Stage Stage
+	LR    float64
+	Seed  int64
+	// BucketElems is the reduce-scatter bucket size in elements (the CB
+	// optimization applied to gradient communication): the flat gradient
+	// buffer is reduced in fixed-size partition-aligned waves, mimicking
+	// how ZeRO buckets gradients as they become available during backward
+	// (§5.2). 0 reduces the whole buffer in one wave.
+	BucketElems int
+	// FP16 simulates mixed-precision training: parameters and gradients
+	// are rounded through binary16 around forward/backward while each
+	// rank's owned fp32 master shard drives the Adam update (§3.1).
+	FP16 bool
+	// ClipNorm caps the global gradient L2 norm before the optimizer step
+	// (0 disables). The norm of the *partitioned* gradient is computed
+	// with one extra N-element all-gather of per-shard partial sums — the
+	// collective pattern DeepSpeed uses for ZeRO gradient clipping.
+	ClipNorm float64
+	// Checkpoint enables activation checkpointing in the wrapped model.
+	Checkpoint bool
+	// Store, with Checkpoint, routes activation checkpoints through a
+	// CheckpointStore (Pa / Pa+cpu from ZeRO-R).
+	Store model.CheckpointStore
+}
+
+// Trainer is one rank of a ZeRO-powered data-parallel job. The same type
+// implements stage 1 (Pos), stage 2 (Pos+g) and stage 3 (Pos+g+p); the
+// stage decides which states stay resident per rank and which collective
+// schedule runs.
+type Trainer struct {
+	Model *model.Model
+	c     *comm.Comm
+	opts  Options
+
+	parts  []comm.Range    // global Ψ/Nd partition; parts[rank] is owned
+	opt    *optimizer.Adam // shard-sized optimizer (owned partition only)
+	master []float32       // fp32 master copy of the owned shard (FP16 mode)
+	groups []model.Segment // layer groups for stage-3 gather granularity
+
+	// LastGradNorm is the global gradient norm observed by the most
+	// recent Step when ClipNorm is enabled (pre-clipping).
+	LastGradNorm float64
+}
+
+// New constructs a rank's trainer. Every rank must use identical cfg and
+// Options so the replicas agree on layout and initialization.
+func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
+	if opts.Stage < StageOS || opts.Stage > StageOSGP {
+		panic(fmt.Sprintf("zero: trainer supports stages Pos..Pos+g+p, got %v (use internal/ddp for the baseline)", opts.Stage))
+	}
+	m := model.New(cfg, opts.Seed)
+	m.Checkpoint = opts.Checkpoint
+	m.Store = opts.Store
+	n := m.NumParams()
+	parts := comm.Partition(n, c.Size())
+	own := parts[c.Rank()]
+	t := &Trainer{
+		Model:  m,
+		c:      c,
+		opts:   opts,
+		parts:  parts,
+		opt:    optimizer.NewAdam(own.Len(), opts.LR),
+		groups: m.Layout.LayerSegments(cfg.Layers),
+	}
+	if opts.FP16 {
+		t.master = append([]float32(nil), m.Params[own.Lo:own.Hi]...)
+		quantizeFP16(m.Params) // forward always sees fp16-valued weights
+	}
+	if opts.Stage == StageOSGP {
+		t.dropUnowned()
+	}
+	return t
+}
+
+// Owned returns this rank's partition of the flat parameter space.
+func (t *Trainer) Owned() comm.Range { return t.parts[t.c.Rank()] }
+
+// dropUnowned zeroes every parameter outside the owned partition — the
+// stage-3 resident state is Ψ/Nd (§5.3). The full-size buffer remains as
+// gather workspace; accounting distinguishes resident from transient.
+func (t *Trainer) dropUnowned() {
+	own := t.Owned()
+	tensor.Zero(t.Model.Params[:own.Lo])
+	tensor.Zero(t.Model.Params[own.Hi:])
+}
+
+// gatherParams re-materializes the full parameter buffer from the owned
+// shards, layer group by layer group — the pipelined all-gather schedule of
+// §7.2.2 ("the data parallel process responsible for that partition can
+// broadcast the weights... spread across the entire forward propagation").
+func (t *Trainer) gatherParams() {
+	for _, g := range t.groups {
+		groupParts := intersect(t.parts, g.Lo, g.Hi)
+		t.c.AllGather(t.Model.Params[:], groupParts)
+	}
+}
+
+// intersect clips the global partition to [lo,hi), producing a per-rank
+// partition of that window (possibly with empty ranges).
+func intersect(parts []comm.Range, lo, hi int) []comm.Range {
+	out := make([]comm.Range, len(parts))
+	for i, p := range parts {
+		l, h := p.Lo, p.Hi
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if l > h {
+			l = lo // normalize empty
+			h = lo
+		}
+		out[i] = comm.Range{Lo: l, Hi: h}
+	}
+	return out
+}
+
+// Step runs one ZeRO-DP training step on this rank's shard of the global
+// batch and returns the local loss.
+func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
+	shardIDs, shardTargets, per := model.ShardBatch(ids, targets, globalBatch, t.c.Size(), t.c.Rank())
+	own := t.Owned()
+
+	// Stage 3: re-materialize parameters for the forward pass.
+	if t.opts.Stage == StageOSGP {
+		t.gatherParams()
+	}
+
+	t.Model.ZeroGrads()
+	loss := t.Model.Loss(shardIDs, shardTargets, per)
+
+	// Stage 3: parameters were "discarded once used" after forward; gather
+	// them again for the backward pass (the second Ψ of §7.2.2).
+	if t.opts.Stage == StageOSGP {
+		t.dropUnowned()
+		t.gatherParams()
+	}
+	t.Model.Backward()
+	if t.opts.FP16 {
+		quantizeFP16(t.Model.Grads)
+	}
+
+	// Reduce-scatter gradients in partition-aligned buckets; each rank
+	// ends with the averaged gradients for its own partition.
+	t.reduceScatterGrads()
+	gradShard := t.Model.Grads[own.Lo:own.Hi]
+	tensor.Scale(gradShard, 1/float32(t.c.Size()))
+
+	// Stage ≥ 2: gradients outside the owned partition are released as
+	// soon as their bucket is reduced (§5.2); zeroing models the release.
+	if t.opts.Stage >= StageOSG {
+		tensor.Zero(t.Model.Grads[:own.Lo])
+		tensor.Zero(t.Model.Grads[own.Hi:])
+	}
+
+	// Global gradient clipping over the partitioned gradient: all-gather
+	// the per-shard partial Σg², combine in partition order, scale the
+	// owned shard.
+	if t.opts.ClipNorm > 0 {
+		partials := make([]float32, t.c.Size())
+		partials[t.c.Rank()] = optimizer.PartialSquaredSum(gradShard)
+		t.c.AllGather(partials, comm.Partition(len(partials), t.c.Size()))
+		norm := optimizer.GlobalGradNorm(partials)
+		t.LastGradNorm = norm
+		tensor.Scale(gradShard, optimizer.ClipScale(norm, t.opts.ClipNorm))
+	}
+
+	// Optimizer step on the owned shard only (Pos, §5.1).
+	if t.opts.FP16 {
+		t.opt.Step(t.master, gradShard)
+		for i := range t.master {
+			t.Model.Params[own.Lo+i] = tensor.FromFloat32(t.master[i]).Float32()
+		}
+	} else {
+		t.opt.Step(t.Model.Params[own.Lo:own.Hi], gradShard)
+	}
+
+	// Stages 1-2: all-gather the updated parameters so every rank has the
+	// full set for the next step (the second Ψ of §7.2.1). Stage 3 skips
+	// this: parameters are gathered lazily at the next forward pass.
+	if t.opts.Stage != StageOSGP {
+		t.c.AllGather(t.Model.Params, t.parts)
+	} else {
+		t.dropUnowned()
+	}
+	return loss
+}
+
+// reduceScatterGrads reduces the flat gradient buffer so each rank owns the
+// summed gradients of its partition, in BucketElems-sized waves.
+func (t *Trainer) reduceScatterGrads() {
+	bucket := t.opts.BucketElems
+	n := t.Model.NumParams()
+	if bucket <= 0 || bucket >= n {
+		t.c.ReduceScatter(t.Model.Grads, t.parts)
+		return
+	}
+	// Wave w covers offset [w·bucket, (w+1)·bucket) of every rank's
+	// partition. Waves run in reverse to mirror backward-order bucketing.
+	maxLen := 0
+	for _, p := range t.parts {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	waves := (maxLen + bucket - 1) / bucket
+	for w := waves - 1; w >= 0; w-- {
+		wparts := make([]comm.Range, len(t.parts))
+		for i, p := range t.parts {
+			lo := p.Lo + w*bucket
+			hi := lo + bucket
+			if lo > p.Hi {
+				lo, hi = p.Hi, p.Hi
+			} else if hi > p.Hi {
+				hi = p.Hi
+			}
+			wparts[i] = comm.Range{Lo: lo, Hi: hi}
+		}
+		t.c.ReduceScatter(t.Model.Grads, wparts)
+	}
+}
+
+// quantizeFP16 rounds every value through binary16 in place, simulating
+// fp16 storage of a buffer whose arithmetic happens in fp32.
+func quantizeFP16(x []float32) {
+	for i, v := range x {
+		x[i] = tensor.FromFloat32(v).Float32()
+	}
+}
+
+// ModelStateBytes returns this rank's resident model-state bytes under the
+// §3.1 mixed-precision accounting for the configured stage.
+func (t *Trainer) ModelStateBytes() int64 {
+	return int64(ModelStateBytes(int64(t.Model.NumParams()), t.opts.Stage, t.c.Size()))
+}
+
+// OptimizerShardParams returns how many parameters this rank's optimizer
+// updates (≈ Ψ/Nd).
+func (t *Trainer) OptimizerShardParams() int { return t.opt.Len() }

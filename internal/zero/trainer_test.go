@@ -1,0 +1,254 @@
+package zero
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/tensor"
+)
+
+func testConfig() model.Config {
+	return model.Config{Layers: 2, Hidden: 16, Heads: 2, Vocab: 19, Seq: 8}
+}
+
+const (
+	testSeed = 7
+	testLR   = 1e-3
+)
+
+// runZeRO trains `steps` steps at the given stage/world size and returns
+// every rank's final full parameter buffer (stage 3 gathers before
+// reporting).
+func runZeRO(t *testing.T, cfg model.Config, stage Stage, n, steps int, opts Options,
+	ids, targets []int, batch int) [][]float32 {
+	t.Helper()
+	opts.Stage = stage
+	w := comm.NewWorld(n)
+	out := make([][]float32, n)
+	w.Run(func(c *comm.Comm) {
+		tr := New(c, cfg, opts)
+		for s := 0; s < steps; s++ {
+			tr.Step(ids, targets, batch)
+		}
+		if stage == StageOSGP {
+			tr.gatherParams() // re-materialize for comparison
+		}
+		out[c.Rank()] = append([]float32(nil), tr.Model.Params...)
+	})
+	return out
+}
+
+// runDDP is the baseline trajectory on the same world.
+func runDDP(cfg model.Config, n, steps int, ids, targets []int, batch int) []float32 {
+	w := comm.NewWorld(n)
+	out := make([][]float32, n)
+	w.Run(func(c *comm.Comm) {
+		tr := ddp.New(c, cfg, testSeed, testLR)
+		tr.BucketElems = 0
+		for s := 0; s < steps; s++ {
+			tr.Step(ids, targets, batch)
+		}
+		out[c.Rank()] = append([]float32(nil), tr.Model.Params...)
+	})
+	return out[0]
+}
+
+// The core ZeRO claim (§2.2.3, §5): partitioning model states "does not
+// change the model optimization method", so every stage must reproduce the
+// baseline DDP trajectory *bitwise* — the collectives use the same ring
+// schedule and Adam is elementwise.
+func TestStagesMatchDDPBitwise(t *testing.T) {
+	cfg := testConfig()
+	const steps, batch = 5, 4
+	ids, targets := model.SyntheticBatch(3, batch, cfg.Seq, cfg.Vocab)
+	for _, n := range []int{1, 2, 4} {
+		want := runDDP(cfg, n, steps, ids, targets, batch)
+		for _, stage := range []Stage{StageOS, StageOSG, StageOSGP} {
+			got := runZeRO(t, cfg, stage, n, steps,
+				Options{LR: testLR, Seed: testSeed}, ids, targets, batch)
+			for r := 0; r < n; r++ {
+				if d := tensor.MaxDiff(got[r], want); d != 0 {
+					t.Errorf("n=%d %v rank %d: diverged from DDP by %g", n, stage, r, d)
+				}
+			}
+		}
+	}
+}
+
+// Against single-process full-batch training the stages match within fp32
+// reduction rounding.
+func TestStagesMatchSingleProcess(t *testing.T) {
+	cfg := testConfig()
+	const steps, batch = 5, 4
+	ids, targets := model.SyntheticBatch(3, batch, cfg.Seq, cfg.Vocab)
+	ref := model.New(cfg, testSeed)
+	opt := optimizer.NewAdam(cfg.ParamCount(), testLR)
+	for s := 0; s < steps; s++ {
+		ref.ZeroGrads()
+		ref.Loss(ids, targets, batch)
+		ref.Backward()
+		opt.Step(ref.Params, ref.Grads)
+	}
+	for _, stage := range []Stage{StageOS, StageOSG, StageOSGP} {
+		got := runZeRO(t, cfg, stage, 4, steps,
+			Options{LR: testLR, Seed: testSeed}, ids, targets, batch)
+		if d := tensor.MaxDiff(got[0], ref.Params); d > 2e-4 {
+			t.Errorf("%v vs single process: max diff %g", stage, d)
+		}
+	}
+}
+
+// Gradient bucketing (the CB optimization applied to the reduce-scatter)
+// must not change the numbers: same ring partition per wave, same sums.
+func TestBucketedReduceScatterBitwise(t *testing.T) {
+	cfg := testConfig()
+	const batch = 4
+	ids, targets := model.SyntheticBatch(13, batch, cfg.Seq, cfg.Vocab)
+	unfused := runZeRO(t, cfg, StageOSG, 4, 3, Options{LR: testLR, Seed: testSeed}, ids, targets, batch)
+	bucketed := runZeRO(t, cfg, StageOSG, 4, 3,
+		Options{LR: testLR, Seed: testSeed, BucketElems: 257}, ids, targets, batch)
+	if d := tensor.MaxDiff(unfused[0], bucketed[0]); d != 0 {
+		t.Errorf("bucketing changed the trajectory by %g", d)
+	}
+}
+
+// §7 communication-volume identities, measured on the wire. Total elements
+// sent across all ranks per step:
+//
+//	DDP / Pos / Pos+g:  2(N-1)Ψ   (all-reduce, or RS + param all-gather)
+//	Pos+g+p:            3(N-1)Ψ   (two gather passes + RS, no param AG)
+func TestCommunicationVolumeIdentities(t *testing.T) {
+	cfg := testConfig()
+	psi := int64(cfg.ParamCount())
+	const batch = 4
+	ids, targets := model.SyntheticBatch(5, batch, cfg.Seq, cfg.Vocab)
+	for _, n := range []int{2, 4} {
+		for _, tc := range []struct {
+			stage Stage
+			mult  int64
+		}{
+			{StageOS, 2}, {StageOSG, 2}, {StageOSGP, 3},
+		} {
+			w := comm.NewWorld(n)
+			w.Run(func(c *comm.Comm) {
+				// Trainer construction performs no communication, so the
+				// counters hold exactly one step's traffic.
+				tr := New(c, cfg, Options{Stage: tc.stage, LR: testLR, Seed: testSeed})
+				tr.Step(ids, targets, batch)
+			})
+			want := tc.mult * int64(n-1) * psi
+			if got := w.TotalElemsSent(); got != want {
+				t.Errorf("n=%d %v: total sent %d elems, want %d (= %dΨ(N-1))",
+					n, tc.stage, got, want, tc.mult)
+			}
+		}
+	}
+}
+
+// Stage 3 resident state: outside its partition a rank's parameters are
+// zeroed between steps (Ψ/Nd resident, §5.3), and the optimizer shard is
+// Ψ/Nd.
+func TestStage3ResidencyAndShards(t *testing.T) {
+	cfg := testConfig()
+	const n, batch = 4, 4
+	ids, targets := model.SyntheticBatch(5, batch, cfg.Seq, cfg.Vocab)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		tr := New(c, cfg, Options{Stage: StageOSGP, LR: testLR, Seed: testSeed})
+		tr.Step(ids, targets, batch)
+		own := tr.Owned()
+		for i, v := range tr.Model.Params {
+			if (i < own.Lo || i >= own.Hi) && v != 0 {
+				t.Errorf("rank %d: non-owned param %d resident after step", c.Rank(), i)
+				return
+			}
+		}
+		psi := tr.Model.NumParams()
+		if got := tr.OptimizerShardParams(); got != own.Len() || got > psi/n+1 {
+			t.Errorf("rank %d: optimizer shard %d params, want ≈Ψ/N = %d", c.Rank(), got, psi/n)
+		}
+	})
+}
+
+// FP16 mode: all three stages execute the identical sequence of rounded
+// operations, so they agree bitwise with each other, and training still
+// learns.
+func TestFP16StagesAgreeAndLearn(t *testing.T) {
+	cfg := model.Config{Layers: 2, Hidden: 32, Heads: 4, Vocab: 13, Seq: 12}
+	const n, batch, steps = 2, 4, 15
+	ids, targets := model.SyntheticBatch(17, batch, cfg.Seq, cfg.Vocab)
+	opts := Options{LR: 5e-3, Seed: 23, FP16: true}
+
+	s1 := runZeRO(t, cfg, StageOS, n, steps, opts, ids, targets, batch)
+	s2 := runZeRO(t, cfg, StageOSG, n, steps, opts, ids, targets, batch)
+	s3 := runZeRO(t, cfg, StageOSGP, n, steps, opts, ids, targets, batch)
+	if d := tensor.MaxDiff(s1[0], s2[0]); d != 0 {
+		t.Errorf("fp16 Pos vs Pos+g differ by %g", d)
+	}
+	if d := tensor.MaxDiff(s1[0], s3[0]); d != 0 {
+		t.Errorf("fp16 Pos vs Pos+g+p differ by %g", d)
+	}
+
+	// Learning check.
+	w := comm.NewWorld(n)
+	losses := make([]float64, n)
+	firsts := make([]float64, n)
+	w.Run(func(c *comm.Comm) {
+		tr := New(c, cfg, Options{Stage: StageOSG, LR: 5e-3, Seed: 23, FP16: true})
+		for s := 0; s < steps; s++ {
+			l := tr.Step(ids, targets, batch)
+			if s == 0 {
+				firsts[c.Rank()] = l
+			}
+			losses[c.Rank()] = l
+		}
+	})
+	for r := range losses {
+		if losses[r] >= firsts[r]-0.1 {
+			t.Errorf("rank %d: fp16 training did not learn (%.4f -> %.4f)", r, firsts[r], losses[r])
+		}
+	}
+}
+
+// Activation checkpointing inside the ZeRO trainer must not change the
+// trajectory.
+func TestZeROWithCheckpointingBitwise(t *testing.T) {
+	cfg := testConfig()
+	const batch = 4
+	ids, targets := model.SyntheticBatch(29, batch, cfg.Seq, cfg.Vocab)
+	plain := runZeRO(t, cfg, StageOSG, 2, 3, Options{LR: testLR, Seed: testSeed}, ids, targets, batch)
+	ckpt := runZeRO(t, cfg, StageOSG, 2, 3,
+		Options{LR: testLR, Seed: testSeed, Checkpoint: true}, ids, targets, batch)
+	if d := tensor.MaxDiff(plain[0], ckpt[0]); d != 0 {
+		t.Errorf("checkpointing changed the trajectory by %g", d)
+	}
+}
+
+func TestTrainerRejectsBaselineStage(t *testing.T) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for StageDP")
+			}
+		}()
+		New(c, testConfig(), Options{Stage: StageDP, LR: testLR})
+	})
+}
+
+// ModelStateBytes must follow the planner equation for the trainer's own
+// stage and world size.
+func TestTrainerModelStateAccounting(t *testing.T) {
+	cfg := testConfig()
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		tr := New(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 1})
+		want := int64(ModelStateBytes(int64(cfg.ParamCount()), StageOSG, 4))
+		if got := tr.ModelStateBytes(); got != want {
+			t.Errorf("ModelStateBytes = %d, want %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package zero
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// ZeRO-R: residual-memory optimizations (§6).
+//
+// Pa — partitioned activation checkpointing — exploits the fact that
+// Megatron-style model parallelism replicates activations across the MP
+// group: after a block's forward pass, each MP rank keeps only a 1/Nm slice
+// of the checkpoint, and an all-gather re-materializes it right before the
+// block's recomputation during backward (§6.1). Pa+cpu additionally moves
+// the slice to host memory, making the device-resident checkpoint footprint
+// ~zero at the cost of PCIe traffic (§8).
+//
+// InlineStore is the no-op reference store (plain activation
+// checkpointing); PartitionedStore implements Pa and Pa+cpu over a comm
+// group in which activations are replicated (the MP group).
+
+// InlineStore keeps checkpoints on-device, unpartitioned — baseline
+// activation checkpointing. It also serves as the memory-accounting
+// reference for Pa.
+type InlineStore struct {
+	ckpts map[int][]float32
+	bytes int64
+}
+
+// NewInlineStore returns an empty inline checkpoint store.
+func NewInlineStore() *InlineStore {
+	return &InlineStore{ckpts: make(map[int][]float32)}
+}
+
+// Put stores a copy of the checkpoint.
+func (s *InlineStore) Put(layer int, x []float32) {
+	cp := append([]float32(nil), x...)
+	if old, ok := s.ckpts[layer]; ok {
+		s.bytes -= int64(len(old)) * 2
+	}
+	s.ckpts[layer] = cp
+	s.bytes += int64(len(cp)) * 2
+}
+
+// Get returns the stored checkpoint.
+func (s *InlineStore) Get(layer int) []float32 {
+	x, ok := s.ckpts[layer]
+	if !ok {
+		panic(fmt.Sprintf("zero: no checkpoint for layer %d", layer))
+	}
+	return x
+}
+
+// DeviceBytes returns the resident device memory (fp16 accounting).
+func (s *InlineStore) DeviceBytes() int64 { return s.bytes }
+
+// PartitionedStore implements Pa and Pa+cpu. The comm group must be one in
+// which every rank Puts identical checkpoint values (in the paper: the MP
+// group, whose activations are replicated by construction). Each rank
+// retains only its partition; Get all-gathers the full checkpoint back.
+type PartitionedStore struct {
+	c       *comm.Comm
+	offload bool // Pa+cpu: shards live in host memory
+
+	shards map[int][]float32
+	sizes  map[int]int
+	parts  map[int][]comm.Range
+
+	deviceBytes int64
+	hostBytes   int64
+	pcieBytes   int64 // cumulative host<->device traffic
+}
+
+// NewPartitionedStore creates a Pa store over the given (MP) communicator;
+// offloadCPU selects Pa+cpu.
+func NewPartitionedStore(c *comm.Comm, offloadCPU bool) *PartitionedStore {
+	return &PartitionedStore{
+		c:       c,
+		offload: offloadCPU,
+		shards:  make(map[int][]float32),
+		sizes:   make(map[int]int),
+		parts:   make(map[int][]comm.Range),
+	}
+}
+
+// Put partitions the checkpoint across the group and keeps this rank's
+// slice (on host under Pa+cpu).
+func (s *PartitionedStore) Put(layer int, x []float32) {
+	parts := comm.Partition(len(x), s.c.Size())
+	own := parts[s.c.Rank()]
+	shard := append([]float32(nil), x[own.Lo:own.Hi]...)
+	if old, ok := s.shards[layer]; ok {
+		if s.offload {
+			s.hostBytes -= int64(len(old)) * 2
+		} else {
+			s.deviceBytes -= int64(len(old)) * 2
+		}
+	}
+	s.shards[layer] = shard
+	s.sizes[layer] = len(x)
+	s.parts[layer] = parts
+	bytes := int64(len(shard)) * 2
+	if s.offload {
+		s.hostBytes += bytes
+		s.pcieBytes += bytes // device → host copy
+	} else {
+		s.deviceBytes += bytes
+	}
+}
+
+// Get re-materializes the full checkpoint with an all-gather across the
+// group (plus a host→device copy first under Pa+cpu).
+func (s *PartitionedStore) Get(layer int) []float32 {
+	shard, ok := s.shards[layer]
+	if !ok {
+		panic(fmt.Sprintf("zero: no checkpoint shard for layer %d", layer))
+	}
+	if s.offload {
+		s.pcieBytes += int64(len(shard)) * 2 // host → device before gather
+	}
+	full := make([]float32, s.sizes[layer])
+	parts := s.parts[layer]
+	own := parts[s.c.Rank()]
+	copy(full[own.Lo:own.Hi], shard)
+	s.c.AllGather(full, parts)
+	return full
+}
+
+// DeviceBytes returns resident device checkpoint memory: the full footprint
+// divided by the MP degree under Pa, ~0 under Pa+cpu (§6.1).
+func (s *PartitionedStore) DeviceBytes() int64 { return s.deviceBytes }
+
+// HostBytes returns checkpoint bytes resident in host memory (Pa+cpu).
+func (s *PartitionedStore) HostBytes() int64 { return s.hostBytes }
+
+// PCIeBytes returns cumulative host-device transfer volume; per step and
+// checkpoint it is 2× the shard size, the "2x added data movement" of §8.
+func (s *PartitionedStore) PCIeBytes() int64 { return s.pcieBytes }
