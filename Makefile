@@ -1,0 +1,35 @@
+# Standard pre-PR gate: `make check` must pass before every commit.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench sweep all
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector gate for the concurrent packages: the collectives, the
+# async bucket engine, the trainer overlap path, and the parallel kernels.
+race:
+	$(GO) test -race ./internal/comm ./internal/zero ./internal/tensor ./internal/ddp
+
+# Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
+bench:
+	./scripts/bench.sh
+
+# Render the stage-sweep experiments.
+sweep:
+	$(GO) run ./cmd/zerobench stagememory stagesweep stagethroughput
+
+all: check

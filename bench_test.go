@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -222,6 +223,67 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Stage API / async comm engine benchmarks -----------------------------
+
+// BenchmarkAsyncReduceScatter1M: the bucketed async engine at gradient
+// scale, submit + flush per iteration. Compare with the synchronous
+// BenchmarkReduceScatter1M above: the delta is queue overhead alone, the
+// win is the compute that can now ride under the wire time.
+func BenchmarkAsyncReduceScatter1M(b *testing.B) {
+	const n, elems = 4, 1 << 20
+	w := comm.NewWorld(n)
+	b.SetBytes(elems * 4)
+	b.ResetTimer()
+	w.Run(func(c *comm.Comm) {
+		e := comm.NewAsyncEngine(c)
+		defer e.Close()
+		x := make([]float32, elems)
+		parts := comm.Partition(elems, c.Size())
+		for i := 0; i < b.N; i++ {
+			e.ReduceScatter(x, parts)
+			e.Flush()
+		}
+	})
+}
+
+// benchStageConfig is larger than benchConfig so backward compute is deep
+// enough for the overlap window to matter.
+func benchStageConfig() model.Config {
+	return model.Config{Layers: 4, Hidden: 128, Heads: 4, Vocab: 128, Seq: 32}
+}
+
+// BenchmarkStageStep sweeps the unified Stage API: ns/step for every stage
+// with the synchronous and the overlapped bucket schedule, reporting the
+// measured wire traffic per rank per step (the BENCH_*.json baseline).
+func BenchmarkStageStep(b *testing.B) {
+	const ranks, batch = 4, 8
+	cfg := benchStageConfig()
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	for _, stage := range zero.AllStages {
+		for _, overlap := range []bool{false, true} {
+			name := fmt.Sprintf("stage=%d/overlap=%v", int(stage), overlap)
+			b.Run(name, func(b *testing.B) {
+				w := comm.NewWorld(ranks)
+				b.ResetTimer()
+				w.Run(func(c *comm.Comm) {
+					tr := zero.New(c, cfg, zero.Options{
+						Stage: stage, LR: 1e-3, Seed: 1,
+						BucketElems: 4096, Overlap: overlap, FP16: true,
+					})
+					defer tr.Close()
+					for i := 0; i < b.N; i++ {
+						tr.Step(ids, targets, batch)
+					}
+				})
+				b.StopTimer()
+				const fp16Bytes = 2
+				elemsPerStep := float64(w.Stats(0).ElemsSent) / float64(b.N)
+				b.ReportMetric(elemsPerStep*fp16Bytes, "wire-B/rank/step")
+			})
+		}
+	}
 }
 
 // BenchmarkMegatronGPTStep measures one training step of the full

@@ -1,24 +1,52 @@
 // Command zerobench regenerates every table and figure of the ZeRO paper's
-// evaluation from this repository's implementation.
+// evaluation from this repository's implementation, plus the stage-sweep
+// experiments of the unified Stage API.
 //
 // Usage:
 //
-//	zerobench <experiment>...
+//	zerobench [flags] <experiment>...
 //	zerobench all
+//	zerobench -stage=2              (stage sweep restricted to Pos+g)
+//	zerobench -stage=2 -bucket=1024 stagesweep
 //
 // Experiments: fig1 table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-// commvolume. Output is an aligned text table per experiment; EXPERIMENTS.md
-// records the comparison against the paper's reported values.
+// commvolume ablations stagesweep stagethroughput stagememory. Output is an
+// aligned text table per experiment; EXPERIMENTS.md records the comparison
+// against the paper's reported values.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/zero"
 )
+
+var (
+	stageFlag  = flag.String("stage", "", "restrict the stage sweep to one stage (0-3, ddp, os, os+g, full); empty sweeps all")
+	bucketFlag = flag.Int("bucket", 4096, "gradient bucket size in elements for the stage sweep")
+	ranksFlag  = flag.Int("ranks", 4, "simulated GPU count for the stage sweep")
+	stepsFlag  = flag.Int("steps", 3, "measured steps per stage-sweep row")
+)
+
+func sweepConfig() (experiments.StageSweepConfig, error) {
+	sc := experiments.DefaultStageSweep()
+	sc.Ranks = *ranksFlag
+	sc.Steps = *stepsFlag
+	sc.BucketElems = *bucketFlag
+	if *stageFlag != "" {
+		st, err := zero.ParseStage(*stageFlag)
+		if err != nil {
+			return sc, err
+		}
+		sc.Stages = []zero.Stage{st}
+	}
+	return sc, nil
+}
 
 var drivers = map[string]func() experiments.Table{
 	"fig1":       experiments.Fig1,
@@ -33,19 +61,37 @@ var drivers = map[string]func() experiments.Table{
 	"fig8":       experiments.Fig8,
 	"commvolume": experiments.CommVolume,
 	"ablations":  experiments.Ablations,
+	"stagesweep": func() experiments.Table {
+		sc, _ := sweepConfig() // flags validated in main before dispatch
+		return experiments.StageSweep(sc)
+	},
+	"stagethroughput": experiments.StageThroughput,
+	"stagememory":     experiments.StageMemory,
 }
 
-// order fixes the "all" sequence to the paper's presentation order.
+// order fixes the "all" sequence to the paper's presentation order, with
+// the stage-sweep extensions last.
 var order = []string{
 	"fig1", "table1", "table2", "fig2", "fig3", "fig4",
 	"fig5", "fig6", "fig7", "fig8", "commvolume", "ablations",
+	"stagememory", "stagesweep", "stagethroughput",
 }
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		usage()
+	flag.Usage = usage
+	flag.Parse()
+	if _, err := sweepConfig(); err != nil {
+		fmt.Fprintf(os.Stderr, "zerobench: %v\n", err)
 		os.Exit(2)
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		// A bare `zerobench -stage=N` means: run the stage sweep.
+		if *stageFlag == "" {
+			usage()
+			os.Exit(2)
+		}
+		args = []string{"stagesweep"}
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = order
@@ -68,6 +114,7 @@ func usage() {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(os.Stderr, "usage: zerobench <experiment>... | all\nexperiments: %s\n",
+	fmt.Fprintf(os.Stderr, "usage: zerobench [flags] <experiment>... | all\nexperiments: %s\n",
 		strings.Join(names, " "))
+	flag.PrintDefaults()
 }

@@ -7,6 +7,7 @@
 //
 //	zerotrain -ranks 4 -stage 2 -steps 50
 //	zerotrain -ranks 8 -stage 3 -fp16 -checkpoint -clip 1.0
+//	zerotrain -ranks 4 -stage 0 -overlap=false    (seed-style synchronous DDP)
 //	zerotrain -ranks 4 -stage 2 -save ckpt.bin -steps 20
 //	zerotrain -ranks 4 -stage 2 -load ckpt.bin -steps 20
 package main
@@ -28,7 +29,7 @@ func main() {
 	log.SetPrefix("zerotrain: ")
 	var (
 		ranks      = flag.Int("ranks", 4, "simulated GPU count (DP degree)")
-		stage      = flag.Int("stage", 2, "ZeRO stage: 1 (Pos), 2 (Pos+g), 3 (Pos+g+p)")
+		stage      = flag.String("stage", "2", "ZeRO stage: 0/ddp, 1/os, 2/os+g, 3/full")
 		layers     = flag.Int("layers", 4, "transformer layers")
 		hidden     = flag.Int("hidden", 64, "hidden width")
 		heads      = flag.Int("heads", 4, "attention heads")
@@ -40,15 +41,17 @@ func main() {
 		clip       = flag.Float64("clip", 0, "gradient clipping norm (0 = off)")
 		fp16       = flag.Bool("fp16", false, "simulate mixed-precision training")
 		checkpoint = flag.Bool("checkpoint", false, "activation checkpointing")
-		bucket     = flag.Int("bucket", 0, "reduce-scatter bucket elements (0 = unfused)")
+		bucket     = flag.Int("bucket", 4096, "gradient bucket elements (0 = one bucket per layer group)")
+		overlap    = flag.Bool("overlap", true, "overlap gradient collectives with backward compute")
 		seed       = flag.Int64("seed", 7, "init and data seed")
 		savePath   = flag.String("save", "", "write a consolidated checkpoint here after training")
 		loadPath   = flag.String("load", "", "resume from a checkpoint written by -save")
 	)
 	flag.Parse()
 
-	if *stage < 1 || *stage > 3 {
-		log.Fatalf("-stage must be 1, 2 or 3")
+	st, err := zero.ParseStage(*stage)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := model.Config{Layers: *layers, Hidden: *hidden, Heads: *heads, Vocab: *vocab, Seq: *seq}
 	if err := cfg.Validate(); err != nil {
@@ -58,10 +61,11 @@ func main() {
 		log.Fatalf("-batch %d must be divisible by -ranks %d", *batch, *ranks)
 	}
 	opts := zero.Options{
-		Stage:       zero.Stage(*stage),
+		Stage:       st,
 		LR:          *lr,
 		Seed:        *seed,
 		BucketElems: *bucket,
+		Overlap:     *overlap,
 		FP16:        *fp16,
 		Checkpoint:  *checkpoint,
 		ClipNorm:    *clip,
@@ -93,6 +97,7 @@ func main() {
 	var snapBlob []byte
 	w.Run(func(c *comm.Comm) {
 		tr := zero.New(c, cfg, opts)
+		defer tr.Close()
 		if resume != nil {
 			snap := resume
 			if c.Size() > 1 {

@@ -1,0 +1,107 @@
+package comm
+
+import "sync/atomic"
+
+// AsyncEngine executes one rank's collective operations on a dedicated
+// worker goroutine, in submission order, so communication overlaps with
+// compute on the rank's main goroutine — the paper's bucketed
+// communication/computation overlap (§7.2: gradient buckets are reduced
+// "as they become available during the backward propagation").
+//
+// Correctness contract, mirroring NCCL stream semantics:
+//
+//   - Every rank of the world must submit the same collectives in the same
+//     order; the per-rank FIFO makes cross-rank pairing deterministic.
+//   - A submitted op owns its buffer region until Flush returns. The caller
+//     may freely mutate *disjoint* regions concurrently (that is the whole
+//     point: backward writes layer k's gradients while layer k+1's bucket
+//     is on the wire).
+//   - The rank's Comm must not be used directly between a submission and
+//     the next Flush: two goroutines of one rank interleaving collectives
+//     would scramble ring pairing.
+//
+// Flush is the barrier the trainer runs before the optimizer step; Close
+// shuts the worker down.
+type AsyncEngine struct {
+	c         *Comm
+	ops       chan asyncOp
+	done      chan struct{}
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+type asyncOp struct {
+	fn  func(*Comm)
+	ack chan struct{}
+}
+
+// DefaultAsyncDepth is the submission-queue capacity: deep enough that a
+// backward pass never blocks on submission at realistic bucket counts.
+const DefaultAsyncDepth = 64
+
+// NewAsyncEngine starts the worker goroutine for one rank's communicator.
+// The engine assumes exclusive use of c until Close.
+func NewAsyncEngine(c *Comm) *AsyncEngine {
+	e := &AsyncEngine{
+		c:    c,
+		ops:  make(chan asyncOp, DefaultAsyncDepth),
+		done: make(chan struct{}),
+	}
+	go e.loop()
+	return e
+}
+
+func (e *AsyncEngine) loop() {
+	defer close(e.done)
+	for op := range e.ops {
+		if op.fn != nil {
+			op.fn(e.c)
+			e.completed.Add(1)
+		}
+		if op.ack != nil {
+			close(op.ack)
+		}
+	}
+}
+
+// Submit enqueues an arbitrary collective; fn runs on the worker goroutine
+// with the engine's Comm. Blocks only if the queue is full.
+func (e *AsyncEngine) Submit(fn func(c *Comm)) {
+	e.submitted.Add(1)
+	e.ops <- asyncOp{fn: fn}
+}
+
+// ReduceScatter enqueues an asynchronous reduce-scatter of x under parts.
+func (e *AsyncEngine) ReduceScatter(x []float32, parts []Range) {
+	e.Submit(func(c *Comm) { c.ReduceScatter(x, parts) })
+}
+
+// AllGather enqueues an asynchronous all-gather of x under parts.
+func (e *AsyncEngine) AllGather(x []float32, parts []Range) {
+	e.Submit(func(c *Comm) { c.AllGather(x, parts) })
+}
+
+// Flush blocks until every previously submitted op has completed on this
+// rank. It is a local barrier: pair it across ranks (every rank submits the
+// same schedule, every rank flushes) exactly like a stream synchronize.
+func (e *AsyncEngine) Flush() {
+	ack := make(chan struct{})
+	e.ops <- asyncOp{ack: ack}
+	<-ack
+}
+
+// Pending returns the number of submitted ops not yet completed. It is
+// advisory (racy by nature) and meant for tests and instrumentation.
+func (e *AsyncEngine) Pending() int64 {
+	return e.submitted.Load() - e.completed.Load()
+}
+
+// Completed returns the number of ops the worker has finished executing.
+func (e *AsyncEngine) Completed() int64 { return e.completed.Load() }
+
+// Close drains the queue and stops the worker. The engine must not be used
+// afterwards.
+func (e *AsyncEngine) Close() {
+	close(e.ops)
+	<-e.done
+}

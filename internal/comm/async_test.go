@@ -1,0 +1,150 @@
+package comm
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// The async engine must produce bitwise the same reductions as direct
+// synchronous collectives: it only moves *when* the ring runs, never what
+// it computes.
+func TestAsyncEngineMatchesSyncCollectives(t *testing.T) {
+	const n, elems = 4, 1000
+	mk := func() [][]float32 {
+		bufs := make([][]float32, n)
+		r := rand.New(rand.NewSource(42))
+		for i := range bufs {
+			bufs[i] = make([]float32, elems)
+			for j := range bufs[i] {
+				bufs[i][j] = float32(r.NormFloat64())
+			}
+		}
+		return bufs
+	}
+
+	sync := mk()
+	ws := NewWorld(n)
+	ws.Run(func(c *Comm) {
+		parts := Partition(elems, n)
+		c.ReduceScatter(sync[c.Rank()], parts)
+		c.AllGather(sync[c.Rank()], parts)
+	})
+
+	async := mk()
+	wa := NewWorld(n)
+	wa.Run(func(c *Comm) {
+		e := NewAsyncEngine(c)
+		defer e.Close()
+		parts := Partition(elems, n)
+		e.ReduceScatter(async[c.Rank()], parts)
+		e.AllGather(async[c.Rank()], parts)
+		e.Flush()
+	})
+
+	for r := 0; r < n; r++ {
+		for j := range sync[r] {
+			if sync[r][j] != async[r][j] {
+				t.Fatalf("rank %d elem %d: async %v != sync %v", r, j, async[r][j], sync[r][j])
+			}
+		}
+	}
+}
+
+// Flush is a completion barrier: every op submitted before it must have
+// executed when it returns, in submission order.
+func TestAsyncEngineFlushOrdering(t *testing.T) {
+	const n, ops = 2, 50
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		e := NewAsyncEngine(c)
+		defer e.Close()
+		var order []int
+		for i := 0; i < ops; i++ {
+			i := i
+			e.Submit(func(c *Comm) {
+				c.Barrier() // real cross-rank op so the worker does wire work
+				order = append(order, i)
+			})
+		}
+		e.Flush()
+		if len(order) != ops {
+			t.Errorf("rank %d: %d ops ran before Flush returned, want %d", c.Rank(), len(order), ops)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Errorf("rank %d: op %d ran at position %d (order must be FIFO)", c.Rank(), v, i)
+				break
+			}
+		}
+		if p := e.Pending(); p != 0 {
+			t.Errorf("rank %d: %d ops pending after Flush", c.Rank(), p)
+		}
+		if got := e.Completed(); got != ops {
+			t.Errorf("rank %d: Completed() = %d, want %d", c.Rank(), got, ops)
+		}
+	})
+}
+
+// The whole point of the engine: the main goroutine may mutate buffer
+// regions disjoint from in-flight buckets. Run under -race to prove the
+// overlap is data-race free.
+func TestAsyncEngineOverlapsDisjointCompute(t *testing.T) {
+	const n, elems, half = 2, 4096, 2048
+	bufs := make([][]float32, n)
+	for i := range bufs {
+		bufs[i] = make([]float32, elems)
+		for j := range bufs[i] {
+			bufs[i][j] = 1
+		}
+	}
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		e := NewAsyncEngine(c)
+		defer e.Close()
+		x := bufs[c.Rank()]
+		// Reduce the first half while "computing" into the second half.
+		e.ReduceScatter(x[:half], Partition(half, n))
+		e.AllGather(x[:half], Partition(half, n))
+		for j := half; j < elems; j++ {
+			x[j] *= 2
+		}
+		e.Flush()
+		// Now reduce the second half too.
+		e.ReduceScatter(x[half:], Partition(half, n))
+		e.AllGather(x[half:], Partition(half, n))
+		e.Flush()
+	})
+	for r := 0; r < n; r++ {
+		if bufs[r][0] != n {
+			t.Errorf("rank %d: first half = %v, want %v", r, bufs[r][0], float32(n))
+		}
+		if bufs[r][elems-1] != 2*n {
+			t.Errorf("rank %d: second half = %v, want %v", r, bufs[r][elems-1], float32(2*n))
+		}
+	}
+}
+
+// An engine must survive many submit/flush cycles (one per training step)
+// and a double Close must not be required for cleanup.
+func TestAsyncEngineReuseAcrossSteps(t *testing.T) {
+	const n, steps = 3, 20
+	var total atomic.Int64
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		e := NewAsyncEngine(c)
+		defer e.Close()
+		x := make([]float32, 99)
+		for s := 0; s < steps; s++ {
+			for i := range x {
+				x[i] = 1
+			}
+			e.ReduceScatter(x, Partition(len(x), n))
+			e.Flush()
+			total.Add(1)
+		}
+	})
+	if got := total.Load(); got != n*steps {
+		t.Errorf("completed %d step flushes, want %d", got, n*steps)
+	}
+}

@@ -1,100 +1,45 @@
 // Package ddp is the paper's baseline: classic data-parallel training in
 // the style of PyTorch DistributedDataParallel. Every rank replicates the
-// full model states — fp16 parameters, fp16 gradients, and the complete
-// fp32 Adam state — and averages gradients with a bucketed ring all-reduce
-// after backward. Its per-device model-state footprint is the (2+2+K)Ψ of
-// §3.1, which is why "basic data parallelism ... runs out of memory for
-// models with more than 1.4B parameters" (§1) on a 32 GB device.
+// full model states — parameters, gradients, and the complete fp32 Adam
+// state — and averages gradients collectively after backward. Its
+// per-device model-state footprint is the (2+2+K)Ψ of §3.1, which is why
+// "basic data parallelism ... runs out of memory for models with more than
+// 1.4B parameters" (§1) on a 32 GB device.
+//
+// Since the unified Stage API, DDP is no longer a separate engine: this
+// package is a thin constructor over zero.Trainer at zero.StageDDP, the
+// degenerate stage-0 case of the one code path. The gradient all-reduce is
+// the same bucketed reduce-scatter every ZeRO stage runs, completed by a
+// gradient all-gather; set Overlap to ride the buckets under backward
+// compute.
 package ddp
 
 import (
 	"repro/internal/comm"
 	"repro/internal/model"
-	"repro/internal/optimizer"
-	"repro/internal/tensor"
+	"repro/internal/zero"
 )
 
 // DefaultBucketElems is the all-reduce fusion bucket size in elements,
 // mirroring DDP's 25MB-ish gradient buckets.
 const DefaultBucketElems = 1 << 22
 
-// Trainer is one rank's replicated-state data-parallel trainer.
+// Trainer is one rank's replicated-state data-parallel trainer: a
+// zero.Trainer pinned to StageDDP. BucketElems, ClipNorm, Overlap and
+// LastGradNorm are promoted from the embedded trainer and may be tuned
+// between steps.
 type Trainer struct {
-	Model *model.Model
-	Opt   *optimizer.Adam
-
-	// BucketElems is the gradient fusion bucket size; 0 means a single
-	// unfused all-reduce.
-	BucketElems int
-
-	// ClipNorm caps the global gradient L2 norm before the optimizer step
-	// (0 disables). The norm is computed by the same partition-ordered
-	// arithmetic the ZeRO trainer uses, so clipped DDP and clipped ZeRO
-	// stay bitwise identical.
-	ClipNorm float64
-
-	// LastGradNorm is the global gradient norm observed by the most
-	// recent Step when ClipNorm is enabled (pre-clipping).
-	LastGradNorm float64
-
-	comm *comm.Comm
+	*zero.Trainer
 }
 
 // New builds a rank's trainer. All ranks must pass the same cfg and seed so
 // replicas start identical (DDP broadcasts initial weights; identical
 // seeding is our equivalent).
 func New(c *comm.Comm, cfg model.Config, seed int64, lr float64) *Trainer {
-	return &Trainer{
-		Model:       model.New(cfg, seed),
-		Opt:         optimizer.NewAdam(cfg.ParamCount(), lr),
+	return &Trainer{zero.New(c, cfg, zero.Options{
+		Stage:       zero.StageDDP,
+		LR:          lr,
+		Seed:        seed,
 		BucketElems: DefaultBucketElems,
-		comm:        c,
-	}
-}
-
-// Step runs one training step on this rank's shard of the global batch and
-// returns the local loss. ids/targets are the *global* batch (batch rows ×
-// seq); sharding happens inside so every rank sees the same call.
-func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
-	shardIDs, shardTargets, per := model.ShardBatch(ids, targets, globalBatch, t.comm.Size(), t.comm.Rank())
-	t.Model.ZeroGrads()
-	loss := t.Model.Loss(shardIDs, shardTargets, per)
-	t.Model.Backward()
-	t.averageGradients()
-	if t.ClipNorm > 0 {
-		parts := comm.Partition(len(t.Model.Grads), t.comm.Size())
-		partials := make([]float32, t.comm.Size())
-		for i, p := range parts {
-			partials[i] = optimizer.PartialSquaredSum(t.Model.Grads[p.Lo:p.Hi])
-		}
-		norm := optimizer.GlobalGradNorm(partials)
-		t.LastGradNorm = norm
-		tensor.Scale(t.Model.Grads, optimizer.ClipScale(norm, t.ClipNorm))
-	}
-	t.Opt.Step(t.Model.Params, t.Model.Grads)
-	return loss
-}
-
-// averageGradients all-reduces the flat gradient buffer in fusion buckets.
-func (t *Trainer) averageGradients() {
-	g := t.Model.Grads
-	bucket := t.BucketElems
-	if bucket <= 0 || bucket >= len(g) {
-		t.comm.AllReduceAvg(g)
-		return
-	}
-	for lo := 0; lo < len(g); lo += bucket {
-		hi := lo + bucket
-		if hi > len(g) {
-			hi = len(g)
-		}
-		t.comm.AllReduceAvg(g[lo:hi])
-	}
-}
-
-// ModelStateBytes returns this rank's model-state footprint in bytes under
-// mixed-precision accounting: (2+2+K)Ψ with everything replicated.
-func (t *Trainer) ModelStateBytes() int64 {
-	psi := int64(t.Model.NumParams())
-	return psi * (tensor.BytesPerHalf + tensor.BytesPerHalf + optimizer.AdamK)
+	})}
 }

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/zero"
 )
 
 func parseF(t *testing.T, s string) float64 {
@@ -233,6 +235,101 @@ func TestRenderDoesNotPanic(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Error("no output rendered")
+	}
+}
+
+// The stage sweep's headline: every ZeRO stage moves fewer wire bytes per
+// step than the seed's synchronous fp32 DP path, and stages 0-2 move the
+// same number of *elements* (2Ψ-class schedules) while stage 3 moves 1.5x.
+func TestStageSweepBytesBelowSeed(t *testing.T) {
+	sc := DefaultStageSweep()
+	sc.Steps = 1
+	tab := StageSweep(sc)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want seed + 4 stage rows, got %d", len(tab.Rows))
+	}
+	seedBytes := parseF(t, tab.Rows[0][3])
+	seedElems := parseF(t, tab.Rows[0][2])
+	for _, row := range tab.Rows[1:] {
+		if b := parseF(t, row[3]); b >= seedBytes {
+			t.Errorf("%s: %v bytes/rank/step, must be below seed's %v", row[0], b, seedBytes)
+		}
+	}
+	for _, i := range []int{1, 2, 3} { // DP, Pos, Pos+g
+		if e := parseF(t, tab.Rows[i][2]); e != seedElems {
+			t.Errorf("%s: %v elems, want seed's %v (2Ψ schedule)", tab.Rows[i][0], e, seedElems)
+		}
+	}
+	s3 := parseF(t, tab.Rows[4][2])
+	if ratio := s3 / seedElems; ratio < 1.49 || ratio > 1.51 {
+		t.Errorf("Pos+g+p elems = %vx seed, want 1.5x (3Ψ vs 2Ψ)", ratio)
+	}
+}
+
+// A single-stage sweep (zerobench -stage=2) keeps only the seed row plus
+// the requested stage.
+func TestStageSweepSingleStage(t *testing.T) {
+	sc := DefaultStageSweep()
+	sc.Steps = 1
+	sc.Stages = []zero.Stage{zero.StageOSGrad}
+	tab := StageSweep(sc)
+	if len(tab.Rows) != 2 || !strings.Contains(tab.Rows[1][0], "Pos+g") {
+		t.Fatalf("want seed + Pos+g rows, got %v", tab.Rows)
+	}
+	if parseF(t, tab.Rows[1][3]) >= parseF(t, tab.Rows[0][3]) {
+		t.Error("stage 2 must move fewer bytes per step than the synchronous seed path")
+	}
+}
+
+// The stage-throughput sweep's shape: each stage unlocks strictly larger
+// models (DP dies at 8B, Pos+g at 40B, only Pos+g+p trains 100B without
+// MP), and the overlapped schedule never loses to the synchronous one.
+func TestStageThroughputShape(t *testing.T) {
+	tab := StageThroughput()
+	cell := func(model, stage string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == model && r[1] == stage {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", model, stage)
+		return nil
+	}
+	if cell("8B", "DP")[2] != "OOM" || cell("8B", "Pos")[2] != "OOM" {
+		t.Error("8B should OOM under DP and Pos on 32GB")
+	}
+	if cell("8B", "Pos+g")[2] == "OOM" {
+		t.Error("8B should fit under Pos+g (the democratization result)")
+	}
+	if cell("100B", "Pos+g")[2] != "OOM" {
+		t.Error("100B should OOM under Pos+g without MP")
+	}
+	if cell("100B", "Pos+g+p")[2] == "OOM" {
+		t.Error("100B should fit under Pos+g+p")
+	}
+	for _, r := range tab.Rows {
+		if r[2] == "OOM" {
+			continue
+		}
+		if parseF(t, r[3]) < parseF(t, r[4]) {
+			t.Errorf("%s/%s: overlap %s TF/GPU below sync %s", r[0], r[1], r[3], r[4])
+		}
+	}
+}
+
+// The stage-memory sweep covers all four stages; stage 0 is flat and
+// stage 3 scales as 1/Nd.
+func TestStageMemorySweep(t *testing.T) {
+	tab := StageMemory()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 stage rows, got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != tab.Rows[0][6] {
+		t.Errorf("stage 0 must be flat across DP degrees: %v vs %v", tab.Rows[0][1], tab.Rows[0][6])
+	}
+	last := parseF(t, tab.Rows[3][6])
+	if last > 0.2 {
+		t.Errorf("Pos+g+p at Nd=1024 = %v GB, want ≈0.12", last)
 	}
 }
 

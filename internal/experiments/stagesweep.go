@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/zero"
+)
+
+// StageSweepConfig parameterizes the measured stage sweep (cmd/zerobench's
+// -stage/-bucket/-ranks flags land here).
+type StageSweepConfig struct {
+	Ranks       int
+	Steps       int
+	BucketElems int
+	Stages      []zero.Stage // nil sweeps all four
+}
+
+// DefaultStageSweep is the configuration zerobench uses when no flags are
+// given: all four stages on a 4-rank world.
+func DefaultStageSweep() StageSweepConfig {
+	return StageSweepConfig{Ranks: 4, Steps: 3, BucketElems: 4096}
+}
+
+// StageSweep measures the unified Stage API end to end on the real
+// engines: for each ZeRO-DP stage it trains a small model and reports the
+// wire traffic per rank per step — elements counted by the collectives,
+// bytes at the stage's wire width — and the wall-clock of the synchronous
+// schedule versus the bucketed async overlap engine.
+//
+// The seed baseline row is the pre-Stage-API synchronous path: replicated
+// DP whose gradients cross the wire in fp32 (4 bytes/element, the only
+// width the seed's collectives knew). The ZeRO rows run mixed precision,
+// so their gradients and parameters move as fp16 (2 bytes/element, §3.1) —
+// which is why every stage, including Pos+g, moves fewer bytes per step
+// than the seed path even when the element counts match.
+func StageSweep(sc StageSweepConfig) Table {
+	if sc.Ranks <= 0 {
+		sc.Ranks = 4
+	}
+	if sc.Steps <= 0 {
+		sc.Steps = 3
+	}
+	stages := sc.Stages
+	if len(stages) == 0 {
+		stages = zero.AllStages
+	}
+	cfg := model.Config{Layers: 3, Hidden: 32, Heads: 4, Vocab: 31, Seq: 8}
+	psi := int64(cfg.ParamCount())
+	batch := 2 * sc.Ranks
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+
+	// run returns per-rank elements sent per step and the mean step time.
+	run := func(opts zero.Options) (elemsPerRankStep float64, stepTime time.Duration) {
+		w := comm.NewWorld(sc.Ranks)
+		start := time.Now()
+		w.Run(func(c *comm.Comm) {
+			tr := zero.New(c, cfg, opts)
+			defer tr.Close()
+			for s := 0; s < sc.Steps; s++ {
+				tr.Step(ids, targets, batch)
+			}
+		})
+		elapsed := time.Since(start)
+		return float64(w.TotalElemsSent()) / float64(sc.Ranks*sc.Steps),
+			elapsed / time.Duration(sc.Steps)
+	}
+
+	const fp32Bytes, fp16Bytes = 4, 2
+
+	// Seed baseline: synchronous replicated DP, fp32 wire, unbucketed.
+	seedElems, seedTime := run(zero.Options{Stage: zero.StageDDP, LR: 1e-3, Seed: 1})
+	seedBytes := seedElems * fp32Bytes
+
+	rows := [][]string{{
+		"seed sync DP", "fp32", fmtF(seedElems, 0), fmtF(seedBytes, 0), "1.00x",
+		fmt.Sprint(seedTime.Round(time.Microsecond)), "-", "-",
+	}}
+	for _, st := range stages {
+		base := zero.Options{
+			Stage: st, LR: 1e-3, Seed: 1, FP16: true, BucketElems: sc.BucketElems,
+		}
+		elems, syncTime := run(base)
+		over := base
+		over.Overlap = true
+		_, overTime := run(over)
+		bytes := elems * fp16Bytes
+		rows = append(rows, []string{
+			"ZeRO " + st.String(), "fp16",
+			fmtF(elems, 0), fmtF(bytes, 0),
+			fmtF(bytes/seedBytes, 2) + "x",
+			fmt.Sprint(syncTime.Round(time.Microsecond)),
+			fmt.Sprint(overTime.Round(time.Microsecond)),
+			fmtF(float64(syncTime)/float64(overTime), 2) + "x",
+		})
+	}
+	return Table{
+		Title: "Stage sweep: wire traffic and step time per ZeRO-DP stage",
+		Note: fmt.Sprintf("Ψ=%d params, N=%d ranks, bucket=%d elems; bytes = elems x wire width.\n"+
+			"Step times are wall-clock of this run (overlap = bucketed async engine).",
+			psi, sc.Ranks, sc.BucketElems),
+		Header: []string{"System", "Wire", "Elems/rank/step", "Bytes/rank/step", "vs seed",
+			"Step (sync)", "Step (overlap)", "Speedup"},
+		Rows: rows,
+	}
+}
+
+// stageThroughputModels are the Fig-2 ladder shapes re-run as pure ZeRO-DP
+// (MP=1) for the stage sweep.
+var stageThroughputModels = []struct {
+	label                 string
+	layers, hidden, heads int
+}{
+	{"1.5B", 48, 1600, 16},
+	{"8B", 72, 3072, 24},
+	{"40B", 88, 6144, 32},
+	{"100B", 125, 8192, 64},
+}
+
+// StageThroughput sweeps all four ZeRO-DP stages through the performance
+// model: for each model size it finds the largest micro-batch whose model
+// states plus residual states fit a 32 GB device at that stage, then
+// estimates per-GPU throughput with the overlapped schedule and with the
+// synchronous (SyncComm) schedule. Higher stages fit larger models and
+// afford larger batches (the Fig-3 superlinearity mechanism); stage 3 pays
+// 3Ψ communication for Ψ/Nd residency.
+func StageThroughput() Table {
+	const (
+		gpus   = 64
+		budget = 32 * zero.GB
+	)
+	var rows [][]string
+	for _, m := range stageThroughputModels {
+		shape := perfmodel.GPT2Like(m.layers, m.hidden, m.heads)
+		psi := shape.Params()
+		for _, st := range zero.AllStages {
+			maxBatch := 0
+			for b := 1; b <= 64; b *= 2 {
+				rc := zero.ResidualConfig{Batch: b, Seq: shape.Seq, MP: 1, CB: true, MD: true}
+				resid := zero.ResidualBytes(zero.ShapeInfo{Params: psi, Layers: m.layers, Hidden: m.hidden}, rc)
+				if zero.ModelStateBytes(psi, st, gpus)+resid <= budget {
+					maxBatch = b
+				}
+			}
+			if maxBatch == 0 {
+				rows = append(rows, []string{m.label, st.String(), "OOM", "-", "-", "-"})
+				continue
+			}
+			mk := func(sync bool) float64 {
+				return perfmodel.Estimate(hw, perfmodel.Config{
+					Shape: shape, MP: 1, DP: gpus, MicroBatch: maxBatch,
+					ZeRO: perfmodel.ZeROConfig{Stage: int(st), SyncComm: sync},
+				}).TFlopsPerGPU
+			}
+			overlapTF, syncTF := mk(false), mk(true)
+			rows = append(rows, []string{
+				m.label, st.String(), fmt.Sprint(maxBatch),
+				fmtF(overlapTF, 1), fmtF(syncTF, 1),
+				fmtF(overlapTF/syncTF, 2) + "x",
+			})
+		}
+	}
+	return Table{
+		Title: "Stage throughput sweep: ZeRO-DP stages 0-3, 64 GPUs, 32 GB budget",
+		Note: "Max micro-batch fitting model+residual states per stage; TF/GPU from the\n" +
+			"performance model with the bucketed overlap engine vs the synchronous schedule.",
+		Header: []string{"Model", "Stage", "Max batch", "TF/GPU (overlap)", "TF/GPU (sync)", "Gain"},
+		Rows:   rows,
+	}
+}
+
+// StageMemory is the Figure-1-style per-device model-state table swept
+// across every stage of the unified API and a ladder of DP degrees —
+// Table 1 keeps the paper's three-stage layout, this covers stage 0 too.
+func StageMemory() Table {
+	const psi = 7_500_000_000
+	dps := []int{1, 4, 16, 64, 256, 1024}
+	header := []string{"Stage"}
+	for _, nd := range dps {
+		header = append(header, fmt.Sprintf("Nd=%d", nd))
+	}
+	var rows [][]string
+	for _, st := range zero.AllStages {
+		row := []string{st.String()}
+		for _, nd := range dps {
+			row = append(row, fmtF(zero.ModelStateGB(psi, st, nd), 2))
+		}
+		rows = append(rows, row)
+	}
+	return Table{
+		Title:  "Stage memory sweep: per-device model-state GB (Ψ=7.5B) vs DP degree",
+		Note:   "All four stages of the unified API; stage 0 is flat at (2+2+K)Ψ.",
+		Header: header,
+		Rows:   rows,
+	}
+}

@@ -33,6 +33,20 @@ type Model struct {
 	// (Pa+cpu).
 	Store CheckpointStore
 
+	// BackwardHook, when non-nil, is invoked during Backward immediately
+	// after block `layer`'s parameter gradients are final (blocks are
+	// visited in reverse order, so layer L-1 fires first). Data-parallel
+	// engines use it to launch per-layer gradient collectives while the
+	// remaining blocks are still computing — the ZeRO bucketed
+	// communication/computation overlap. The hook is not called for the
+	// embeddings or final layernorm: the token-embedding gradient keeps
+	// accumulating until Backward returns (tied head at the start plus
+	// the embedding lookup at the very end), so that segment is only
+	// final afterwards. (The final layernorm's own gradients are written
+	// once, before the block loop, but share the post-Backward schedule
+	// slot for simplicity — they are 2h elements.)
+	BackwardHook func(layer int)
+
 	// saved forward state for backward
 	fwd *forwardState
 }
@@ -225,6 +239,9 @@ func (m *Model) Backward() {
 			m.blockForward(i, acts, fs.batch, fs.seqLen) // rebuild internals
 		}
 		dX = m.blockBackward(i, acts, dX, fs.batch, fs.seqLen)
+		if m.BackwardHook != nil {
+			m.BackwardHook(i)
+		}
 	}
 
 	// Embedding gradients.

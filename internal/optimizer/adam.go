@@ -7,6 +7,7 @@ package optimizer
 import (
 	"math"
 
+	"repro/internal/comm"
 	"repro/internal/tensor"
 )
 
@@ -115,6 +116,20 @@ func PartialSquaredSum(g []float32) float32 {
 		s += float64(v) * float64(v)
 	}
 	return float32(s)
+}
+
+// PartitionSquaredSums computes every partition's partial Σg² from a full
+// gradient buffer — the replicated (stage 0) counterpart of each
+// partitioned rank contributing PartialSquaredSum over its own shard and
+// all-gathering the rest. Both paths feed GlobalGradNorm the identical
+// partition-ordered partials, which is what keeps gradient clipping
+// bitwise-equal across every ZeRO stage.
+func PartitionSquaredSums(g []float32, parts []comm.Range) []float32 {
+	partials := make([]float32, len(parts))
+	for i, p := range parts {
+		partials[i] = PartialSquaredSum(g[p.Lo:p.Hi])
+	}
+	return partials
 }
 
 // ClipScale returns the multiplier that caps the gradient norm at maxNorm

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/tensor"
 )
 
@@ -209,5 +210,26 @@ func TestModelStateBytesAccounting(t *testing.T) {
 	}
 	if AdamK != 12 {
 		t.Errorf("AdamK = %d, the paper's K is 12", AdamK)
+	}
+}
+
+// The replicated (stage 0) and partitioned norm paths must produce the
+// identical partial vector: PartitionSquaredSums over the full buffer
+// equals per-shard PartialSquaredSum in partition order.
+func TestPartitionSquaredSumsMatchesShardPartials(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := make([]float32, 1003)
+	for i := range g {
+		g[i] = float32(r.NormFloat64())
+	}
+	parts := comm.Partition(len(g), 4)
+	full := PartitionSquaredSums(g, parts)
+	for i, p := range parts {
+		if shard := PartialSquaredSum(g[p.Lo:p.Hi]); shard != full[i] {
+			t.Errorf("partition %d: %v != %v", i, full[i], shard)
+		}
+	}
+	if GlobalGradNorm(full) <= 0 {
+		t.Error("norm should be positive")
 	}
 }

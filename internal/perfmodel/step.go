@@ -8,6 +8,21 @@ type ZeROConfig struct {
 	Stage int  // 0 = baseline replicated DP, 1 = Pos, 2 = Pos+g, 3 = Pos+g+p
 	Pa    bool // partitioned activation checkpointing (needs MP > 1)
 	PaCPU bool // offload partitioned checkpoints to CPU
+	// SyncComm disables the bucketed communication/computation overlap:
+	// every DP collective runs at a step boundary and is fully exposed —
+	// the pre-overlap synchronous schedule, kept as the comparison point
+	// for the async bucket engine.
+	SyncComm bool
+}
+
+// StageVolumeFactor returns the §7.2 per-step DP communication volume in
+// units of Ψ: 2Ψ for stages 0-2 (all-reduce, or reduce-scatter + parameter
+// all-gather), 3Ψ for stage 3's extra parameter gather.
+func StageVolumeFactor(stage int) float64 {
+	if stage == 3 {
+		return 3
+	}
+	return 2
 }
 
 // Config is one training run: a model shape and its parallelization.
@@ -86,14 +101,15 @@ func Estimate(hw Hardware, cfg Config) Breakdown {
 	// move volume·(N-1)/N per rank. Ψ here is the per-MP-slice share.
 	if cfg.DP > 1 {
 		psiShard := float64(cfg.Shape.Params()) / float64(cfg.MP)
-		volFactor := 2.0
-		if cfg.ZeRO.Stage == 3 {
-			volFactor = 3.0
-		}
+		volFactor := StageVolumeFactor(cfg.ZeRO.Stage)
 		ringFrac := float64(cfg.DP-1) / float64(cfg.DP)
 		dpBytes := volFactor * psiShard * ringFrac * fp16Bytes
 		b.DPCommSec = dpBytes / hw.DPBandwidth(cfg.MP, cfg.DP)
-		b.ExposedDPSec = b.DPCommSec - dpOverlapWindow*b.ComputeSec
+		overlap := dpOverlapWindow
+		if cfg.ZeRO.SyncComm {
+			overlap = 0 // synchronous schedule: every byte is exposed
+		}
+		b.ExposedDPSec = b.DPCommSec - overlap*b.ComputeSec
 		if b.ExposedDPSec < 0 {
 			b.ExposedDPSec = 0
 		}

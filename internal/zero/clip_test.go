@@ -4,14 +4,13 @@ import (
 	"testing"
 
 	"repro/internal/comm"
-	"repro/internal/ddp"
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
 
 // Gradient clipping across the *partitioned* gradient must agree bitwise
-// with clipping the replicated gradient in DDP: both engines compute the
-// global norm by the same partition-ordered arithmetic.
+// with clipping the replicated gradient at stage 0 (DDP): both paths
+// compute the global norm by the same partition-ordered arithmetic.
 func TestClippedStagesMatchClippedDDPBitwise(t *testing.T) {
 	cfg := testConfig()
 	const n, batch, steps = 4, 4, 4
@@ -22,9 +21,7 @@ func TestClippedStagesMatchClippedDDPBitwise(t *testing.T) {
 	ddpParams := make([][]float32, n)
 	ddpNorms := make([]float64, n)
 	w.Run(func(c *comm.Comm) {
-		tr := ddp.New(c, cfg, testSeed, testLR)
-		tr.BucketElems = 0
-		tr.ClipNorm = clip
+		tr := New(c, cfg, Options{Stage: StageDDP, LR: testLR, Seed: testSeed, ClipNorm: clip})
 		for s := 0; s < steps; s++ {
 			tr.Step(ids, targets, batch)
 		}

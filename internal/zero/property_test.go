@@ -7,18 +7,19 @@ import (
 	"testing/quick"
 
 	"repro/internal/comm"
-	"repro/internal/ddp"
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
 
-// randomCase is a randomly drawn (architecture, world, stage) combination
-// for the cross-engine equivalence property.
+// randomCase is a randomly drawn (architecture, world, stage, overlap)
+// combination for the cross-stage equivalence property.
 type randomCase struct {
-	cfg   model.Config
-	n     int
-	stage Stage
-	batch int
+	cfg     model.Config
+	n       int
+	stage   Stage
+	batch   int
+	overlap bool
+	bucket  int
 }
 
 func genCase(r *rand.Rand) randomCase {
@@ -33,16 +34,19 @@ func genCase(r *rand.Rand) randomCase {
 			Vocab:  5 + r.Intn(30),
 			Seq:    4 + r.Intn(6),
 		},
-		n:     n,
-		stage: []Stage{StageOS, StageOSG, StageOSGP}[r.Intn(3)],
-		batch: n * (1 + r.Intn(2)), // divisible by world size
+		n:       n,
+		stage:   AllStages[r.Intn(len(AllStages))],
+		batch:   n * (1 + r.Intn(2)), // divisible by world size
+		overlap: r.Intn(2) == 1,
+		bucket:  []int{0, 64, 257}[r.Intn(3)],
 	}
 }
 
-// Property: for ANY architecture, world size, stage and batch, two steps of
-// ZeRO training produce bitwise the same parameters as baseline DDP. This
-// is the paper's central equivalence claim quantified over the
-// configuration space rather than at hand-picked points.
+// Property: for ANY architecture, world size, stage, bucket size and
+// overlap setting, two steps of training produce bitwise the same
+// parameters as the synchronous unbucketed stage-0 (DDP) baseline. This is
+// the paper's central equivalence claim quantified over the configuration
+// space rather than at hand-picked points.
 func TestPropertyAnyConfigStageEqualsDDP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("property test is slow")
@@ -54,8 +58,7 @@ func TestPropertyAnyConfigStageEqualsDDP(t *testing.T) {
 		w := comm.NewWorld(tc.n)
 		ddpOut := make([][]float32, tc.n)
 		w.Run(func(c *comm.Comm) {
-			tr := ddp.New(c, tc.cfg, 1, 1e-3)
-			tr.BucketElems = 0
+			tr := New(c, tc.cfg, Options{Stage: StageDDP, LR: 1e-3, Seed: 1})
 			for s := 0; s < steps; s++ {
 				tr.Step(ids, targets, tc.batch)
 			}
@@ -65,7 +68,11 @@ func TestPropertyAnyConfigStageEqualsDDP(t *testing.T) {
 		w2 := comm.NewWorld(tc.n)
 		zeroOut := make([][]float32, tc.n)
 		w2.Run(func(c *comm.Comm) {
-			tr := New(c, tc.cfg, Options{Stage: tc.stage, LR: 1e-3, Seed: 1})
+			tr := New(c, tc.cfg, Options{
+				Stage: tc.stage, LR: 1e-3, Seed: 1,
+				BucketElems: tc.bucket, Overlap: tc.overlap,
+			})
+			defer tr.Close()
 			for s := 0; s < steps; s++ {
 				tr.Step(ids, targets, tc.batch)
 			}
@@ -106,7 +113,7 @@ func TestPropertyVolumeIdentityAnyWorld(t *testing.T) {
 		for _, tc := range []struct {
 			stage Stage
 			mult  int64
-		}{{StageOS, 2}, {StageOSG, 2}, {StageOSGP, 3}} {
+		}{{StageDDP, 2}, {StageOS, 2}, {StageOSG, 2}, {StageOSGP, 3}} {
 			w := comm.NewWorld(n)
 			w.Run(func(c *comm.Comm) {
 				tr := New(c, cfg, Options{Stage: tc.stage, LR: 1e-3, Seed: 1})

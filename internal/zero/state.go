@@ -27,18 +27,34 @@ type Snapshot struct {
 
 // Save gathers this world's partitioned training state to rank 0 and
 // returns the snapshot there; other ranks return nil. Every rank must
-// call Save collectively.
+// call Save collectively. At stage 0 every rank already holds the full
+// state, so rank 0 snapshots locally and no communication happens.
 func (t *Trainer) Save() *Snapshot {
 	n := t.Model.NumParams()
-	own := t.Owned()
+	dom := t.optimizerDomain()
 
-	// This rank's authoritative parameter shard: the fp32 master under
-	// FP16 mode, the live parameter shard otherwise.
-	paramShard := t.Model.Params[own.Lo:own.Hi]
+	// This rank's authoritative parameter state over its optimizer
+	// domain: the fp32 master under FP16 mode, the live slice otherwise.
+	paramShard := t.Model.Params[dom.Lo:dom.Hi]
 	if t.opts.FP16 {
 		paramShard = t.master
 	}
 	m, v := t.opt.State()
+
+	if t.stage == StageDDP {
+		if t.c.Rank() != 0 {
+			return nil
+		}
+		return &Snapshot{
+			Stage:     t.stage,
+			WorldSize: t.c.Size(),
+			NumParams: n,
+			OptSteps:  t.opt.Steps(),
+			Params:    append([]float32(nil), paramShard...),
+			AdamM:     append([]float32(nil), m...),
+			AdamV:     append([]float32(nil), v...),
+		}
+	}
 
 	root := 0
 	if t.c.Rank() == root {
@@ -85,16 +101,16 @@ func (t *Trainer) Load(s *Snapshot) error {
 	if s.NumParams != t.Model.NumParams() {
 		return fmt.Errorf("zero: snapshot has %d params, model has %d", s.NumParams, t.Model.NumParams())
 	}
-	own := t.Owned()
-	t.opt.Restore(s.AdamM[own.Lo:own.Hi], s.AdamV[own.Lo:own.Hi], s.OptSteps)
+	dom := t.optimizerDomain()
+	t.opt.Restore(s.AdamM[dom.Lo:dom.Hi], s.AdamV[dom.Lo:dom.Hi], s.OptSteps)
 	if t.opts.FP16 {
-		copy(t.master, s.Params[own.Lo:own.Hi])
+		copy(t.master, s.Params[dom.Lo:dom.Hi])
 		tensor.Copy(t.Model.Params, s.Params)
 		quantizeFP16(t.Model.Params)
 	} else {
 		tensor.Copy(t.Model.Params, s.Params)
 	}
-	if t.opts.Stage == StageOSGP {
+	if t.stage == StageFull {
 		t.dropUnowned()
 	}
 	return nil

@@ -11,15 +11,28 @@ import (
 
 // Options configures a ZeRO-DP trainer rank.
 type Options struct {
+	// Stage selects how much model state is partitioned: StageDDP (0,
+	// everything replicated — the baseline run through the same code
+	// path), StageOS (1, Pos), StageOSGrad (2, Pos+g) or StageFull
+	// (3, Pos+g+p).
 	Stage Stage
 	LR    float64
 	Seed  int64
-	// BucketElems is the reduce-scatter bucket size in elements (the CB
-	// optimization applied to gradient communication): the flat gradient
-	// buffer is reduced in fixed-size partition-aligned waves, mimicking
-	// how ZeRO buckets gradients as they become available during backward
-	// (§5.2). 0 reduces the whole buffer in one wave.
+	// BucketElems is the gradient communication bucket size in elements
+	// (the CB optimization applied to gradient collectives): each layer
+	// group's gradients are reduced in fixed-size partition-aligned
+	// buckets, mimicking how ZeRO buckets gradients as they become
+	// available during backward (§5.2). 0 reduces each layer group in one
+	// bucket.
 	BucketElems int
+	// Overlap launches each gradient bucket's collectives on a background
+	// engine as soon as its layer's backward pass finishes, overlapping
+	// communication with the remaining backward compute (§7.2). A Flush
+	// barrier runs before the optimizer step. Results are bitwise
+	// identical to the synchronous schedule; only wall-clock changes.
+	// Ignored while an activation-checkpoint Store is attached (Pa's own
+	// collectives share the communicator and must not interleave).
+	Overlap bool
 	// FP16 simulates mixed-precision training: parameters and gradients
 	// are rounded through binary16 around forward/backward while each
 	// rank's owned fp32 master shard drives the Adam update (§3.1).
@@ -37,29 +50,42 @@ type Options struct {
 }
 
 // Trainer is one rank of a ZeRO-powered data-parallel job. The same type
-// implements stage 1 (Pos), stage 2 (Pos+g) and stage 3 (Pos+g+p); the
-// stage decides which states stay resident per rank and which collective
-// schedule runs.
+// implements every stage — 0 (baseline DDP), 1 (Pos), 2 (Pos+g) and
+// 3 (Pos+g+p); the stage decides which states stay resident per rank and
+// which collective schedule runs. Stage 0 is the degenerate case: the
+// partition still exists, but every rank runs the optimizer over the full
+// buffer and the gradient reduce-scatter is completed into an all-reduce by
+// a gradient all-gather.
 type Trainer struct {
 	Model *model.Model
-	c     *comm.Comm
-	opts  Options
 
-	parts  []comm.Range    // global Ψ/Nd partition; parts[rank] is owned
-	opt    *optimizer.Adam // shard-sized optimizer (owned partition only)
-	master []float32       // fp32 master copy of the owned shard (FP16 mode)
-	groups []model.Segment // layer groups for stage-3 gather granularity
+	// BucketElems, ClipNorm and Overlap mirror the Options fields and may
+	// be mutated between steps (internal/ddp tunes them after New).
+	BucketElems int
+	ClipNorm    float64
+	Overlap     bool
 
 	// LastGradNorm is the global gradient norm observed by the most
 	// recent Step when ClipNorm is enabled (pre-clipping).
 	LastGradNorm float64
+
+	c     *comm.Comm
+	opts  Options
+	stage Stage
+
+	parts  []comm.Range    // global Ψ/Nd partition; parts[rank] is owned
+	opt    *optimizer.Adam // optimizer over the owned partition (full buffer at stage 0)
+	master []float32       // fp32 master copy of the optimizer's domain (FP16 mode)
+	groups []model.Segment // layer groups: gather and bucket granularity
+
+	engine *comm.AsyncEngine // lazily started overlap engine
 }
 
 // New constructs a rank's trainer. Every rank must use identical cfg and
 // Options so the replicas agree on layout and initialization.
 func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
-	if opts.Stage < StageOS || opts.Stage > StageOSGP {
-		panic(fmt.Sprintf("zero: trainer supports stages Pos..Pos+g+p, got %v (use internal/ddp for the baseline)", opts.Stage))
+	if !opts.Stage.Valid() {
+		panic(fmt.Sprintf("zero: unknown stage %v (want StageDDP..StageFull)", opts.Stage))
 	}
 	m := model.New(cfg, opts.Seed)
 	m.Checkpoint = opts.Checkpoint
@@ -67,26 +93,55 @@ func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
 	n := m.NumParams()
 	parts := comm.Partition(n, c.Size())
 	own := parts[c.Rank()]
+	optDomain := own
+	if opts.Stage == StageDDP {
+		optDomain = comm.Range{Lo: 0, Hi: n} // replicated optimizer state
+	}
 	t := &Trainer{
-		Model:  m,
-		c:      c,
-		opts:   opts,
-		parts:  parts,
-		opt:    optimizer.NewAdam(own.Len(), opts.LR),
-		groups: m.Layout.LayerSegments(cfg.Layers),
+		Model:       m,
+		BucketElems: opts.BucketElems,
+		ClipNorm:    opts.ClipNorm,
+		Overlap:     opts.Overlap,
+		c:           c,
+		opts:        opts,
+		stage:       opts.Stage,
+		parts:       parts,
+		opt:         optimizer.NewAdam(optDomain.Len(), opts.LR),
+		groups:      m.Layout.LayerSegments(cfg.Layers),
 	}
 	if opts.FP16 {
-		t.master = append([]float32(nil), m.Params[own.Lo:own.Hi]...)
+		t.master = append([]float32(nil), m.Params[optDomain.Lo:optDomain.Hi]...)
 		quantizeFP16(m.Params) // forward always sees fp16-valued weights
 	}
-	if opts.Stage == StageOSGP {
+	if opts.Stage == StageFull {
 		t.dropUnowned()
 	}
 	return t
 }
 
+// Stage returns the trainer's configured ZeRO-DP stage.
+func (t *Trainer) Stage() Stage { return t.stage }
+
 // Owned returns this rank's partition of the flat parameter space.
 func (t *Trainer) Owned() comm.Range { return t.parts[t.c.Rank()] }
+
+// optimizerDomain is the flat-buffer range the rank's optimizer updates:
+// the owned partition, or the whole buffer at stage 0.
+func (t *Trainer) optimizerDomain() comm.Range {
+	if t.stage == StageDDP {
+		return comm.Range{Lo: 0, Hi: t.Model.NumParams()}
+	}
+	return t.Owned()
+}
+
+// Close releases the overlap engine's worker goroutine. Safe to call on
+// trainers that never overlapped, and more than once.
+func (t *Trainer) Close() {
+	if t.engine != nil {
+		t.engine.Close()
+		t.engine = nil
+	}
+}
 
 // dropUnowned zeroes every parameter outside the owned partition — the
 // stage-3 resident state is Ψ/Nd (§5.3). The full-size buffer remains as
@@ -136,7 +191,7 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 	own := t.Owned()
 
 	// Stage 3: re-materialize parameters for the forward pass.
-	if t.opts.Stage == StageOSGP {
+	if t.stage == StageFull {
 		t.gatherParams()
 	}
 
@@ -145,93 +200,178 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 
 	// Stage 3: parameters were "discarded once used" after forward; gather
 	// them again for the backward pass (the second Ψ of §7.2.2).
-	if t.opts.Stage == StageOSGP {
+	if t.stage == StageFull {
 		t.dropUnowned()
 		t.gatherParams()
 	}
-	t.Model.Backward()
-	if t.opts.FP16 {
-		quantizeFP16(t.Model.Grads)
+
+	// Backward pass plus the gradient collective schedule: synchronous
+	// after backward, or overlapped bucket by bucket as layers finish.
+	if t.Overlap && t.Model.Store == nil {
+		t.backwardOverlapped()
+	} else {
+		t.Model.Backward()
+		if t.opts.FP16 {
+			quantizeFP16(t.Model.Grads)
+		}
+		for _, g := range t.commSchedule() {
+			t.reduceBucket(g.Lo, g.Hi)
+		}
 	}
 
-	// Reduce-scatter gradients in partition-aligned buckets; each rank
-	// ends with the averaged gradients for its own partition.
-	t.reduceScatterGrads()
+	// Average. Stage 0 holds the full reduced gradient on every rank;
+	// the partitioned stages scale just the owned shard.
 	gradShard := t.Model.Grads[own.Lo:own.Hi]
-	tensor.Scale(gradShard, 1/float32(t.c.Size()))
+	if t.stage == StageDDP {
+		tensor.Scale(t.Model.Grads, 1/float32(t.c.Size()))
+	} else {
+		tensor.Scale(gradShard, 1/float32(t.c.Size()))
+	}
 
 	// Stage ≥ 2: gradients outside the owned partition are released as
 	// soon as their bucket is reduced (§5.2); zeroing models the release.
-	if t.opts.Stage >= StageOSG {
+	if t.stage >= StageOSGrad {
 		tensor.Zero(t.Model.Grads[:own.Lo])
 		tensor.Zero(t.Model.Grads[own.Hi:])
 	}
 
-	// Global gradient clipping over the partitioned gradient: all-gather
-	// the per-shard partial Σg², combine in partition order, scale the
-	// owned shard.
-	if t.opts.ClipNorm > 0 {
-		partials := make([]float32, t.c.Size())
-		partials[t.c.Rank()] = optimizer.PartialSquaredSum(gradShard)
-		t.c.AllGather(partials, comm.Partition(len(partials), t.c.Size()))
+	// Global gradient clipping over the partition-ordered partial Σg².
+	// Stage 0 computes every partial locally (the full gradient is
+	// resident); the partitioned stages contribute their shard's partial
+	// and all-gather the rest — same arithmetic, same bits.
+	if t.ClipNorm > 0 {
+		var partials []float32
+		if t.stage == StageDDP {
+			partials = optimizer.PartitionSquaredSums(t.Model.Grads, t.parts)
+		} else {
+			partials = make([]float32, t.c.Size())
+			partials[t.c.Rank()] = optimizer.PartialSquaredSum(gradShard)
+			t.c.AllGather(partials, comm.Partition(len(partials), t.c.Size()))
+		}
 		norm := optimizer.GlobalGradNorm(partials)
 		t.LastGradNorm = norm
-		tensor.Scale(gradShard, optimizer.ClipScale(norm, t.opts.ClipNorm))
+		scale := optimizer.ClipScale(norm, t.ClipNorm)
+		if t.stage == StageDDP {
+			tensor.Scale(t.Model.Grads, scale)
+		} else {
+			tensor.Scale(gradShard, scale)
+		}
 	}
 
-	// Optimizer step on the owned shard only (Pos, §5.1).
+	// Optimizer step over this rank's domain: the owned shard (Pos, §5.1),
+	// or the full buffer at stage 0.
+	dom := t.optimizerDomain()
+	grads := t.Model.Grads[dom.Lo:dom.Hi]
 	if t.opts.FP16 {
-		t.opt.Step(t.master, gradShard)
+		t.opt.Step(t.master, grads)
 		for i := range t.master {
-			t.Model.Params[own.Lo+i] = tensor.FromFloat32(t.master[i]).Float32()
+			t.Model.Params[dom.Lo+i] = tensor.FromFloat32(t.master[i]).Float32()
 		}
 	} else {
-		t.opt.Step(t.Model.Params[own.Lo:own.Hi], gradShard)
+		t.opt.Step(t.Model.Params[dom.Lo:dom.Hi], grads)
 	}
 
-	// Stages 1-2: all-gather the updated parameters so every rank has the
-	// full set for the next step (the second Ψ of §7.2.1). Stage 3 skips
-	// this: parameters are gathered lazily at the next forward pass.
-	if t.opts.Stage != StageOSGP {
-		t.c.AllGather(t.Model.Params, t.parts)
-	} else {
+	// Post-step parameter state per stage. Stage 0: every replica applied
+	// the identical update, nothing to communicate. Stages 1-2: all-gather
+	// the updated parameters so every rank has the full set for the next
+	// step (the second Ψ of §7.2.1). Stage 3: parameters are gathered
+	// lazily at the next forward pass.
+	switch t.stage {
+	case StageDDP:
+	case StageFull:
 		t.dropUnowned()
+	default:
+		t.c.AllGather(t.Model.Params, t.parts)
 	}
 	return loss
 }
 
-// reduceScatterGrads reduces the flat gradient buffer so each rank owns the
-// summed gradients of its partition, in BucketElems-sized waves.
-func (t *Trainer) reduceScatterGrads() {
-	bucket := t.opts.BucketElems
-	n := t.Model.NumParams()
-	if bucket <= 0 || bucket >= n {
-		t.c.ReduceScatter(t.Model.Grads, t.parts)
-		return
+// commSchedule returns the deterministic gradient-bucket order shared by
+// the synchronous and overlapped paths: transformer blocks in backward
+// order (block L-1 first), then the final layernorm, then the embeddings —
+// the order in which gradient segments finalize during Backward. Each layer
+// group is split into BucketElems-sized windows, also in reverse.
+func (t *Trainer) commSchedule() []comm.Range {
+	var sched []comm.Range
+	layers := t.Model.Cfg.Layers
+	for l := layers - 1; l >= 0; l-- {
+		sched = append(sched, t.groupBuckets(t.layerGroup(l))...)
 	}
-	// Wave w covers offset [w·bucket, (w+1)·bucket) of every rank's
-	// partition. Waves run in reverse to mirror backward-order bucketing.
-	maxLen := 0
-	for _, p := range t.parts {
-		if p.Len() > maxLen {
-			maxLen = p.Len()
+	sched = append(sched, t.groupBuckets(t.layerGroup(layers))...) // ln_f
+	sched = append(sched, t.groupBuckets(t.layerGroup(-1))...)     // embeddings
+	return sched
+}
+
+// layerGroup returns the flat-buffer segment for a block index, the final
+// norm (index Layers) or the embeddings (index -1).
+func (t *Trainer) layerGroup(layer int) model.Segment {
+	for _, g := range t.groups {
+		if g.Layer == layer {
+			return g
 		}
 	}
-	waves := (maxLen + bucket - 1) / bucket
-	for w := waves - 1; w >= 0; w-- {
-		wparts := make([]comm.Range, len(t.parts))
-		for i, p := range t.parts {
-			lo := p.Lo + w*bucket
-			hi := lo + bucket
-			if lo > p.Hi {
-				lo, hi = p.Hi, p.Hi
-			} else if hi > p.Hi {
-				hi = p.Hi
-			}
-			wparts[i] = comm.Range{Lo: lo, Hi: hi}
-		}
-		t.c.ReduceScatter(t.Model.Grads, wparts)
+	panic(fmt.Sprintf("zero: no layer group %d", layer))
+}
+
+// groupBuckets splits one layer group into bucket windows, last window
+// first (mirroring backward-order bucket fills inside a layer).
+func (t *Trainer) groupBuckets(g model.Segment) []comm.Range {
+	bucket := t.BucketElems
+	if bucket <= 0 || bucket >= g.Len() {
+		return []comm.Range{{Lo: g.Lo, Hi: g.Hi}}
 	}
+	var out []comm.Range
+	for hi := g.Hi; hi > g.Lo; hi -= bucket {
+		lo := hi - bucket
+		if lo < g.Lo {
+			lo = g.Lo
+		}
+		out = append(out, comm.Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// reduceBucket reduce-scatters one gradient window across the global
+// partition; at stage 0 a gradient all-gather completes the all-reduce so
+// every rank holds the full reduced bucket. The window's per-rank ownership
+// comes from intersecting the global partition, so the elementwise
+// reduction order — and therefore the bits — is independent of bucket
+// framing.
+func (t *Trainer) reduceBucket(lo, hi int) {
+	wparts := intersect(t.parts, lo, hi)
+	t.c.ReduceScatter(t.Model.Grads, wparts)
+	if t.stage == StageDDP {
+		t.c.AllGather(t.Model.Grads, wparts)
+	}
+}
+
+// backwardOverlapped runs Backward with the bucket schedule submitted to
+// the async engine as each layer's gradients finalize, then flushes before
+// returning — reduce-scatter of layer k rides under the compute of layers
+// k-1..0 (§7.2's communication/computation overlap).
+func (t *Trainer) backwardOverlapped() {
+	if t.engine == nil {
+		t.engine = comm.NewAsyncEngine(t.c)
+	}
+	submitGroup := func(g model.Segment) {
+		if t.opts.FP16 {
+			quantizeFP16(t.Model.Grads[g.Lo:g.Hi])
+		}
+		for _, b := range t.groupBuckets(g) {
+			lo, hi := b.Lo, b.Hi
+			t.engine.Submit(func(*comm.Comm) { t.reduceBucket(lo, hi) })
+		}
+	}
+	t.Model.BackwardHook = func(layer int) { submitGroup(t.layerGroup(layer)) }
+	t.Model.Backward()
+	t.Model.BackwardHook = nil
+	// The embedding gradients keep accumulating until Backward returns
+	// (tied head at the start + embedding lookup at the end), so their
+	// buckets — and the small ln_f group that shares this slot — go
+	// last, exactly as in commSchedule.
+	submitGroup(t.layerGroup(t.Model.Cfg.Layers))
+	submitGroup(t.layerGroup(-1))
+	t.engine.Flush()
 }
 
 // quantizeFP16 rounds every value through binary16 in place, simulating
@@ -245,9 +385,9 @@ func quantizeFP16(x []float32) {
 // ModelStateBytes returns this rank's resident model-state bytes under the
 // §3.1 mixed-precision accounting for the configured stage.
 func (t *Trainer) ModelStateBytes() int64 {
-	return int64(ModelStateBytes(int64(t.Model.NumParams()), t.opts.Stage, t.c.Size()))
+	return int64(ModelStateBytes(int64(t.Model.NumParams()), t.stage, t.c.Size()))
 }
 
 // OptimizerShardParams returns how many parameters this rank's optimizer
-// updates (≈ Ψ/Nd).
+// updates (≈ Ψ/Nd; Ψ at stage 0).
 func (t *Trainer) OptimizerShardParams() int { return t.opt.Len() }

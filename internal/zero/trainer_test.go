@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/comm"
-	"repro/internal/ddp"
 	"repro/internal/model"
 	"repro/internal/optimizer"
 	"repro/internal/tensor"
@@ -41,13 +40,13 @@ func runZeRO(t *testing.T, cfg model.Config, stage Stage, n, steps int, opts Opt
 	return out
 }
 
-// runDDP is the baseline trajectory on the same world.
+// runDDP is the baseline trajectory on the same world: the unified trainer
+// at stage 0 (replicated DDP), unbucketed.
 func runDDP(cfg model.Config, n, steps int, ids, targets []int, batch int) []float32 {
 	w := comm.NewWorld(n)
 	out := make([][]float32, n)
 	w.Run(func(c *comm.Comm) {
-		tr := ddp.New(c, cfg, testSeed, testLR)
-		tr.BucketElems = 0
+		tr := New(c, cfg, Options{Stage: StageDDP, LR: testLR, Seed: testSeed})
 		for s := 0; s < steps; s++ {
 			tr.Step(ids, targets, batch)
 		}
@@ -58,8 +57,8 @@ func runDDP(cfg model.Config, n, steps int, ids, targets []int, batch int) []flo
 
 // The core ZeRO claim (§2.2.3, §5): partitioning model states "does not
 // change the model optimization method", so every stage must reproduce the
-// baseline DDP trajectory *bitwise* — the collectives use the same ring
-// schedule and Adam is elementwise.
+// baseline DDP (stage 0) trajectory *bitwise* — the collectives use the
+// same ring schedule and Adam is elementwise.
 func TestStagesMatchDDPBitwise(t *testing.T) {
 	cfg := testConfig()
 	const steps, batch = 5, 4
@@ -92,7 +91,7 @@ func TestStagesMatchSingleProcess(t *testing.T) {
 		ref.Backward()
 		opt.Step(ref.Params, ref.Grads)
 	}
-	for _, stage := range []Stage{StageOS, StageOSG, StageOSGP} {
+	for _, stage := range AllStages {
 		got := runZeRO(t, cfg, stage, 4, steps,
 			Options{LR: testLR, Seed: testSeed}, ids, targets, batch)
 		if d := tensor.MaxDiff(got[0], ref.Params); d > 2e-4 {
@@ -130,7 +129,7 @@ func TestCommunicationVolumeIdentities(t *testing.T) {
 			stage Stage
 			mult  int64
 		}{
-			{StageOS, 2}, {StageOSG, 2}, {StageOSGP, 3},
+			{StageDDP, 2}, {StageOS, 2}, {StageOSG, 2}, {StageOSGP, 3},
 		} {
 			w := comm.NewWorld(n)
 			w.Run(func(c *comm.Comm) {
@@ -227,16 +226,18 @@ func TestZeROWithCheckpointingBitwise(t *testing.T) {
 	}
 }
 
-func TestTrainerRejectsBaselineStage(t *testing.T) {
-	w := comm.NewWorld(1)
-	w.Run(func(c *comm.Comm) {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic for StageDP")
-			}
-		}()
-		New(c, testConfig(), Options{Stage: StageDP, LR: testLR})
-	})
+func TestTrainerRejectsInvalidStage(t *testing.T) {
+	for _, bad := range []Stage{-1, 4} {
+		w := comm.NewWorld(1)
+		w.Run(func(c *comm.Comm) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for stage %d", bad)
+				}
+			}()
+			New(c, testConfig(), Options{Stage: bad, LR: testLR})
+		})
+	}
 }
 
 // ModelStateBytes must follow the planner equation for the trainer's own

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
+# Usage: scripts/bench.sh [benchtime]   (default 10x, matching the
+# committed baseline)
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+
+go test -run=NONE -bench='StageStep|AsyncReduceScatter1M|^BenchmarkReduceScatter1M$' \
+	-benchtime="$BENCHTIME" . |
+	awk -v benchtime="$BENCHTIME" '
+	BEGIN {
+		print "{"
+		printf "  \"suite\": \"stage-api\",\n"
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"results\": ["
+		n = 0
+	}
+	/^goos:/   { goos = $2 }
+	/^goarch:/ { goarch = $2 }
+	/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+	/^Benchmark/ {
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, $2, $3
+		for (i = 5; i < NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/\//, "_per_", unit)
+			gsub(/[^A-Za-z0-9_]/, "_", unit)
+			printf ", \"%s\": %s", unit, $i
+		}
+		printf "}"
+	}
+	END {
+		printf "\n  ],\n"
+		printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"\n", goos, goarch, cpu
+		print "}"
+	}' >BENCH_STAGE_API.json
+echo "wrote BENCH_STAGE_API.json"
