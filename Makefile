@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench sweep all
+.PHONY: check fmt vet build test race bench bench-prefetch bench-compare sweep all
 
 check: fmt vet build test race
 
@@ -20,13 +20,24 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate for the concurrent packages: the collectives, the
-# async bucket engine, the trainer overlap path, and the parallel kernels.
+# stream scheduler, the trainer overlap/prefetch paths, and the parallel
+# kernels.
 race:
 	$(GO) test -race ./internal/comm ./internal/zero ./internal/tensor ./internal/ddp
 
 # Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
 bench:
 	./scripts/bench.sh
+
+# Regenerate the stage-3 prefetch baseline (BENCH_PREFETCH.json).
+bench-prefetch:
+	./scripts/bench_prefetch.sh
+
+# Re-run both baseline suites and fail on >10% ns/op regression against the
+# committed JSONs.
+bench-compare:
+	./scripts/bench_compare.sh BENCH_STAGE_API.json
+	./scripts/bench_compare.sh BENCH_PREFETCH.json
 
 # Render the stage-sweep experiments.
 sweep:

@@ -225,25 +225,25 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 	})
 }
 
-// --- Stage API / async comm engine benchmarks -----------------------------
+// --- Stage API / stream benchmarks ----------------------------------------
 
-// BenchmarkAsyncReduceScatter1M: the bucketed async engine at gradient
-// scale, submit + flush per iteration. Compare with the synchronous
-// BenchmarkReduceScatter1M above: the delta is queue overhead alone, the
-// win is the compute that can now ride under the wire time.
-func BenchmarkAsyncReduceScatter1M(b *testing.B) {
+// BenchmarkStreamReduceScatter1M: a stream at gradient scale, submit + wait
+// per iteration. Compare with the synchronous BenchmarkReduceScatter1M
+// above: the delta is queue overhead alone, the win is the compute that can
+// now ride under the wire time.
+func BenchmarkStreamReduceScatter1M(b *testing.B) {
 	const n, elems = 4, 1 << 20
 	w := comm.NewWorld(n)
 	b.SetBytes(elems * 4)
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
-		e := comm.NewAsyncEngine(c)
-		defer e.Close()
+		s := comm.NewScheduler(c)
+		defer s.Close()
+		st := s.Stream("grad")
 		x := make([]float32, elems)
 		parts := comm.Partition(elems, c.Size())
 		for i := 0; i < b.N; i++ {
-			e.ReduceScatter(x, parts)
-			e.Flush()
+			st.ReduceScatter(comm.F32Buf(x), parts).Wait()
 		}
 	})
 }
@@ -278,11 +278,48 @@ func BenchmarkStageStep(b *testing.B) {
 					}
 				})
 				b.StopTimer()
-				const fp16Bytes = 2
-				elemsPerStep := float64(w.Stats(0).ElemsSent) / float64(b.N)
-				b.ReportMetric(elemsPerStep*fp16Bytes, "wire-B/rank/step")
+				// Bytes are measured natively by the dtype-tagged buffers
+				// (fp16 wire under the FP16 option), not inferred.
+				bytesPerStep := float64(w.Stats(0).BytesSent) / float64(b.N)
+				b.ReportMetric(bytesPerStep, "wire-B/rank/step")
 			})
 		}
+	}
+}
+
+// BenchmarkPrefetchStep: stage 3 with the synchronous parameter gathers,
+// the pipelined prefetch schedule, and prefetch + gradient overlap (all
+// three streams armed). The BENCH_PREFETCH.json baseline.
+func BenchmarkPrefetchStep(b *testing.B) {
+	const ranks, batch = 4, 8
+	cfg := benchStageConfig()
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	for _, mode := range []struct {
+		name              string
+		overlap, prefetch bool
+	}{
+		{"sync", false, false},
+		{"prefetch", false, true},
+		{"prefetch+overlap", true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := comm.NewWorld(ranks)
+			b.ResetTimer()
+			w.Run(func(c *comm.Comm) {
+				tr := zero.New(c, cfg, zero.Options{
+					Stage: zero.StageFull, LR: 1e-3, Seed: 1,
+					BucketElems: 4096, FP16: true,
+					Overlap: mode.overlap, Prefetch: mode.prefetch,
+				})
+				defer tr.Close()
+				for i := 0; i < b.N; i++ {
+					tr.Step(ids, targets, batch)
+				}
+			})
+			b.StopTimer()
+			bytesPerStep := float64(w.Stats(0).BytesSent) / float64(b.N)
+			b.ReportMetric(bytesPerStep, "wire-B/rank/step")
+		})
 	}
 }
 

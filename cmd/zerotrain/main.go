@@ -7,6 +7,7 @@
 //
 //	zerotrain -ranks 4 -stage 2 -steps 50
 //	zerotrain -ranks 8 -stage 3 -fp16 -checkpoint -clip 1.0
+//	zerotrain -ranks 4 -stage 3 -prefetch         (pipelined parameter all-gathers)
 //	zerotrain -ranks 4 -stage 0 -overlap=false    (seed-style synchronous DDP)
 //	zerotrain -ranks 4 -stage 2 -save ckpt.bin -steps 20
 //	zerotrain -ranks 4 -stage 2 -load ckpt.bin -steps 20
@@ -42,7 +43,8 @@ func main() {
 		fp16       = flag.Bool("fp16", false, "simulate mixed-precision training")
 		checkpoint = flag.Bool("checkpoint", false, "activation checkpointing")
 		bucket     = flag.Int("bucket", 4096, "gradient bucket elements (0 = one bucket per layer group)")
-		overlap    = flag.Bool("overlap", true, "overlap gradient collectives with backward compute")
+		overlap    = flag.Bool("overlap", true, "overlap gradient collectives with backward compute (grad stream)")
+		prefetch   = flag.Bool("prefetch", true, "stage 3: pipeline parameter all-gathers on the prefetch stream")
 		seed       = flag.Int64("seed", 7, "init and data seed")
 		savePath   = flag.String("save", "", "write a consolidated checkpoint here after training")
 		loadPath   = flag.String("load", "", "resume from a checkpoint written by -save")
@@ -66,6 +68,7 @@ func main() {
 		Seed:        *seed,
 		BucketElems: *bucket,
 		Overlap:     *overlap,
+		Prefetch:    *prefetch,
 		FP16:        *fp16,
 		Checkpoint:  *checkpoint,
 		ClipNorm:    *clip,
@@ -136,7 +139,14 @@ func main() {
 		fmt.Printf("\ncheckpoint written to %s (%d bytes)\n", *savePath, len(snapBlob))
 	}
 	tokens := int64(*steps) * int64(*batch) * int64(cfg.Seq)
-	fmt.Printf("\n%d steps in %v (%.0f tokens/s simulated) | wire: %d elems sent by rank 0\n",
-		*steps, elapsed.Round(time.Millisecond),
-		float64(tokens)/elapsed.Seconds(), w.Stats(0).ElemsSent)
+	st0 := w.Stats(0)
+	fmt.Printf("\n%d steps in %v (%.0f tokens/s simulated)\n",
+		*steps, elapsed.Round(time.Millisecond), float64(tokens)/elapsed.Seconds())
+	fmt.Printf("wire (rank 0): %d elems, %d bytes (native dtype accounting)\n",
+		st0.ElemsSent, st0.BytesSent)
+	for _, name := range []string{comm.DefaultStream, zero.StreamGrad, zero.StreamPrefetch, zero.StreamCheckpoint} {
+		if elems := st0.PerStream[name]; elems > 0 {
+			fmt.Printf("  stream %-10s %d elems\n", name, elems)
+		}
+	}
 }

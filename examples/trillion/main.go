@@ -26,6 +26,21 @@ func main() {
 		}
 		fmt.Printf("  Nd=%4d: %8.1f GB/GPU  -> %s\n", nd, gb, fits)
 	}
+	// Stage 3's 3Ψ schedule only pays off if the extra Ψ of parameter
+	// gathers hides behind compute — the prefetch stream's job (§7.2.2).
+	{
+		hw := perfmodel.DGX2()
+		shape := perfmodel.GPT2Like(125, 8192, 64) // 100B stand-in at DP scale
+		mk := func(prefetch bool) perfmodel.Breakdown {
+			return perfmodel.Estimate(hw, perfmodel.Config{
+				Shape: shape, MP: 1, DP: 1024, MicroBatch: 8,
+				ZeRO: perfmodel.ZeROConfig{Stage: 3, Prefetch: prefetch},
+			})
+		}
+		syncB, preB := mk(false), mk(true)
+		fmt.Printf("  stage-3 gather time per step: %.0f ms total; exposed %.0f ms sync vs %.0f ms prefetched\n",
+			syncB.GatherSec*1e3, syncB.ExposedGatherSec*1e3, preB.ExposedGatherSec*1e3)
+	}
 
 	fmt.Println("\nOption B: full ZeRO (Pos+g+p) + 16-way MP in the node, 64-way DP (Table 2, §9):")
 	perGPU := zero.ModelStateGB(psi, zero.StageOSGP, 64) / 16

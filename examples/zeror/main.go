@@ -79,7 +79,11 @@ func demoPa() {
 	}
 	w := comm.NewWorld(mpDegree)
 	w.Run(func(c *comm.Comm) {
-		store := zero.NewPartitionedStore(c, false)
+		// Pa gathers ride their own ordering domain, so they compose with
+		// whatever the grad/prefetch streams have in flight.
+		sched := comm.NewScheduler(c)
+		defer sched.Close()
+		store := zero.NewPartitionedStore(sched.Stream(zero.StreamCheckpoint), false)
 		store.Put(0, ckpt)  // forward: keep only 1/Nm
 		got := store.Get(0) // backward: all-gather before recompute
 		if c.Rank() == 0 {

@@ -6,10 +6,23 @@
 // tree broadcast) are implemented from scratch with the same algorithms the
 // paper's analysis assumes (§7.1: "state-of-art implementation of all-reduce
 // uses a two-step approach... both implemented using a pipelined approach"),
-// and every rank counts the elements it sends and receives. The paper's
-// central communication claims — baseline DP moves 2Ψ per rank, ZeRO
+// and every rank counts the elements and bytes it sends and receives. The
+// paper's central communication claims — baseline DP moves 2Ψ per rank, ZeRO
 // Pos+g moves 2Ψ, Pos+g+p moves 3Ψ — are therefore *measured* by the test
 // suite, not assumed.
+//
+// # Ordering domains (streams)
+//
+// Every Comm belongs to exactly one ordering domain. World.Comm returns the
+// default domain; Scheduler.Stream creates named domains ("grad",
+// "prefetch", "checkpoint", ...) that execute asynchronously on a worker
+// goroutine per stream. Each (src, dst, stream) triple has its own private
+// channel, so collectives on different streams never interleave on the wire:
+// if every rank creates the same stream names and submits the same per-stream
+// op order, the cross-rank pairing of every op is deterministic — the
+// contract NCCL streams give CUDA callers, and the reason concurrent
+// gradient reduction, parameter prefetch and checkpoint gathers compose
+// without a global serialization point.
 package comm
 
 import (
@@ -17,32 +30,86 @@ import (
 	"sync"
 )
 
+// DefaultStream is the Stats key under which traffic of the default
+// ordering domain (plain World.Comm communicators) is recorded.
+const DefaultStream = "default"
+
+// linkDepth is the per-channel buffer capacity: deep enough that lock-step
+// ring phases run without a rendezvous and tree-broadcast fan-out is
+// absorbed.
+const linkDepth = 8
+
 // World is a fixed-size group of ranks connected all-to-all. Create one per
 // simulated job, hand each worker goroutine its Comm via Run or Comm.
 type World struct {
 	n     int
-	links [][]chan []float32 // links[src][dst], buffered
-	stats []Stats            // per-rank counters, owned by that rank's goroutine
+	links [][]chan []float32 // default-domain links[src][dst], buffered
+
+	mu          sync.Mutex                    // guards the two maps below
+	streamLinks map[streamLink]chan []float32 // named-domain links, lazily created
+	streamNames map[streamClaim]bool          // (rank, stream) pairs claimed by live Schedulers
+
+	stats []rankStats // per-rank counters, locked per rank
+}
+
+// streamLink keys one directed channel of a named ordering domain.
+type streamLink struct {
+	src, dst int
+	stream   string
+}
+
+// streamClaim records that a rank's Scheduler owns a stream name; a second
+// Scheduler claiming the same name on the same rank would silently share
+// wire channels with the first, so claiming twice panics instead.
+type streamClaim struct {
+	rank int
+	name string
 }
 
 // Stats counts communication traffic for one rank. Element counts are
-// dtype-agnostic; multiply by the storage width (2 bytes for fp16 gradients
-// and parameters) to get bytes on the wire.
+// dtype-agnostic; byte counts are native — each op records the wire width of
+// the Buffer it moved (2 bytes for F16, 4 for F32), so fp16 traffic is
+// measured rather than inferred by convention.
 type Stats struct {
-	ElemsSent     int64
-	ElemsRecv     int64
-	Messages      int64
-	PerCollective map[string]int64 // elems sent, keyed by collective name
+	ElemsSent int64
+	ElemsRecv int64
+	BytesSent int64
+	BytesRecv int64
+	Messages  int64
+	// PerCollective maps collective name to elements sent under it.
+	PerCollective map[string]int64
+	// PerStream maps ordering-domain name (DefaultStream for plain Comms)
+	// to elements sent on it.
+	PerStream map[string]int64
 }
 
-func (s *Stats) record(op string, sent, recv int64) {
+// rankStats wraps one rank's Stats with a lock: a rank's traffic may be
+// recorded concurrently by its main goroutine and its stream workers.
+type rankStats struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (rs *rankStats) record(op, stream string, width int, sent, recv int64) {
+	rs.mu.Lock()
+	s := &rs.s
 	s.ElemsSent += sent
 	s.ElemsRecv += recv
+	s.BytesSent += sent * int64(width)
+	s.BytesRecv += recv * int64(width)
 	s.Messages++
 	if s.PerCollective == nil {
 		s.PerCollective = make(map[string]int64)
 	}
 	s.PerCollective[op] += sent
+	if s.PerStream == nil {
+		s.PerStream = make(map[string]int64)
+	}
+	if stream == "" {
+		stream = DefaultStream
+	}
+	s.PerStream[stream] += sent
+	rs.mu.Unlock()
 }
 
 // NewWorld creates a world of n ranks. n must be positive.
@@ -55,20 +122,25 @@ func NewWorld(n int) *World {
 		links[i] = make([]chan []float32, n)
 		for j := range links[i] {
 			if i != j {
-				// Capacity 8 lets lock-step ring phases run without a
-				// rendezvous and absorbs tree-broadcast fan-out.
-				links[i][j] = make(chan []float32, 8)
+				links[i][j] = make(chan []float32, linkDepth)
 			}
 		}
 	}
-	return &World{n: n, links: links, stats: make([]Stats, n)}
+	return &World{
+		n:           n,
+		links:       links,
+		streamLinks: make(map[streamLink]chan []float32),
+		streamNames: make(map[streamClaim]bool),
+		stats:       make([]rankStats, n),
+	}
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
 
-// Comm returns the communicator handle for one rank. Each handle must only
-// be used from a single goroutine at a time.
+// Comm returns the communicator handle for one rank, on the default
+// ordering domain with F32 wire accounting. Each handle must only be used
+// from a single goroutine at a time.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.n {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.n))
@@ -91,10 +163,52 @@ func (w *World) Run(fn func(c *Comm)) {
 	wg.Wait()
 }
 
-// Stats returns a copy of the traffic counters for rank r. Only call after
-// the ranks have quiesced (e.g. after Run returns).
+// channel resolves the directed wire between src and dst on one ordering
+// domain. Default-domain channels are preallocated; named-domain channels
+// are created on first use (sender or receiver, whichever arrives first).
+func (w *World) channel(src, dst int, stream string) chan []float32 {
+	if stream == "" {
+		return w.links[src][dst]
+	}
+	k := streamLink{src: src, dst: dst, stream: stream}
+	w.mu.Lock()
+	ch := w.streamLinks[k]
+	if ch == nil {
+		ch = make(chan []float32, linkDepth)
+		w.streamLinks[k] = ch
+	}
+	w.mu.Unlock()
+	return ch
+}
+
+// claimStream registers a named ordering domain for one rank. Two live
+// Schedulers claiming the same name on the same rank would share wire
+// channels and scramble pairing, so the second claim panics.
+func (w *World) claimStream(rank int, name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := streamClaim{rank: rank, name: name}
+	if w.streamNames[k] {
+		panic(fmt.Sprintf("comm: stream %q already exists for rank %d (one ordering domain per name per rank)", name, rank))
+	}
+	w.streamNames[k] = true
+}
+
+// releaseStream returns a stream name to the pool (Scheduler.Close).
+func (w *World) releaseStream(rank int, name string) {
+	w.mu.Lock()
+	delete(w.streamNames, streamClaim{rank: rank, name: name})
+	w.mu.Unlock()
+}
+
+// Stats returns a copy of the traffic counters for rank r. Safe to call at
+// any time, including while streams are executing ops; for a snapshot that
+// is consistent *across* in-flight ops, quiesce first with
+// Scheduler.Barrier (or return from Run).
 func (w *World) Stats(r int) Stats {
-	s := w.stats[r]
+	rs := &w.stats[r]
+	rs.mu.Lock()
+	s := rs.s
 	if s.PerCollective != nil {
 		cp := make(map[string]int64, len(s.PerCollective))
 		for k, v := range s.PerCollective {
@@ -102,6 +216,14 @@ func (w *World) Stats(r int) Stats {
 		}
 		s.PerCollective = cp
 	}
+	if s.PerStream != nil {
+		cp := make(map[string]int64, len(s.PerStream))
+		for k, v := range s.PerStream {
+			cp[k] = v
+		}
+		s.PerStream = cp
+	}
+	rs.mu.Unlock()
 	return s
 }
 
@@ -109,22 +231,46 @@ func (w *World) Stats(r int) Stats {
 func (w *World) TotalElemsSent() int64 {
 	var t int64
 	for r := range w.stats {
-		t += w.stats[r].ElemsSent
+		rs := &w.stats[r]
+		rs.mu.Lock()
+		t += rs.s.ElemsSent
+		rs.mu.Unlock()
 	}
 	return t
 }
 
-// ResetStats clears all traffic counters. Only call while ranks are quiesced.
+// TotalBytesSent sums natively accounted wire bytes over all ranks.
+func (w *World) TotalBytesSent() int64 {
+	var t int64
+	for r := range w.stats {
+		rs := &w.stats[r]
+		rs.mu.Lock()
+		t += rs.s.BytesSent
+		rs.mu.Unlock()
+	}
+	return t
+}
+
+// ResetStats clears all traffic counters. Safe to call while streams exist;
+// quiesce with Scheduler.Barrier first if ops are in flight and the reset
+// must not race mid-collective counts.
 func (w *World) ResetStats() {
 	for r := range w.stats {
-		w.stats[r] = Stats{}
+		rs := &w.stats[r]
+		rs.mu.Lock()
+		rs.s = Stats{}
+		rs.mu.Unlock()
 	}
 }
 
-// Comm is one rank's handle on the world.
+// Comm is one rank's handle on the world, bound to one ordering domain
+// (stream) and one wire dtype for traffic accounting. World.Comm hands out
+// the default domain; Scheduler.Stream derives named domains.
 type Comm struct {
-	w    *World
-	rank int
+	w      *World
+	rank   int
+	stream string // "" = default ordering domain
+	dtype  DType  // wire width recorded by Stats; F32 unless derived
 }
 
 // Rank returns this communicator's rank id.
@@ -136,6 +282,29 @@ func (c *Comm) Size() int { return c.w.n }
 // World returns the underlying world (for stats inspection).
 func (c *Comm) World() *World { return c.w }
 
+// StreamName returns the ordering domain this communicator runs on.
+func (c *Comm) StreamName() string {
+	if c.stream == "" {
+		return DefaultStream
+	}
+	return c.stream
+}
+
+// DType returns the wire dtype this communicator accounts traffic at.
+func (c *Comm) DType() DType { return c.dtype }
+
+// WithDType returns a view of the communicator whose traffic is accounted
+// at d's wire width. The view shares the ordering domain — it is the same
+// stream, only the bookkeeping changes.
+func (c *Comm) WithDType(d DType) *Comm {
+	if d == c.dtype {
+		return c
+	}
+	cp := *c
+	cp.dtype = d
+	return &cp
+}
+
 // send transmits a copy of data to dst and accounts for it under op.
 func (c *Comm) send(op string, dst int, data []float32) {
 	if dst == c.rank {
@@ -143,8 +312,8 @@ func (c *Comm) send(op string, dst int, data []float32) {
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
-	c.w.links[c.rank][dst] <- cp
-	c.w.stats[c.rank].record(op, int64(len(data)), 0)
+	c.w.channel(c.rank, dst, c.stream) <- cp
+	c.w.stats[c.rank].record(op, c.stream, c.dtype.Bytes(), int64(len(data)), 0)
 }
 
 // recv blocks for a message from src and accounts for it.
@@ -152,8 +321,8 @@ func (c *Comm) recv(op string, src int) []float32 {
 	if src == c.rank {
 		panic("comm: recv from self")
 	}
-	data := <-c.w.links[src][c.rank]
-	c.w.stats[c.rank].record(op, 0, int64(len(data)))
+	data := <-c.w.channel(src, c.rank, c.stream)
+	c.w.stats[c.rank].record(op, c.stream, c.dtype.Bytes(), 0, int64(len(data)))
 	return data
 }
 

@@ -1,0 +1,68 @@
+package comm
+
+import "repro/internal/tensor"
+
+// DType names the wire storage width of a buffer. The simulator's arithmetic
+// is always float32 (exactly like fp32 accumulation on tensor cores); the
+// dtype decides how many bytes each element occupies on the wire, which is
+// what Stats records. F16 corresponds to tensor.Half storage — §3.1's
+// mixed-precision convention where parameters, gradients and activations
+// travel as 2-byte fp16 while masters stay fp32.
+type DType uint8
+
+const (
+	// F32 is 4-byte IEEE-754 binary32, the default wire width.
+	F32 DType = iota
+	// F16 is 2-byte IEEE-754 binary16 (tensor.Half) wire storage.
+	F16
+)
+
+// Bytes returns the storage width of one element.
+func (d DType) Bytes() int {
+	if d == F16 {
+		return tensor.BytesPerHalf
+	}
+	return tensor.BytesPerFloat32
+}
+
+func (d DType) String() string {
+	if d == F16 {
+		return "f16"
+	}
+	return "f32"
+}
+
+// Buffer is a typed view of a flat float32 slice: the data plus the dtype it
+// occupies on the wire. Collectives on a Stream take Buffers so traffic is
+// byte-accounted natively; the values themselves stay float32 (fp16 storage
+// of an fp32-computed value is modeled by rounding through binary16, see
+// Quantize).
+type Buffer struct {
+	Data  []float32
+	DType DType
+}
+
+// F32Buf wraps x as an fp32-wire buffer.
+func F32Buf(x []float32) Buffer { return Buffer{Data: x, DType: F32} }
+
+// F16Buf wraps x as an fp16-wire buffer.
+func F16Buf(x []float32) Buffer { return Buffer{Data: x, DType: F16} }
+
+// Len returns the element count.
+func (b Buffer) Len() int { return len(b.Data) }
+
+// Bytes returns the wire size of the whole buffer.
+func (b Buffer) Bytes() int64 { return int64(len(b.Data)) * int64(b.DType.Bytes()) }
+
+// Quantize rounds every value through the buffer's storage format in place:
+// a no-op for F32, round-to-nearest-even binary16 for F16 — the operation
+// that makes "this buffer is stored in fp16" true for the float32 values the
+// simulator computes with.
+func (b Buffer) Quantize() {
+	if b.DType != F16 {
+		return
+	}
+	for i, v := range b.Data {
+		b.Data[i] = tensor.FromFloat32(v).Float32()
+	}
+}

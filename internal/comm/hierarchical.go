@@ -10,7 +10,10 @@ package comm
 // not (the effective-bandwidth model in internal/perfmodel.DPBandwidth).
 //
 // Traffic is accounted separately under "hier-intra" and "hier-inter" in
-// Stats.PerCollective, so the intra/inter split is measurable.
+// Stats.PerCollective, so the intra/inter split is measurable. Like every
+// collective, it runs on whatever ordering domain its Comm is bound to —
+// synchronously on the default domain, or asynchronously via
+// Stream.AllReduceHierarchical with byte-accurate dtype accounting.
 
 // AllReduceHierarchical sums x elementwise across all ranks, in place,
 // using the two-level algorithm with the given node width. The world size

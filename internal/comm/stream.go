@@ -1,0 +1,269 @@
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler multiplexes named ordering domains ("streams") over one rank's
+// communicator — the stream abstraction NCCL and DeepSpeed use to let
+// gradient reduction, parameter prefetch and checkpoint gathers proceed
+// concurrently without a global serialization point.
+//
+// Determinism contract: every rank of the world must create the same stream
+// names and submit the same per-stream op order. Each stream owns private
+// wire channels per rank pair, so ops pair FIFO within a stream and never
+// with another stream's ops — same names + same per-stream submission order
+// ⇒ the same global pairing on every run, which is what keeps overlapped
+// schedules bitwise identical to synchronous ones.
+//
+// Buffer ownership: a submitted op owns its buffer region until its Handle
+// is waited (or the stream flushed). Callers may freely mutate *disjoint*
+// regions concurrently — that is the point: backward writes layer k's
+// gradients while layer k+1's bucket is on the wire, and the prefetch stream
+// gathers layer k+1's parameters while layer k computes.
+type Scheduler struct {
+	c     *Comm
+	depth int
+
+	mu      sync.Mutex
+	streams map[string]*Stream
+	order   []*Stream
+	closed  bool
+}
+
+// defaultQueueDepth is the submission-queue capacity a Scheduler gives its
+// streams unless overridden by WithQueueDepth or StreamWithDepth: deep
+// enough that a backward pass never blocks on submission at realistic
+// bucket counts.
+const defaultQueueDepth = 64
+
+// SchedulerOption configures a Scheduler at construction.
+type SchedulerOption func(*Scheduler)
+
+// WithQueueDepth sets the default submission-queue capacity for streams
+// created by the Scheduler. When a stream's queue is full, Submit blocks
+// until the worker drains an op — backpressure that bounds how far a
+// producer can run ahead of the wire, never dropping or reordering ops.
+// Non-positive depths are ignored.
+func WithQueueDepth(depth int) SchedulerOption {
+	return func(s *Scheduler) {
+		if depth > 0 {
+			s.depth = depth
+		}
+	}
+}
+
+// NewScheduler creates a stream scheduler over one rank's communicator.
+// Creation is cheap (no goroutines until a stream is created). The
+// scheduler assumes it is the only issuer of named streams for this rank;
+// a second scheduler may coexist only if its stream names are disjoint
+// (enforced by panic).
+func NewScheduler(c *Comm, opts ...SchedulerOption) *Scheduler {
+	s := &Scheduler{c: c, depth: defaultQueueDepth, streams: make(map[string]*Stream)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stream returns the named ordering domain, creating it (and its worker
+// goroutine) on first use. Streams are get-or-create: a second call with
+// the same name returns the same stream.
+func (s *Scheduler) Stream(name string) *Stream { return s.StreamWithDepth(name, 0) }
+
+// StreamWithDepth is Stream with a per-stream submission-queue capacity
+// override (0 uses the scheduler default). The depth only applies on
+// creation; an existing stream keeps its queue.
+func (s *Scheduler) StreamWithDepth(name string, depth int) *Stream {
+	if name == "" || name == DefaultStream {
+		panic("comm: stream name must be non-empty and not the default domain")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic("comm: Stream on closed Scheduler")
+	}
+	if st := s.streams[name]; st != nil {
+		return st
+	}
+	if depth <= 0 {
+		depth = s.depth
+	}
+	s.c.w.claimStream(s.c.rank, name)
+	view := *s.c
+	view.stream = name
+	view.dtype = F32
+	st := &Stream{
+		name: name,
+		c:    &view,
+		ops:  make(chan streamOp, depth),
+		done: make(chan struct{}),
+	}
+	go st.loop()
+	s.streams[name] = st
+	s.order = append(s.order, st)
+	return st
+}
+
+// Barrier blocks until every op submitted to every stream of this scheduler
+// has completed — the local quiesce point harness code uses before reading
+// or resetting World stats while streams exist. Like Stream.Flush it is
+// rank-local: pair it across ranks by having every rank run the same
+// schedule.
+func (s *Scheduler) Barrier() {
+	s.mu.Lock()
+	streams := append([]*Stream(nil), s.order...)
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.Flush()
+	}
+}
+
+// Close drains every stream, stops the workers and releases the stream
+// names. Safe to call more than once; the scheduler must not be used
+// afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	streams := s.order
+	s.mu.Unlock()
+	for _, st := range streams {
+		close(st.ops)
+		<-st.done
+		s.c.w.releaseStream(s.c.rank, st.name)
+	}
+}
+
+// Handle is the completion token of one submitted op. Wait blocks until the
+// op has executed on the stream's worker; waiting is per-op, so a caller
+// can synchronize exactly the dependency it has (e.g. "layer k's parameters
+// are resident") instead of draining the whole queue.
+type Handle struct {
+	done chan struct{}
+}
+
+// Wait blocks until the op completes. Waiting a nil handle is a no-op, and
+// Wait may be called from any goroutine, any number of times.
+func (h *Handle) Wait() {
+	if h != nil {
+		<-h.done
+	}
+}
+
+// Done reports (without blocking) whether the op has completed.
+func (h *Handle) Done() bool {
+	if h == nil {
+		return true
+	}
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+type streamOp struct {
+	fn func(*Comm)
+	h  *Handle
+}
+
+// Stream is one named ordering domain of one rank: a FIFO of collective ops
+// executed by a dedicated worker goroutine on a stream-tagged communicator.
+// Ops on the same stream execute in submission order; ops on different
+// streams are unordered with respect to each other (their wire channels are
+// disjoint, so no ordering is needed for correctness).
+type Stream struct {
+	name string
+	c    *Comm
+	ops  chan streamOp
+	done chan struct{}
+
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+func (st *Stream) loop() {
+	defer close(st.done)
+	for op := range st.ops {
+		if op.fn != nil {
+			op.fn(st.c)
+			st.completed.Add(1)
+		}
+		if op.h != nil {
+			close(op.h.done)
+		}
+	}
+}
+
+// Name returns the stream's ordering-domain name.
+func (st *Stream) Name() string { return st.name }
+
+// Rank returns the rank the stream belongs to.
+func (st *Stream) Rank() int { return st.c.rank }
+
+// Size returns the world size.
+func (st *Stream) Size() int { return st.c.w.n }
+
+// Depth returns the submission-queue capacity.
+func (st *Stream) Depth() int { return cap(st.ops) }
+
+// Submit enqueues an arbitrary op; fn runs on the worker goroutine with the
+// stream's communicator (use Comm.WithDType inside fn for non-F32
+// accounting). Blocks only when the queue is full (see WithQueueDepth).
+func (st *Stream) Submit(fn func(c *Comm)) *Handle {
+	h := &Handle{done: make(chan struct{})}
+	st.submitted.Add(1)
+	st.ops <- streamOp{fn: fn, h: h}
+	return h
+}
+
+// ReduceScatter enqueues a reduce-scatter of b under parts.
+func (st *Stream) ReduceScatter(b Buffer, parts []Range) *Handle {
+	return st.Submit(func(c *Comm) { c.WithDType(b.DType).ReduceScatter(b.Data, parts) })
+}
+
+// AllGather enqueues an all-gather of b under parts.
+func (st *Stream) AllGather(b Buffer, parts []Range) *Handle {
+	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllGather(b.Data, parts) })
+}
+
+// AllReduce enqueues an all-reduce (sum) of b.
+func (st *Stream) AllReduce(b Buffer) *Handle {
+	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduce(b.Data) })
+}
+
+// AllReduceAvg enqueues an all-reduce followed by division by the world
+// size — the gradient-averaging collective.
+func (st *Stream) AllReduceAvg(b Buffer) *Handle {
+	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduceAvg(b.Data) })
+}
+
+// AllReduceHierarchical enqueues a two-level (intra-node reduce-scatter,
+// inter-node all-reduce, intra-node all-gather) sum of b for worlds laid
+// out as nodes of nodeSize ranks. On a stream it composes with the other
+// ordering domains exactly like the flat collectives do.
+func (st *Stream) AllReduceHierarchical(b Buffer, nodeSize int) *Handle {
+	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduceHierarchical(b.Data, nodeSize) })
+}
+
+// Flush blocks until every previously submitted op has completed on this
+// rank's stream. It is a local barrier: pair it across ranks (every rank
+// submits the same schedule, every rank flushes).
+func (st *Stream) Flush() {
+	h := &Handle{done: make(chan struct{})}
+	st.ops <- streamOp{h: h}
+	<-h.done
+}
+
+// Pending returns the number of submitted ops not yet completed. It is
+// advisory (racy by nature) and meant for tests and instrumentation.
+func (st *Stream) Pending() int64 { return st.submitted.Load() - st.completed.Load() }
+
+// Completed returns the number of ops the worker has finished executing.
+func (st *Stream) Completed() int64 { return st.completed.Load() }

@@ -10,8 +10,8 @@
 // package is a thin constructor over zero.Trainer at zero.StageDDP, the
 // degenerate stage-0 case of the one code path. The gradient all-reduce is
 // the same bucketed reduce-scatter every ZeRO stage runs, completed by a
-// gradient all-gather; set Overlap to ride the buckets under backward
-// compute.
+// gradient all-gather; set Overlap to ride the buckets on the grad stream
+// under backward compute.
 package ddp
 
 import (

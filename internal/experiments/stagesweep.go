@@ -27,9 +27,12 @@ func DefaultStageSweep() StageSweepConfig {
 
 // StageSweep measures the unified Stage API end to end on the real
 // engines: for each ZeRO-DP stage it trains a small model and reports the
-// wire traffic per rank per step — elements counted by the collectives,
-// bytes at the stage's wire width — and the wall-clock of the synchronous
-// schedule versus the bucketed async overlap engine.
+// wire traffic per rank per step — elements counted by the collectives and
+// bytes counted *natively* by the dtype-tagged buffers (comm.Stats records
+// each op at its Buffer's wire width, so the fp16 column is measured, not
+// elems × convention) — and the wall-clock of the synchronous schedule
+// versus the streamed schedule (grad-stream bucket overlap, plus prefetch
+// of the stage-3 parameter gathers).
 //
 // The seed baseline row is the pre-Stage-API synchronous path: replicated
 // DP whose gradients cross the wire in fp32 (4 bytes/element, the only
@@ -53,8 +56,9 @@ func StageSweep(sc StageSweepConfig) Table {
 	batch := 2 * sc.Ranks
 	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
 
-	// run returns per-rank elements sent per step and the mean step time.
-	run := func(opts zero.Options) (elemsPerRankStep float64, stepTime time.Duration) {
+	// run returns per-rank elements and native bytes sent per step and the
+	// mean step time.
+	run := func(opts zero.Options) (elemsPerRankStep, bytesPerRankStep float64, stepTime time.Duration) {
 		w := comm.NewWorld(sc.Ranks)
 		start := time.Now()
 		w.Run(func(c *comm.Comm) {
@@ -65,15 +69,14 @@ func StageSweep(sc StageSweepConfig) Table {
 			}
 		})
 		elapsed := time.Since(start)
-		return float64(w.TotalElemsSent()) / float64(sc.Ranks*sc.Steps),
+		perRankStep := float64(sc.Ranks * sc.Steps)
+		return float64(w.TotalElemsSent()) / perRankStep,
+			float64(w.TotalBytesSent()) / perRankStep,
 			elapsed / time.Duration(sc.Steps)
 	}
 
-	const fp32Bytes, fp16Bytes = 4, 2
-
 	// Seed baseline: synchronous replicated DP, fp32 wire, unbucketed.
-	seedElems, seedTime := run(zero.Options{Stage: zero.StageDDP, LR: 1e-3, Seed: 1})
-	seedBytes := seedElems * fp32Bytes
+	seedElems, seedBytes, seedTime := run(zero.Options{Stage: zero.StageDDP, LR: 1e-3, Seed: 1})
 
 	rows := [][]string{{
 		"seed sync DP", "fp32", fmtF(seedElems, 0), fmtF(seedBytes, 0), "1.00x",
@@ -83,11 +86,11 @@ func StageSweep(sc StageSweepConfig) Table {
 		base := zero.Options{
 			Stage: st, LR: 1e-3, Seed: 1, FP16: true, BucketElems: sc.BucketElems,
 		}
-		elems, syncTime := run(base)
+		elems, bytes, syncTime := run(base)
 		over := base
 		over.Overlap = true
-		_, overTime := run(over)
-		bytes := elems * fp16Bytes
+		over.Prefetch = true // pipelines the stage-3 gathers; no-op below stage 3
+		_, _, overTime := run(over)
 		rows = append(rows, []string{
 			"ZeRO " + st.String(), "fp16",
 			fmtF(elems, 0), fmtF(bytes, 0),
@@ -99,10 +102,11 @@ func StageSweep(sc StageSweepConfig) Table {
 	}
 	return Table{
 		Title: "Stage sweep: wire traffic and step time per ZeRO-DP stage",
-		Note: fmt.Sprintf("Ψ=%d params, N=%d ranks, bucket=%d elems; bytes = elems x wire width.\n"+
-			"Step times are wall-clock of this run (overlap = bucketed async engine).",
+		Note: fmt.Sprintf("Ψ=%d params, N=%d ranks, bucket=%d elems; bytes measured natively by\n"+
+			"dtype-tagged buffers (fp16 = 2 B/elem on the wire). Step times are wall-clock of\n"+
+			"this run (overlap = grad-stream buckets + stage-3 prefetch stream).",
 			psi, sc.Ranks, sc.BucketElems),
-		Header: []string{"System", "Wire", "Elems/rank/step", "Bytes/rank/step", "vs seed",
+		Header: []string{"System", "Wire", "Elems/rank/step", "Bytes/rank/step (measured)", "vs seed",
 			"Step (sync)", "Step (overlap)", "Speedup"},
 		Rows: rows,
 	}
@@ -152,7 +156,10 @@ func StageThroughput() Table {
 			mk := func(sync bool) float64 {
 				return perfmodel.Estimate(hw, perfmodel.Config{
 					Shape: shape, MP: 1, DP: gpus, MicroBatch: maxBatch,
-					ZeRO: perfmodel.ZeROConfig{Stage: int(st), SyncComm: sync},
+					// The streamed schedule overlaps gradient buckets and
+					// prefetches the stage-3 parameter gathers; the sync
+					// schedule exposes everything.
+					ZeRO: perfmodel.ZeROConfig{Stage: int(st), SyncComm: sync, Prefetch: !sync},
 				}).TFlopsPerGPU
 			}
 			overlapTF, syncTF := mk(false), mk(true)
@@ -166,7 +173,8 @@ func StageThroughput() Table {
 	return Table{
 		Title: "Stage throughput sweep: ZeRO-DP stages 0-3, 64 GPUs, 32 GB budget",
 		Note: "Max micro-batch fitting model+residual states per stage; TF/GPU from the\n" +
-			"performance model with the bucketed overlap engine vs the synchronous schedule.",
+			"performance model with the streamed schedule (bucket overlap + stage-3 gather\n" +
+			"prefetch) vs the fully synchronous schedule.",
 		Header: []string{"Model", "Stage", "Max batch", "TF/GPU (overlap)", "TF/GPU (sync)", "Gain"},
 		Rows:   rows,
 	}

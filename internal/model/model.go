@@ -33,6 +33,25 @@ type Model struct {
 	// (Pa+cpu).
 	Store CheckpointStore
 
+	// ForwardHook, when non-nil, is invoked during Loss immediately before
+	// each parameter group's compute begins: layer -1 before the embedding
+	// lookup, layer i before block i's forward, layer Layers before the
+	// final layernorm + tied head. Stage-3 engines use it as the "params
+	// must be resident now" synchronization point of §7.2.2's pipelined
+	// schedule: wait for this group's prefetched all-gather, launch the
+	// next group's. It is not called for the recomputation forwards that
+	// checkpointing runs inside Backward (those are covered by
+	// BackwardPreHook).
+	ForwardHook func(layer int)
+
+	// BackwardPreHook, when non-nil, is invoked during Backward immediately
+	// before each parameter group's weights are read: layer Layers before
+	// the head/final-layernorm backward (which also reads the tied token
+	// embedding), layer i before block i's recomputation and backward.
+	// The symmetric synchronization point to ForwardHook for the second
+	// parameter gather of stage 3.
+	BackwardPreHook func(layer int)
+
 	// BackwardHook, when non-nil, is invoked during Backward immediately
 	// after block `layer`'s parameter gradients are final (blocks are
 	// visited in reverse order, so layer L-1 fires first). Data-parallel
@@ -150,6 +169,9 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	}
 
 	// Embedding: token + position.
+	if m.ForwardHook != nil {
+		m.ForwardHook(-1)
+	}
 	tok := m.Params[m.Layout.tokEmb : m.Layout.tokEmb+m.Cfg.Vocab*h]
 	pos := m.Params[m.Layout.posEmb : m.Layout.posEmb+m.Cfg.Seq*h]
 	for b := 0; b < batch; b++ {
@@ -168,6 +190,9 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	fs.blocks = make([]blockActs, m.Cfg.Layers)
 	x := fs.x0
 	for i := 0; i < m.Cfg.Layers; i++ {
+		if m.ForwardHook != nil {
+			m.ForwardHook(i)
+		}
 		acts := &fs.blocks[i]
 		acts.x = x
 		x = m.blockForward(i, acts, batch, seqLen)
@@ -182,6 +207,9 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	fs.xL = x
 
 	// Final layernorm + tied-embedding head.
+	if m.ForwardHook != nil {
+		m.ForwardHook(m.Cfg.Layers)
+	}
 	fs.xhatF = make([]float32, mRows*h)
 	fs.invStdF = make([]float32, mRows)
 	fs.xf = make([]float32, mRows*h)
@@ -210,6 +238,11 @@ func (m *Model) Backward() {
 	mRows := fs.batch * fs.seqLen
 	v := m.Cfg.Vocab
 
+	// The head reads the tied token embedding and the final layernorm's
+	// parameters next.
+	if m.BackwardPreHook != nil {
+		m.BackwardPreHook(m.Cfg.Layers)
+	}
 	tok := m.Params[m.Layout.tokEmb : m.Layout.tokEmb+v*h]
 	dTok := m.Grads[m.Layout.tokEmb : m.Layout.tokEmb+v*h]
 	dPos := m.Grads[m.Layout.posEmb : m.Layout.posEmb+m.Cfg.Seq*h]
@@ -231,6 +264,9 @@ func (m *Model) Backward() {
 	// Blocks in reverse. Under checkpointing, recompute each block's
 	// internals from its saved input first.
 	for i := m.Cfg.Layers - 1; i >= 0; i-- {
+		if m.BackwardPreHook != nil {
+			m.BackwardPreHook(i)
+		}
 		acts := &fs.blocks[i]
 		if m.Checkpoint {
 			if m.Store != nil {

@@ -61,6 +61,57 @@ func TestEstimateMonotonicity(t *testing.T) {
 	}
 }
 
+// Stage-3 parameter-gather accounting: GatherSec is exactly the third Ψ
+// (half the gradient share), Prefetch hides part of it, and the knob does
+// nothing at stage 2 or under SyncComm.
+func TestPrefetchHidesGatherTime(t *testing.T) {
+	hw := DGX2()
+	shape := GPT2Like(62, 4096, 32)
+	base := Config{Shape: shape, MP: 1, DP: 64, MicroBatch: 4, ZeRO: ZeROConfig{Stage: 3}}
+
+	syncGather := Estimate(hw, base)
+	if syncGather.GatherSec <= 0 {
+		t.Fatal("stage 3 must report parameter-gather time")
+	}
+	if r := syncGather.GatherSec / (syncGather.DPCommSec - syncGather.GatherSec); math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("gather/grad time ratio %v, want 0.5 (Ψ vs 2Ψ)", r)
+	}
+	if syncGather.ExposedGatherSec != syncGather.GatherSec {
+		t.Error("without Prefetch the whole gather must be exposed (synchronous schedule)")
+	}
+
+	pre := base
+	pre.ZeRO.Prefetch = true
+	withPrefetch := Estimate(hw, pre)
+	if withPrefetch.ExposedGatherSec >= syncGather.ExposedGatherSec {
+		t.Errorf("Prefetch must reduce exposed gather time: %v >= %v",
+			withPrefetch.ExposedGatherSec, syncGather.ExposedGatherSec)
+	}
+	if withPrefetch.StepSec >= syncGather.StepSec {
+		t.Errorf("Prefetch must reduce step time: %v >= %v", withPrefetch.StepSec, syncGather.StepSec)
+	}
+	if withPrefetch.DPCommSec != syncGather.DPCommSec {
+		t.Error("Prefetch moves the same volume; only exposure changes")
+	}
+
+	s2 := base
+	s2.ZeRO.Stage = 2
+	s2pre := s2
+	s2pre.ZeRO.Prefetch = true
+	if Estimate(hw, s2).StepSec != Estimate(hw, s2pre).StepSec {
+		t.Error("Prefetch must be a no-op at stage 2 (no parameter gathers)")
+	}
+	if Estimate(hw, s2).GatherSec != 0 {
+		t.Error("stages 0-2 have no gather share")
+	}
+
+	allSync := pre
+	allSync.ZeRO.SyncComm = true
+	if e := Estimate(hw, allSync); e.ExposedGatherSec != e.GatherSec {
+		t.Error("SyncComm must expose the gathers even with Prefetch set")
+	}
+}
+
 // The breakdown must be internally consistent.
 func TestBreakdownConsistency(t *testing.T) {
 	hw := DGX2()
@@ -72,6 +123,9 @@ func TestBreakdownConsistency(t *testing.T) {
 	}
 	if e.ExposedDPSec > e.DPCommSec {
 		t.Error("exposed DP time cannot exceed total DP time")
+	}
+	if e.ExposedGatherSec > e.ExposedDPSec || e.GatherSec > e.DPCommSec {
+		t.Error("gather shares cannot exceed their DP totals")
 	}
 	if e.TFlopsPerGPU <= 0 || e.FlopsPerGPU <= 0 {
 		t.Error("non-positive throughput")

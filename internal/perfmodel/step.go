@@ -11,8 +11,15 @@ type ZeROConfig struct {
 	// SyncComm disables the bucketed communication/computation overlap:
 	// every DP collective runs at a step boundary and is fully exposed —
 	// the pre-overlap synchronous schedule, kept as the comparison point
-	// for the async bucket engine.
+	// for the grad-stream bucket schedule.
 	SyncComm bool
+	// Prefetch pipelines stage 3's parameter all-gathers on the prefetch
+	// stream under forward/backward compute (§7.2.2's "spread across the
+	// entire forward propagation"). Without it the gather volume — the
+	// third Ψ that distinguishes Pos+g+p — is fully exposed, which is the
+	// synchronous gather schedule the stream API replaced. No effect at
+	// stages 0-2 (no parameter gathers) or under SyncComm.
+	Prefetch bool
 }
 
 // StageVolumeFactor returns the §7.2 per-step DP communication volume in
@@ -46,11 +53,16 @@ type Breakdown struct {
 	ComputeSec   float64 // GEMM + elementwise work at modeled efficiency
 	MPCommSec    float64 // Megatron all-reduces (+ Pa all-gathers), on the critical path
 	DPCommSec    float64 // total gradient/parameter collective time (before overlap)
-	ExposedDPSec float64 // DP communication not hidden behind compute
-	OffloadSec   float64 // exposed Pa+cpu PCIe time
-	StepSec      float64 // ComputeSec + MPCommSec + ExposedDPSec + OffloadSec
-	FlopsPerGPU  float64
-	TFlopsPerGPU float64
+	GatherSec    float64 // stage-3 parameter all-gather share of DPCommSec (the third Ψ)
+	ExposedDPSec float64 // DP communication not hidden behind compute (incl. exposed gathers)
+	// ExposedGatherSec is the parameter-gather time left on the critical
+	// path: all of GatherSec without Prefetch (synchronous gathers), the
+	// post-overlap remainder with it. Always ≤ ExposedDPSec.
+	ExposedGatherSec float64
+	OffloadSec       float64 // exposed Pa+cpu PCIe time
+	StepSec          float64 // ComputeSec + MPCommSec + ExposedDPSec + OffloadSec
+	FlopsPerGPU      float64
+	TFlopsPerGPU     float64
 }
 
 // Overlap windows: fraction of compute time available to hide DP collectives
@@ -58,7 +70,12 @@ type Breakdown struct {
 // forward/backward) and Pa+cpu transfers (hidden behind the large arithmetic
 // intensity per §4.2.1(b), but not fully at small batch).
 const (
-	dpOverlapWindow      = 0.5
+	dpOverlapWindow = 0.5
+	// gatherOverlapWindow is the compute fraction available to hide the
+	// stage-3 parameter gathers when Prefetch pipelines them: smaller than
+	// the gradient window because the forward gathers have only forward
+	// compute to hide under and the first layer group is always exposed.
+	gatherOverlapWindow  = 0.3
 	offloadOverlapWindow = 0.25
 	// paCPUComputeDrag models host-DMA contention and synchronization
 	// overhead of CPU offload as a fractional compute slowdown. The paper
@@ -96,23 +113,37 @@ func Estimate(hw Hardware, cfg Config) Breakdown {
 		b.MPCommSec = mpBytes / hw.MPBandwidth(cfg.MP)
 	}
 
-	// DP traffic per §7.2: 2Ψ elements per step for stages 0-2 (all-reduce,
-	// or reduce-scatter + all-gather), 3Ψ for stage 3. Ring collectives
-	// move volume·(N-1)/N per rank. Ψ here is the per-MP-slice share.
+	// DP traffic per §7.2: 2Ψ elements per step of gradient-class volume
+	// for every stage (all-reduce, or reduce-scatter + parameter
+	// all-gather), plus stage 3's extra Ψ of parameter gathers. Ring
+	// collectives move volume·(N-1)/N per rank. Ψ here is the per-MP-slice
+	// share. The two shares ride different ordering domains (grad vs
+	// prefetch stream) and hide behind different compute windows.
 	if cfg.DP > 1 {
 		psiShard := float64(cfg.Shape.Params()) / float64(cfg.MP)
-		volFactor := StageVolumeFactor(cfg.ZeRO.Stage)
 		ringFrac := float64(cfg.DP-1) / float64(cfg.DP)
-		dpBytes := volFactor * psiShard * ringFrac * fp16Bytes
-		b.DPCommSec = dpBytes / hw.DPBandwidth(cfg.MP, cfg.DP)
+		bw := hw.DPBandwidth(cfg.MP, cfg.DP)
+		gradSec := 2 * psiShard * ringFrac * fp16Bytes / bw
+		if cfg.ZeRO.Stage == 3 {
+			b.GatherSec = psiShard * ringFrac * fp16Bytes / bw
+		}
+		b.DPCommSec = gradSec + b.GatherSec
 		overlap := dpOverlapWindow
 		if cfg.ZeRO.SyncComm {
 			overlap = 0 // synchronous schedule: every byte is exposed
 		}
-		b.ExposedDPSec = b.DPCommSec - overlap*b.ComputeSec
-		if b.ExposedDPSec < 0 {
-			b.ExposedDPSec = 0
+		exposedGrad := gradSec - overlap*b.ComputeSec
+		if exposedGrad < 0 {
+			exposedGrad = 0
 		}
+		b.ExposedGatherSec = b.GatherSec
+		if cfg.ZeRO.Prefetch && !cfg.ZeRO.SyncComm {
+			b.ExposedGatherSec = b.GatherSec - gatherOverlapWindow*b.ComputeSec
+			if b.ExposedGatherSec < 0 {
+				b.ExposedGatherSec = 0
+			}
+		}
+		b.ExposedDPSec = exposedGrad + b.ExposedGatherSec
 	}
 
 	// Pa+cpu: each checkpoint crosses PCIe twice (out after forward, back

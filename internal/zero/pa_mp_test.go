@@ -36,7 +36,9 @@ func stepGPT(n int, checkpoint, pa bool) (*comm.World, [][]float32, float64) {
 		m := mp.NewGPT(c, paLayers, paHidden, paHeads, paVocab, paSeq, 23)
 		m.Checkpoint = checkpoint
 		if pa {
-			m.Store = NewPartitionedStore(c, false)
+			st, closeSched := checkpointStream(c)
+			defer closeSched()
+			m.Store = NewPartitionedStore(st, false)
 		}
 		m.ZeroGrads()
 		losses[c.Rank()] = m.Loss(ids, targets, paBatch)
@@ -110,7 +112,9 @@ func TestPaShrinksCheckpointResidency(t *testing.T) {
 	ids, targets := model.SyntheticBatch(73, paBatch, paSeq, paVocab)
 	w := comm.NewWorld(n)
 	w.Run(func(c *comm.Comm) {
-		store := NewPartitionedStore(c, false)
+		st, closeSched := checkpointStream(c)
+		defer closeSched()
+		store := NewPartitionedStore(st, false)
 		m := mp.NewGPT(c, paLayers, paHidden, paHeads, paVocab, paSeq, 23)
 		m.Checkpoint = true
 		m.Store = store

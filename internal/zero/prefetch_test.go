@@ -1,0 +1,256 @@
+package zero
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// runStage3 trains stage 3 for `steps` steps and returns rank 0's gathered
+// parameters plus the world (for traffic inspection).
+func runStage3(t *testing.T, cfg model.Config, n, steps, batch int, opts Options,
+	ids, targets []int) ([]float32, *comm.World) {
+	t.Helper()
+	opts.Stage = StageFull
+	w := comm.NewWorld(n)
+	out := make([][]float32, n)
+	w.Run(func(c *comm.Comm) {
+		tr := New(c, cfg, opts)
+		defer tr.Close()
+		for s := 0; s < steps; s++ {
+			tr.Step(ids, targets, batch)
+		}
+		tr.gatherParams()
+		out[c.Rank()] = append([]float32(nil), tr.Model.Params...)
+	})
+	for r := 1; r < n; r++ {
+		if d := tensor.MaxDiff(out[r], out[0]); d != 0 {
+			t.Fatalf("ranks 0 and %d disagree by %g after gather", r, d)
+		}
+	}
+	return out[0], w
+}
+
+// The prefetch satellite's core contract: stage-3 parameter gathers
+// pipelined on the prefetch stream are bitwise identical to the synchronous
+// gather-everything-up-front schedule, across world sizes and bucket sizes,
+// with and without gradient overlap riding the grad stream at the same
+// time. The gathers move the same elements either way — only *when* they
+// run changes.
+func TestStage3PrefetchBitIdentical(t *testing.T) {
+	cfg := testConfig()
+	const steps = 3
+	for _, n := range []int{1, 2, 4} {
+		batch := 2 * n
+		ids, targets := model.SyntheticBatch(41, batch, cfg.Seq, cfg.Vocab)
+		for _, bucket := range []int{0, 193, 4096} {
+			base := Options{LR: testLR, Seed: testSeed, BucketElems: bucket}
+			ref, refW := runStage3(t, cfg, n, steps, batch, base, ids, targets)
+			for _, overlap := range []bool{false, true} {
+				opts := base
+				opts.Prefetch = true
+				opts.Overlap = overlap
+				got, w := runStage3(t, cfg, n, steps, batch, opts, ids, targets)
+				if d := tensor.MaxDiff(got, ref); d != 0 {
+					t.Errorf("n=%d bucket=%d overlap=%v: prefetch diverged from sync gathers by %g",
+						n, bucket, overlap, d)
+				}
+				if got, want := w.TotalElemsSent(), refW.TotalElemsSent(); got != want {
+					t.Errorf("n=%d bucket=%d overlap=%v: prefetch moved %d elems, sync %d (same 3Ψ schedule expected)",
+						n, bucket, overlap, got, want)
+				}
+				if n > 1 {
+					pf := w.Stats(0).PerStream[StreamPrefetch]
+					if pf == 0 {
+						t.Errorf("n=%d bucket=%d overlap=%v: no traffic on the prefetch stream", n, bucket, overlap)
+					}
+				}
+			}
+		}
+	}
+}
+
+// replicatedBatch builds a global batch whose per-rank shards are all the
+// same rows, so every rank computes identical activations — the situation
+// of an MP group (which replicates activations by construction) modeled on
+// the DP world, making a PartitionedStore valid under the trainer.
+func replicatedBatch(seed int64, n, perRank, seqLen, vocab int) (ids, targets []int) {
+	baseIDs, baseTargets := model.SyntheticBatch(seed, perRank, seqLen, vocab)
+	for r := 0; r < n; r++ {
+		ids = append(ids, baseIDs...)
+		targets = append(targets, baseTargets...)
+	}
+	return ids, targets
+}
+
+// The old API forced Pa and gradient overlap to be mutually exclusive (one
+// untyped lane per rank); streams remove the exclusion. This is the
+// all-three-streams test: stage 3 with gradient overlap (grad stream),
+// parameter prefetch (prefetch stream) and a PartitionedStore (checkpoint
+// stream) running concurrently must be race-clean (run under -race) and
+// bitwise identical to the fully synchronous inline-checkpoint schedule.
+func TestPaComposesWithOverlapAndPrefetch(t *testing.T) {
+	cfg := testConfig()
+	const n, perRank, steps = 4, 2, 4
+	batch := n * perRank
+	ids, targets := replicatedBatch(53, n, perRank, cfg.Seq, cfg.Vocab)
+
+	run := func(pa, overlap, prefetch bool) ([]float32, *comm.World) {
+		w := comm.NewWorld(n)
+		out := make([][]float32, n)
+		w.Run(func(c *comm.Comm) {
+			sched := comm.NewScheduler(c)
+			defer sched.Close()
+			var store model.CheckpointStore = NewInlineStore()
+			if pa {
+				store = NewPartitionedStore(sched.Stream(StreamCheckpoint), false)
+			}
+			tr := New(c, cfg, Options{
+				Stage: StageFull, LR: testLR, Seed: testSeed, BucketElems: 193,
+				Checkpoint: true, Store: store,
+				Overlap: overlap, Prefetch: prefetch,
+				Scheduler: sched,
+			})
+			for s := 0; s < steps; s++ {
+				tr.Step(ids, targets, batch)
+			}
+			tr.gatherParams()
+			out[c.Rank()] = append([]float32(nil), tr.Model.Params...)
+		})
+		return out[0], w
+	}
+
+	ref, _ := run(false, false, false)
+	got, w := run(true, true, true)
+	if d := tensor.MaxDiff(got, ref); d != 0 {
+		t.Errorf("Pa + overlap + prefetch diverged from inline sync schedule by %g", d)
+	}
+	// All three ordering domains must actually have carried traffic.
+	st := w.Stats(0)
+	for _, stream := range []string{StreamGrad, StreamPrefetch, StreamCheckpoint} {
+		if st.PerStream[stream] == 0 {
+			t.Errorf("stream %q carried no traffic; the three-domain schedule did not run", stream)
+		}
+	}
+}
+
+// The old mutual-exclusion check ("Overlap ignored while a Store is
+// attached") is gone: with any checkpoint store attached, Overlap must
+// actually overlap — grad-stream traffic present, trajectory unchanged.
+func TestOverlapRunsWithCheckpointStore(t *testing.T) {
+	cfg := testConfig()
+	const n, steps, batch = 2, 3, 4
+	ids, targets := model.SyntheticBatch(61, batch, cfg.Seq, cfg.Vocab)
+
+	run := func(overlap bool) ([]float64, *comm.World) {
+		w := comm.NewWorld(n)
+		out := make([]float64, steps)
+		w.Run(func(c *comm.Comm) {
+			tr := New(c, cfg, Options{
+				Stage: StageOSGrad, LR: testLR, Seed: testSeed, BucketElems: 100,
+				Checkpoint: true, Store: NewInlineStore(), Overlap: overlap,
+			})
+			defer tr.Close()
+			for s := 0; s < steps; s++ {
+				l := tr.Step(ids, targets, batch)
+				if c.Rank() == 0 {
+					out[s] = l
+				}
+			}
+		})
+		return out, w
+	}
+	syncLoss, _ := run(false)
+	overLoss, w := run(true)
+	for s := range syncLoss {
+		if syncLoss[s] != overLoss[s] {
+			t.Errorf("step %d: overlap-with-store loss %.17g != sync %.17g", s, overLoss[s], syncLoss[s])
+		}
+	}
+	if w.Stats(0).PerStream[StreamGrad] == 0 {
+		t.Error("no grad-stream traffic: overlap was silently disabled by the store")
+	}
+}
+
+// FP16 wire accounting is native: a mixed-precision step's measured bytes
+// are exactly 2 per element, an fp32 step's exactly 4 — reported by Stats,
+// not reconstructed from elems × convention.
+func TestNativeByteAccountingPerStep(t *testing.T) {
+	cfg := testConfig()
+	const n, batch = 4, 4
+	ids, targets := model.SyntheticBatch(11, batch, cfg.Seq, cfg.Vocab)
+	for _, fp16 := range []bool{false, true} {
+		w := comm.NewWorld(n)
+		w.Run(func(c *comm.Comm) {
+			tr := New(c, cfg, Options{Stage: StageOSGrad, LR: testLR, Seed: testSeed, FP16: fp16})
+			defer tr.Close()
+			tr.Step(ids, targets, batch)
+		})
+		width := int64(4)
+		if fp16 {
+			width = 2
+		}
+		for r := 0; r < n; r++ {
+			st := w.Stats(r)
+			if st.BytesSent != st.ElemsSent*width {
+				t.Errorf("fp16=%v rank %d: %d bytes for %d elems, want width %d",
+					fp16, r, st.BytesSent, st.ElemsSent, width)
+			}
+		}
+	}
+}
+
+// QueueDepth must apply per stream even under a caller-owned scheduler
+// (whose own default the trainer cannot set).
+func TestQueueDepthAppliesToSharedScheduler(t *testing.T) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		sched := comm.NewScheduler(c)
+		defer sched.Close()
+		tr := New(c, testConfig(), Options{
+			Stage: StageFull, LR: testLR, Seed: testSeed,
+			QueueDepth: 2, Scheduler: sched,
+		})
+		if d := tr.gradStream().Depth(); d != 2 {
+			t.Errorf("grad stream depth = %d, want 2 via shared scheduler", d)
+		}
+		if d := tr.prefetchStream().Depth(); d != 2 {
+			t.Errorf("prefetch stream depth = %d, want 2 via shared scheduler", d)
+		}
+	})
+}
+
+// The submission-queue depth plumbs through Options.QueueDepth: a depth-1
+// queue still trains bitwise identically (backpressure, not reordering).
+func TestQueueDepthOptionTrainsIdentically(t *testing.T) {
+	cfg := testConfig()
+	const n, steps, batch = 2, 3, 4
+	ids, targets := model.SyntheticBatch(71, batch, cfg.Seq, cfg.Vocab)
+	run := func(depth int) []float64 {
+		w := comm.NewWorld(n)
+		out := make([]float64, steps)
+		w.Run(func(c *comm.Comm) {
+			tr := New(c, cfg, Options{
+				Stage: StageFull, LR: testLR, Seed: testSeed,
+				BucketElems: 64, Overlap: true, Prefetch: true, QueueDepth: depth,
+			})
+			defer tr.Close()
+			for s := 0; s < steps; s++ {
+				l := tr.Step(ids, targets, batch)
+				if c.Rank() == 0 {
+					out[s] = l
+				}
+			}
+		})
+		return out
+	}
+	deep := run(0) // default depth
+	tiny := run(1)
+	for s := range deep {
+		if deep[s] != tiny[s] {
+			t.Errorf("step %d: depth-1 loss %.17g != default-depth %.17g", s, tiny[s], deep[s])
+		}
+	}
+}

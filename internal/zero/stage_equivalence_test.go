@@ -42,17 +42,20 @@ func TestStageLossTrajectoriesBitIdentical(t *testing.T) {
 
 	for _, stage := range AllStages {
 		for _, overlap := range []bool{false, true} {
-			for _, bucket := range []int{0, 193} {
-				opts := base
-				opts.Stage = stage
-				opts.Overlap = overlap
-				opts.BucketElems = bucket
-				got := lossTrajectory(cfg, n, steps, batch, opts, ids, targets)
-				for s := range ref {
-					if got[s] != ref[s] {
-						t.Errorf("%v overlap=%v bucket=%d step %d: loss %.17g != reference %.17g",
-							stage, overlap, bucket, s, got[s], ref[s])
-						break
+			for _, prefetch := range []bool{false, true} {
+				for _, bucket := range []int{0, 193} {
+					opts := base
+					opts.Stage = stage
+					opts.Overlap = overlap
+					opts.Prefetch = prefetch
+					opts.BucketElems = bucket
+					got := lossTrajectory(cfg, n, steps, batch, opts, ids, targets)
+					for s := range ref {
+						if got[s] != ref[s] {
+							t.Errorf("%v overlap=%v prefetch=%v bucket=%d step %d: loss %.17g != reference %.17g",
+								stage, overlap, prefetch, bucket, s, got[s], ref[s])
+							break
+						}
 					}
 				}
 			}
@@ -75,17 +78,20 @@ func TestStageLossTrajectoryGolden(t *testing.T) {
 	cfg := testConfig()
 	const n, batch = 4, 4
 	ids, targets := model.SyntheticBatch(31, batch, cfg.Seq, cfg.Vocab)
-	got := lossTrajectory(cfg, n, len(golden), batch, Options{
-		Stage: StageFull, LR: testLR, Seed: testSeed, Overlap: true, BucketElems: 193,
-	}, ids, targets)
-	for s, want := range golden {
-		if math.Abs(got[s]-want) > 1e-9*math.Abs(want) {
-			t.Errorf("step %d: loss %.17g, want golden %.17g", s, got[s], want)
+	for _, prefetch := range []bool{false, true} {
+		got := lossTrajectory(cfg, n, len(golden), batch, Options{
+			Stage: StageFull, LR: testLR, Seed: testSeed,
+			Overlap: true, Prefetch: prefetch, BucketElems: 193,
+		}, ids, targets)
+		for s, want := range golden {
+			if math.Abs(got[s]-want) > 1e-9*math.Abs(want) {
+				t.Errorf("prefetch=%v step %d: loss %.17g, want golden %.17g", prefetch, s, got[s], want)
+			}
 		}
-	}
-	// Sanity: the trajectory actually descends.
-	if got[len(got)-1] >= got[0] {
-		t.Errorf("loss did not fall: %v -> %v", got[0], got[len(got)-1])
+		// Sanity: the trajectory actually descends.
+		if got[len(got)-1] >= got[0] {
+			t.Errorf("prefetch=%v: loss did not fall: %v -> %v", prefetch, got[0], got[len(got)-1])
+		}
 	}
 }
 

@@ -9,6 +9,23 @@ import (
 	"repro/internal/tensor"
 )
 
+// Stream names of the trainer's ordering domains. Every rank creates the
+// same names in the same order, which (with identical per-stream submission
+// order) is what makes the overlapped schedules pair deterministically
+// across ranks.
+const (
+	// StreamGrad carries gradient reduce-scatters/all-gathers plus the
+	// small post-step collectives (parameter all-gather, clip partials).
+	StreamGrad = "grad"
+	// StreamPrefetch carries stage-3 parameter all-gathers, pipelined
+	// ahead of the layer group that needs them (§7.2.2).
+	StreamPrefetch = "prefetch"
+	// StreamCheckpoint is the conventional name for ZeRO-R Pa checkpoint
+	// stores (NewPartitionedStore), so activation gathers never share an
+	// ordering domain with gradient or prefetch traffic.
+	StreamCheckpoint = "checkpoint"
+)
+
 // Options configures a ZeRO-DP trainer rank.
 type Options struct {
 	// Stage selects how much model state is partitioned: StageDDP (0,
@@ -25,17 +42,37 @@ type Options struct {
 	// available during backward (§5.2). 0 reduces each layer group in one
 	// bucket.
 	BucketElems int
-	// Overlap launches each gradient bucket's collectives on a background
-	// engine as soon as its layer's backward pass finishes, overlapping
-	// communication with the remaining backward compute (§7.2). A Flush
-	// barrier runs before the optimizer step. Results are bitwise
-	// identical to the synchronous schedule; only wall-clock changes.
-	// Ignored while an activation-checkpoint Store is attached (Pa's own
-	// collectives share the communicator and must not interleave).
+	// Overlap submits each gradient bucket to the grad stream as soon as
+	// its layer's backward pass finishes, overlapping communication with
+	// the remaining backward compute (§7.2); the per-bucket handles are
+	// waited before the optimizer step. Results are bitwise identical to
+	// the synchronous schedule; only wall-clock changes. Composes with an
+	// activation-checkpoint Store: Pa's gathers ride their own checkpoint
+	// stream, so the two ordering domains interleave freely on the wire.
 	Overlap bool
+	// Prefetch pipelines stage 3's parameter all-gathers on the prefetch
+	// stream: while a layer group computes, the next group's gather is
+	// already on the wire, and the forward/backward pass waits per-group
+	// handles at layer entry instead of gathering everything up front —
+	// §7.2.2's pipelined schedule ("spread across the entire forward
+	// propagation"). Bitwise identical to the synchronous gathers; no-op
+	// for stages 0-2, which keep parameters resident.
+	Prefetch bool
+	// QueueDepth overrides the per-stream submission-queue capacity
+	// (0 = comm's default of 64). When a queue fills, submission blocks
+	// until the stream worker drains an op — backpressure, never loss.
+	QueueDepth int
+	// Scheduler, when non-nil, is the stream scheduler the trainer uses
+	// instead of creating (and owning) its own — pass one when other
+	// components of the rank (e.g. a Pa checkpoint store) must share the
+	// same set of ordering domains. The caller keeps ownership: Close is
+	// then the caller's job.
+	Scheduler *comm.Scheduler
 	// FP16 simulates mixed-precision training: parameters and gradients
 	// are rounded through binary16 around forward/backward while each
 	// rank's owned fp32 master shard drives the Adam update (§3.1).
+	// Collectives carry F16-typed buffers, so Stats counts 2 bytes per
+	// element natively.
 	FP16 bool
 	// ClipNorm caps the global gradient L2 norm before the optimizer step
 	// (0 disables). The norm of the *partitioned* gradient is computed
@@ -45,7 +82,8 @@ type Options struct {
 	// Checkpoint enables activation checkpointing in the wrapped model.
 	Checkpoint bool
 	// Store, with Checkpoint, routes activation checkpoints through a
-	// CheckpointStore (Pa / Pa+cpu from ZeRO-R).
+	// CheckpointStore (Pa / Pa+cpu from ZeRO-R). A PartitionedStore should
+	// run on a StreamCheckpoint stream of the same Scheduler passed above.
 	Store model.CheckpointStore
 }
 
@@ -56,14 +94,21 @@ type Options struct {
 // partition still exists, but every rank runs the optimizer over the full
 // buffer and the gradient reduce-scatter is completed into an all-reduce by
 // a gradient all-gather.
+//
+// All of the trainer's collectives flow through comm streams: gradient
+// traffic on StreamGrad, stage-3 parameter gathers on StreamPrefetch. The
+// synchronous schedules submit and immediately Wait; the overlapped ones
+// hold the Handle until the dependency point.
 type Trainer struct {
 	Model *model.Model
 
-	// BucketElems, ClipNorm and Overlap mirror the Options fields and may
-	// be mutated between steps (internal/ddp tunes them after New).
+	// BucketElems, ClipNorm, Overlap and Prefetch mirror the Options
+	// fields and may be mutated between steps (internal/ddp tunes them
+	// after New).
 	BucketElems int
 	ClipNorm    float64
 	Overlap     bool
+	Prefetch    bool
 
 	// LastGradNorm is the global gradient norm observed by the most
 	// recent Step when ClipNorm is enabled (pre-clipping).
@@ -78,11 +123,15 @@ type Trainer struct {
 	master []float32       // fp32 master copy of the optimizer's domain (FP16 mode)
 	groups []model.Segment // layer groups: gather and bucket granularity
 
-	engine *comm.AsyncEngine // lazily started overlap engine
+	sched    *comm.Scheduler
+	ownSched bool         // whether Close should close sched
+	grad     *comm.Stream // lazily created gradient ordering domain
+	prefetch *comm.Stream // lazily created stage-3 gather ordering domain
 }
 
 // New constructs a rank's trainer. Every rank must use identical cfg and
-// Options so the replicas agree on layout and initialization.
+// Options so the replicas agree on layout, initialization and stream
+// schedule. Construction performs no communication.
 func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
 	if !opts.Stage.Valid() {
 		panic(fmt.Sprintf("zero: unknown stage %v (want StageDDP..StageFull)", opts.Stage))
@@ -97,17 +146,30 @@ func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
 	if opts.Stage == StageDDP {
 		optDomain = comm.Range{Lo: 0, Hi: n} // replicated optimizer state
 	}
+	sched := opts.Scheduler
+	ownSched := false
+	if sched == nil {
+		var so []comm.SchedulerOption
+		if opts.QueueDepth > 0 {
+			so = append(so, comm.WithQueueDepth(opts.QueueDepth))
+		}
+		sched = comm.NewScheduler(c, so...)
+		ownSched = true
+	}
 	t := &Trainer{
 		Model:       m,
 		BucketElems: opts.BucketElems,
 		ClipNorm:    opts.ClipNorm,
 		Overlap:     opts.Overlap,
+		Prefetch:    opts.Prefetch,
 		c:           c,
 		opts:        opts,
 		stage:       opts.Stage,
 		parts:       parts,
 		opt:         optimizer.NewAdam(optDomain.Len(), opts.LR),
 		groups:      m.Layout.LayerSegments(cfg.Layers),
+		sched:       sched,
+		ownSched:    ownSched,
 	}
 	if opts.FP16 {
 		t.master = append([]float32(nil), m.Params[optDomain.Lo:optDomain.Hi]...)
@@ -125,6 +187,13 @@ func (t *Trainer) Stage() Stage { return t.stage }
 // Owned returns this rank's partition of the flat parameter space.
 func (t *Trainer) Owned() comm.Range { return t.parts[t.c.Rank()] }
 
+// Scheduler returns the trainer's stream scheduler (the one from
+// Options.Scheduler, or the internally created one). Useful for harness
+// code that wants a quiesce point (Scheduler.Barrier) before reading or
+// resetting World stats mid-run; after Step returns, the streams are
+// already drained.
+func (t *Trainer) Scheduler() *comm.Scheduler { return t.sched }
+
 // optimizerDomain is the flat-buffer range the rank's optimizer updates:
 // the owned partition, or the whole buffer at stage 0.
 func (t *Trainer) optimizerDomain() comm.Range {
@@ -134,13 +203,49 @@ func (t *Trainer) optimizerDomain() comm.Range {
 	return t.Owned()
 }
 
-// Close releases the overlap engine's worker goroutine. Safe to call on
-// trainers that never overlapped, and more than once.
+// Close releases the trainer's stream workers (if the scheduler is trainer
+// owned). Safe to call on trainers that never communicated asynchronously,
+// and more than once.
 func (t *Trainer) Close() {
-	if t.engine != nil {
-		t.engine.Close()
-		t.engine = nil
+	if t.sched != nil && t.ownSched {
+		t.sched.Close()
 	}
+	t.sched = nil
+	t.grad = nil
+	t.prefetch = nil
+}
+
+// gradStream lazily creates the gradient ordering domain. QueueDepth is
+// passed per stream so it also applies under a shared Options.Scheduler
+// (0 falls back to the scheduler's default).
+func (t *Trainer) gradStream() *comm.Stream {
+	if t.grad == nil {
+		t.grad = t.sched.StreamWithDepth(StreamGrad, t.opts.QueueDepth)
+	}
+	return t.grad
+}
+
+// prefetchStream lazily creates the stage-3 gather ordering domain.
+func (t *Trainer) prefetchStream() *comm.Stream {
+	if t.prefetch == nil {
+		t.prefetch = t.sched.StreamWithDepth(StreamPrefetch, t.opts.QueueDepth)
+	}
+	return t.prefetch
+}
+
+// wireDType is the dtype collectives are accounted at: F16 under
+// mixed-precision (gradients and parameters move as 2-byte halves on real
+// wires, §3.1), F32 otherwise.
+func (t *Trainer) wireDType() comm.DType {
+	if t.opts.FP16 {
+		return comm.F16
+	}
+	return comm.F32
+}
+
+// wireBuf wraps a flat buffer at the trainer's wire dtype.
+func (t *Trainer) wireBuf(x []float32) comm.Buffer {
+	return comm.Buffer{Data: x, DType: t.wireDType()}
 }
 
 // dropUnowned zeroes every parameter outside the owned partition — the
@@ -152,15 +257,99 @@ func (t *Trainer) dropUnowned() {
 	tensor.Zero(t.Model.Params[own.Hi:])
 }
 
-// gatherParams re-materializes the full parameter buffer from the owned
-// shards, layer group by layer group — the pipelined all-gather schedule of
-// §7.2.2 ("the data parallel process responsible for that partition can
-// broadcast the weights... spread across the entire forward propagation").
+// gatherParams synchronously re-materializes the full parameter buffer from
+// the owned shards, layer group by layer group, on the prefetch stream
+// (submit + wait per group). The Prefetch option replaces this with the
+// pipelined schedule of §7.2.2; the group order and ring arithmetic are
+// identical either way, which is why the two are bitwise equal.
 func (t *Trainer) gatherParams() {
 	for _, g := range t.groups {
 		groupParts := intersect(t.parts, g.Lo, g.Hi)
-		t.c.AllGather(t.Model.Params[:], groupParts)
+		t.prefetchStream().AllGather(t.wireBuf(t.Model.Params), groupParts).Wait()
 	}
+}
+
+// paramPrefetcher pipelines layer-group all-gathers on the prefetch stream:
+// submit(k) launches group k's gather, arrive(k) waits for it and launches
+// group k+1 — so while group k computes, group k+1 is on the wire. Every
+// rank walks the same order, so the per-stream submission order is
+// identical across ranks (the determinism contract).
+type paramPrefetcher struct {
+	t       *Trainer
+	order   []model.Segment
+	handles []*comm.Handle
+}
+
+func (t *Trainer) newPrefetcher(order []model.Segment) *paramPrefetcher {
+	return &paramPrefetcher{t: t, order: order, handles: make([]*comm.Handle, len(order))}
+}
+
+// submit launches the all-gather for order[k] if it exists and has not been
+// launched yet.
+func (p *paramPrefetcher) submit(k int) {
+	if k < 0 || k >= len(p.order) || p.handles[k] != nil {
+		return
+	}
+	g := p.order[k]
+	groupParts := intersect(p.t.parts, g.Lo, g.Hi)
+	p.handles[k] = p.t.prefetchStream().AllGather(p.t.wireBuf(p.t.Model.Params), groupParts)
+}
+
+// arrive blocks until order[k]'s parameters are resident and launches the
+// next group's gather.
+func (p *paramPrefetcher) arrive(k int) {
+	p.submit(k) // defensive; a no-op on the normal path
+	p.handles[k].Wait()
+	p.submit(k + 1)
+}
+
+// forwardPrefetched runs the forward pass with the stage-3 parameter
+// gathers pipelined: group order is embeddings, blocks 0..L-1, final
+// layernorm (position = layer+1), matching the order Loss touches them.
+// The tied head re-reads the embeddings, which stay resident from position
+// 0 — gathered groups are only dropped after the pass, exactly like the
+// synchronous schedule.
+func (t *Trainer) forwardPrefetched(ids, targets []int, per int) float64 {
+	layers := t.Model.Cfg.Layers
+	order := make([]model.Segment, 0, layers+2)
+	order = append(order, t.layerGroup(-1))
+	for l := 0; l < layers; l++ {
+		order = append(order, t.layerGroup(l))
+	}
+	order = append(order, t.layerGroup(layers))
+	pf := t.newPrefetcher(order)
+	pf.submit(0)
+	t.Model.ForwardHook = func(layer int) { pf.arrive(layer + 1) }
+	loss := t.Model.Loss(ids, targets, per)
+	t.Model.ForwardHook = nil
+	return loss
+}
+
+// installBackwardPrefetch arms the pipelined parameter gathers for the
+// backward pass: the head needs the embeddings and the final layernorm
+// first (positions 0 and 1), then blocks L-1..0 (position L+1-layer). The
+// returned func disarms the hook; all handles have been waited by then
+// because every group's BackwardPreHook fires.
+func (t *Trainer) installBackwardPrefetch() func() {
+	layers := t.Model.Cfg.Layers
+	order := make([]model.Segment, 0, layers+2)
+	order = append(order, t.layerGroup(-1))
+	order = append(order, t.layerGroup(layers))
+	for l := layers - 1; l >= 0; l-- {
+		order = append(order, t.layerGroup(l))
+	}
+	pf := t.newPrefetcher(order)
+	pf.submit(0)
+	pf.submit(1)
+	t.Model.BackwardPreHook = func(layer int) {
+		if layer == layers {
+			pf.arrive(0)
+			pf.arrive(1)
+			return
+		}
+		pf.arrive(layers + 1 - layer)
+	}
+	return func() { t.Model.BackwardPreHook = nil }
 }
 
 // intersect clips the global partition to [lo,hi), producing a per-rank
@@ -189,25 +378,40 @@ func intersect(parts []comm.Range, lo, hi int) []comm.Range {
 func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 	shardIDs, shardTargets, per := model.ShardBatch(ids, targets, globalBatch, t.c.Size(), t.c.Rank())
 	own := t.Owned()
+	prefetching := t.stage == StageFull && t.Prefetch
 
-	// Stage 3: re-materialize parameters for the forward pass.
-	if t.stage == StageFull {
+	// Stage 3: re-materialize parameters for the forward pass — up front
+	// (synchronous schedule) or pipelined under the forward compute.
+	if t.stage == StageFull && !prefetching {
 		t.gatherParams()
 	}
 
 	t.Model.ZeroGrads()
-	loss := t.Model.Loss(shardIDs, shardTargets, per)
+	var loss float64
+	if prefetching {
+		loss = t.forwardPrefetched(shardIDs, shardTargets, per)
+	} else {
+		loss = t.Model.Loss(shardIDs, shardTargets, per)
+	}
 
 	// Stage 3: parameters were "discarded once used" after forward; gather
 	// them again for the backward pass (the second Ψ of §7.2.2).
 	if t.stage == StageFull {
 		t.dropUnowned()
-		t.gatherParams()
+		if !prefetching {
+			t.gatherParams()
+		}
+	}
+	var disarmPrefetch func()
+	if prefetching {
+		disarmPrefetch = t.installBackwardPrefetch()
 	}
 
 	// Backward pass plus the gradient collective schedule: synchronous
 	// after backward, or overlapped bucket by bucket as layers finish.
-	if t.Overlap && t.Model.Store == nil {
+	// Both ride the grad stream; an attached checkpoint store gathers on
+	// its own stream concurrently.
+	if t.Overlap {
 		t.backwardOverlapped()
 	} else {
 		t.Model.Backward()
@@ -215,8 +419,11 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 			quantizeFP16(t.Model.Grads)
 		}
 		for _, g := range t.commSchedule() {
-			t.reduceBucket(g.Lo, g.Hi)
+			t.reduceBucket(g.Lo, g.Hi).Wait()
 		}
+	}
+	if disarmPrefetch != nil {
+		disarmPrefetch()
 	}
 
 	// Average. Stage 0 holds the full reduced gradient on every rank;
@@ -246,7 +453,7 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 		} else {
 			partials = make([]float32, t.c.Size())
 			partials[t.c.Rank()] = optimizer.PartialSquaredSum(gradShard)
-			t.c.AllGather(partials, comm.Partition(len(partials), t.c.Size()))
+			t.gradStream().AllGather(comm.F32Buf(partials), comm.Partition(len(partials), t.c.Size())).Wait()
 		}
 		norm := optimizer.GlobalGradNorm(partials)
 		t.LastGradNorm = norm
@@ -281,7 +488,7 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 	case StageFull:
 		t.dropUnowned()
 	default:
-		t.c.AllGather(t.Model.Params, t.parts)
+		t.gradStream().AllGather(t.wireBuf(t.Model.Params), t.parts).Wait()
 	}
 	return loss
 }
@@ -331,35 +538,35 @@ func (t *Trainer) groupBuckets(g model.Segment) []comm.Range {
 	return out
 }
 
-// reduceBucket reduce-scatters one gradient window across the global
-// partition; at stage 0 a gradient all-gather completes the all-reduce so
-// every rank holds the full reduced bucket. The window's per-rank ownership
-// comes from intersecting the global partition, so the elementwise
-// reduction order — and therefore the bits — is independent of bucket
-// framing.
-func (t *Trainer) reduceBucket(lo, hi int) {
+// reduceBucket submits one gradient window's collectives to the grad stream
+// and returns the handle of the final op: a reduce-scatter across the
+// global partition, completed into an all-reduce by a gradient all-gather
+// at stage 0. The window's per-rank ownership comes from intersecting the
+// global partition, so the elementwise reduction order — and therefore the
+// bits — is independent of bucket framing.
+func (t *Trainer) reduceBucket(lo, hi int) *comm.Handle {
 	wparts := intersect(t.parts, lo, hi)
-	t.c.ReduceScatter(t.Model.Grads, wparts)
+	buf := t.wireBuf(t.Model.Grads)
+	st := t.gradStream()
+	h := st.ReduceScatter(buf, wparts)
 	if t.stage == StageDDP {
-		t.c.AllGather(t.Model.Grads, wparts)
+		h = st.AllGather(buf, wparts) // FIFO after the reduce-scatter
 	}
+	return h
 }
 
 // backwardOverlapped runs Backward with the bucket schedule submitted to
-// the async engine as each layer's gradients finalize, then flushes before
-// returning — reduce-scatter of layer k rides under the compute of layers
-// k-1..0 (§7.2's communication/computation overlap).
+// the grad stream as each layer's gradients finalize, then waits every
+// bucket handle before returning — reduce-scatter of layer k rides under
+// the compute of layers k-1..0 (§7.2's communication/computation overlap).
 func (t *Trainer) backwardOverlapped() {
-	if t.engine == nil {
-		t.engine = comm.NewAsyncEngine(t.c)
-	}
+	var handles []*comm.Handle
 	submitGroup := func(g model.Segment) {
 		if t.opts.FP16 {
 			quantizeFP16(t.Model.Grads[g.Lo:g.Hi])
 		}
 		for _, b := range t.groupBuckets(g) {
-			lo, hi := b.Lo, b.Hi
-			t.engine.Submit(func(*comm.Comm) { t.reduceBucket(lo, hi) })
+			handles = append(handles, t.reduceBucket(b.Lo, b.Hi))
 		}
 	}
 	t.Model.BackwardHook = func(layer int) { submitGroup(t.layerGroup(layer)) }
@@ -371,15 +578,15 @@ func (t *Trainer) backwardOverlapped() {
 	// last, exactly as in commSchedule.
 	submitGroup(t.layerGroup(t.Model.Cfg.Layers))
 	submitGroup(t.layerGroup(-1))
-	t.engine.Flush()
+	for _, h := range handles {
+		h.Wait()
+	}
 }
 
 // quantizeFP16 rounds every value through binary16 in place, simulating
 // fp16 storage of a buffer whose arithmetic happens in fp32.
 func quantizeFP16(x []float32) {
-	for i, v := range x {
-		x[i] = tensor.FromFloat32(v).Float32()
-	}
+	comm.F16Buf(x).Quantize()
 }
 
 // ModelStateBytes returns this rank's resident model-state bytes under the

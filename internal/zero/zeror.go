@@ -19,6 +19,13 @@ import (
 // InlineStore is the no-op reference store (plain activation
 // checkpointing); PartitionedStore implements Pa and Pa+cpu over a comm
 // group in which activations are replicated (the MP group).
+//
+// PartitionedStore runs on its own comm.Stream — by convention named
+// StreamCheckpoint — so its all-gathers form an ordering domain separate
+// from gradient reduction and parameter prefetch: Pa composes with the
+// overlapped backward schedule instead of disabling it (the pre-stream
+// API forced mutual exclusion because a second collective user on the
+// same communicator would scramble ring pairing).
 
 // InlineStore keeps checkpoints on-device, unpartitioned — baseline
 // activation checkpointing. It also serves as the memory-accounting
@@ -55,12 +62,13 @@ func (s *InlineStore) Get(layer int) []float32 {
 // DeviceBytes returns the resident device memory (fp16 accounting).
 func (s *InlineStore) DeviceBytes() int64 { return s.bytes }
 
-// PartitionedStore implements Pa and Pa+cpu. The comm group must be one in
-// which every rank Puts identical checkpoint values (in the paper: the MP
-// group, whose activations are replicated by construction). Each rank
-// retains only its partition; Get all-gathers the full checkpoint back.
+// PartitionedStore implements Pa and Pa+cpu. The stream's world must be one
+// in which every rank Puts identical checkpoint values (in the paper: the
+// MP group, whose activations are replicated by construction). Each rank
+// retains only its partition; Get all-gathers the full checkpoint back on
+// the store's stream, synchronizing per-op with the returned Handle.
 type PartitionedStore struct {
-	c       *comm.Comm
+	st      *comm.Stream
 	offload bool // Pa+cpu: shards live in host memory
 
 	shards map[int][]float32
@@ -72,11 +80,13 @@ type PartitionedStore struct {
 	pcieBytes   int64 // cumulative host<->device traffic
 }
 
-// NewPartitionedStore creates a Pa store over the given (MP) communicator;
-// offloadCPU selects Pa+cpu.
-func NewPartitionedStore(c *comm.Comm, offloadCPU bool) *PartitionedStore {
+// NewPartitionedStore creates a Pa store whose gathers run on st — its own
+// ordering domain, conventionally sched.Stream(StreamCheckpoint);
+// offloadCPU selects Pa+cpu. Checkpoints travel as fp16 on the wire (the
+// §3.1 activation storage format), so Stats counts 2 bytes per element.
+func NewPartitionedStore(st *comm.Stream, offloadCPU bool) *PartitionedStore {
 	return &PartitionedStore{
-		c:       c,
+		st:      st,
 		offload: offloadCPU,
 		shards:  make(map[int][]float32),
 		sizes:   make(map[int]int),
@@ -87,8 +97,8 @@ func NewPartitionedStore(c *comm.Comm, offloadCPU bool) *PartitionedStore {
 // Put partitions the checkpoint across the group and keeps this rank's
 // slice (on host under Pa+cpu).
 func (s *PartitionedStore) Put(layer int, x []float32) {
-	parts := comm.Partition(len(x), s.c.Size())
-	own := parts[s.c.Rank()]
+	parts := comm.Partition(len(x), s.st.Size())
+	own := parts[s.st.Rank()]
 	shard := append([]float32(nil), x[own.Lo:own.Hi]...)
 	if old, ok := s.shards[layer]; ok {
 		if s.offload {
@@ -109,8 +119,11 @@ func (s *PartitionedStore) Put(layer int, x []float32) {
 	}
 }
 
-// Get re-materializes the full checkpoint with an all-gather across the
-// group (plus a host→device copy first under Pa+cpu).
+// Get re-materializes the full checkpoint with an all-gather on the
+// checkpoint stream (plus a host→device copy first under Pa+cpu). The
+// per-op Handle is waited here — Get is synchronous to its caller, but its
+// wire traffic interleaves freely with whatever the grad and prefetch
+// streams have in flight.
 func (s *PartitionedStore) Get(layer int) []float32 {
 	shard, ok := s.shards[layer]
 	if !ok {
@@ -121,9 +134,9 @@ func (s *PartitionedStore) Get(layer int) []float32 {
 	}
 	full := make([]float32, s.sizes[layer])
 	parts := s.parts[layer]
-	own := parts[s.c.Rank()]
+	own := parts[s.st.Rank()]
 	copy(full[own.Lo:own.Hi], shard)
-	s.c.AllGather(full, parts)
+	s.st.AllGather(comm.F16Buf(full), parts).Wait()
 	return full
 }
 

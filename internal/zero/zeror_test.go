@@ -9,6 +9,13 @@ import (
 	"repro/internal/tensor"
 )
 
+// checkpointStream builds a rank's Pa stream; defer the returned func
+// inside the rank closure to close the scheduler and release the worker.
+func checkpointStream(c *comm.Comm) (*comm.Stream, func()) {
+	sched := comm.NewScheduler(c)
+	return sched.Stream(StreamCheckpoint), sched.Close
+}
+
 func TestInlineStoreRoundTrip(t *testing.T) {
 	s := NewInlineStore()
 	x := []float32{1, 2, 3}
@@ -46,7 +53,9 @@ func TestPartitionedStoreRoundTrip(t *testing.T) {
 	w := comm.NewWorld(n)
 	var mu sync.Mutex
 	w.Run(func(c *comm.Comm) {
-		s := NewPartitionedStore(c, false)
+		st, closeSched := checkpointStream(c)
+		defer closeSched()
+		s := NewPartitionedStore(st, false)
 		s.Put(3, ckpt)
 		// Resident share ≈ total/Nm.
 		maxShard := int64((elems/n + 1) * 2)
@@ -81,7 +90,9 @@ func TestPartitionedStoreCPUOffload(t *testing.T) {
 	w := comm.NewWorld(n)
 	var mu sync.Mutex
 	w.Run(func(c *comm.Comm) {
-		s := NewPartitionedStore(c, true)
+		st, closeSched := checkpointStream(c)
+		defer closeSched()
+		s := NewPartitionedStore(st, true)
 		s.Put(0, ckpt)
 		got := s.Get(0)
 		mu.Lock()
@@ -126,7 +137,9 @@ func TestPaTrainingMatchesInline(t *testing.T) {
 	w.Run(func(c *comm.Comm) {
 		m := model.New(cfg, 5)
 		m.Checkpoint = true
-		m.Store = NewPartitionedStore(c, false)
+		st, closeSched := checkpointStream(c)
+		defer closeSched()
+		m.Store = NewPartitionedStore(st, false)
 		m.ZeroGrads()
 		losses[c.Rank()] = m.Loss(ids, targets, 2)
 		m.Backward()
@@ -151,7 +164,9 @@ func TestPaGatherVolume(t *testing.T) {
 	ckpt := make([]float32, elems)
 	w := comm.NewWorld(n)
 	w.Run(func(c *comm.Comm) {
-		s := NewPartitionedStore(c, false)
+		st, closeSched := checkpointStream(c)
+		defer closeSched()
+		s := NewPartitionedStore(st, false)
 		s.Put(0, ckpt)
 		s.Get(0)
 	})

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the stage-3 prefetch benchmark baseline (BENCH_PREFETCH.json):
+# BenchmarkPrefetchStep sweeps stage 3 with synchronous gathers, the
+# prefetch stream, and prefetch + gradient overlap.
+# Usage: scripts/bench_prefetch.sh [benchtime]   (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+exec ./scripts/bench.sh "${1:-10x}" 'PrefetchStep' BENCH_PREFETCH.json
