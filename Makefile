@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-prefetch bench-compare sweep all
+.PHONY: check fmt vet build test race bench bench-prefetch bench-hier bench-compare sweep all
 
 check: fmt vet build test race
 
@@ -33,11 +33,16 @@ bench:
 bench-prefetch:
 	./scripts/bench_prefetch.sh
 
-# Re-run both baseline suites and fail on >10% ns/op regression against the
+# Regenerate the hierarchical-topology baseline (BENCH_HIER.json).
+bench-hier:
+	./scripts/bench_hier.sh
+
+# Re-run every baseline suite and fail on >10% ns/op regression against the
 # committed JSONs.
 bench-compare:
 	./scripts/bench_compare.sh BENCH_STAGE_API.json
 	./scripts/bench_compare.sh BENCH_PREFETCH.json
+	./scripts/bench_compare.sh BENCH_HIER.json
 
 # Render the stage-sweep experiments.
 sweep:

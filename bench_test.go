@@ -82,7 +82,7 @@ func BenchmarkDDPStep(b *testing.B) {
 
 func benchZeROStage(b *testing.B, stage zero.Stage) {
 	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
-		tr := zero.New(c, benchConfig(), zero.Options{Stage: stage, LR: 1e-3, Seed: 1})
+		tr := zero.MustNew(c, benchConfig(), zero.Options{Stage: stage, LR: 1e-3, Seed: 1})
 		for i := 0; i < b.N; i++ {
 			tr.Step(ids, targets, 4)
 		}
@@ -99,7 +99,7 @@ func BenchmarkZeROStage3Step(b *testing.B) { benchZeROStage(b, zero.StageOSGP) }
 // different message framing.
 func BenchmarkZeROStage2Bucketed(b *testing.B) {
 	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
-		tr := zero.New(c, benchConfig(), zero.Options{
+		tr := zero.MustNew(c, benchConfig(), zero.Options{
 			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, BucketElems: 4096,
 		})
 		for i := 0; i < b.N; i++ {
@@ -111,7 +111,7 @@ func BenchmarkZeROStage2Bucketed(b *testing.B) {
 // Activation checkpointing trades ~33% recompute for activation memory.
 func BenchmarkZeROStage2Checkpointed(b *testing.B) {
 	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
-		tr := zero.New(c, benchConfig(), zero.Options{
+		tr := zero.MustNew(c, benchConfig(), zero.Options{
 			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, Checkpoint: true,
 		})
 		for i := 0; i < b.N; i++ {
@@ -123,7 +123,7 @@ func BenchmarkZeROStage2Checkpointed(b *testing.B) {
 // FP16 simulation cost (rounding passes + master-shard bookkeeping).
 func BenchmarkZeROStage2FP16(b *testing.B) {
 	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
-		tr := zero.New(c, benchConfig(), zero.Options{
+		tr := zero.MustNew(c, benchConfig(), zero.Options{
 			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, FP16: true,
 		})
 		for i := 0; i < b.N; i++ {
@@ -172,7 +172,9 @@ func BenchmarkHierarchicalAllReduce1M(b *testing.B) {
 	w.Run(func(c *comm.Comm) {
 		x := make([]float32, elems)
 		for i := 0; i < b.N; i++ {
-			c.AllReduceHierarchical(x, nodeSize)
+			if err := c.AllReduceHierarchical(comm.F32Buf(x), nodeSize); err != nil {
+				b.Error(err)
+			}
 		}
 	})
 }
@@ -194,7 +196,7 @@ func BenchmarkParallelBlock(b *testing.B) {
 
 func BenchmarkZeROStage2Clipped(b *testing.B) {
 	benchWorld(b, func(c *comm.Comm, ids, targets []int) {
-		tr := zero.New(c, benchConfig(), zero.Options{
+		tr := zero.MustNew(c, benchConfig(), zero.Options{
 			Stage: zero.StageOSG, LR: 1e-3, Seed: 1, ClipNorm: 1,
 		})
 		for i := 0; i < b.N; i++ {
@@ -209,7 +211,7 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 	w := comm.NewWorld(4)
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
-		tr := zero.New(c, cfg, zero.Options{Stage: zero.StageOSG, LR: 1e-3, Seed: 1})
+		tr := zero.MustNew(c, cfg, zero.Options{Stage: zero.StageOSG, LR: 1e-3, Seed: 1})
 		tr.Step(ids, targets, 4)
 		for i := 0; i < b.N; i++ {
 			snap := tr.Save()
@@ -268,7 +270,7 @@ func BenchmarkStageStep(b *testing.B) {
 				w := comm.NewWorld(ranks)
 				b.ResetTimer()
 				w.Run(func(c *comm.Comm) {
-					tr := zero.New(c, cfg, zero.Options{
+					tr := zero.MustNew(c, cfg, zero.Options{
 						Stage: stage, LR: 1e-3, Seed: 1,
 						BucketElems: 4096, Overlap: overlap, FP16: true,
 					})
@@ -306,7 +308,7 @@ func BenchmarkPrefetchStep(b *testing.B) {
 			w := comm.NewWorld(ranks)
 			b.ResetTimer()
 			w.Run(func(c *comm.Comm) {
-				tr := zero.New(c, cfg, zero.Options{
+				tr := zero.MustNew(c, cfg, zero.Options{
 					Stage: zero.StageFull, LR: 1e-3, Seed: 1,
 					BucketElems: 4096, FP16: true,
 					Overlap: mode.overlap, Prefetch: mode.prefetch,
@@ -319,6 +321,43 @@ func BenchmarkPrefetchStep(b *testing.B) {
 			b.StopTimer()
 			bytesPerStep := float64(w.Stats(0).BytesSent) / float64(b.N)
 			b.ReportMetric(bytesPerStep, "wire-B/rank/step")
+		})
+	}
+}
+
+// BenchmarkHierarchicalStep sweeps the topology knob on an 8-rank stage-2
+// world: flat routing versus hierarchical routing at node widths 2 and 4
+// (the BENCH_HIER.json baseline). Total volume is identical across rows —
+// the hierarchy only re-splits it between the intra- and inter-node legs —
+// so on this in-process simulator the interesting metric is the measured
+// inter-node share, reported per rank per step.
+func BenchmarkHierarchicalStep(b *testing.B) {
+	const ranks, batch = 8, 8
+	cfg := benchStageConfig()
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	for _, nodeSize := range []int{0, 2, 4} {
+		name := "flat"
+		if nodeSize > 0 {
+			name = fmt.Sprintf("node=%d", nodeSize)
+		}
+		b.Run(name, func(b *testing.B) {
+			w := comm.NewWorld(ranks)
+			b.ResetTimer()
+			w.Run(func(c *comm.Comm) {
+				tr := zero.MustNew(c, cfg, zero.Options{
+					Stage: zero.StageOSGrad, LR: 1e-3, Seed: 1,
+					BucketElems: 4096, Overlap: true, FP16: true,
+					Topology: zero.Topology{NodeSize: nodeSize},
+				})
+				defer tr.Close()
+				for i := 0; i < b.N; i++ {
+					tr.Step(ids, targets, batch)
+				}
+			})
+			b.StopTimer()
+			st := w.Stats(0)
+			b.ReportMetric(float64(st.BytesSent)/float64(b.N), "wire-B/rank/step")
+			b.ReportMetric(float64(st.PerGroup["hier-inter"].Bytes)/float64(b.N), "inter-B/rank/step")
 		})
 	}
 }

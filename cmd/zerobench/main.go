@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/experiments"
 	"repro/internal/zero"
 )
@@ -31,6 +32,7 @@ var (
 	bucketFlag = flag.Int("bucket", 4096, "gradient bucket size in elements for the stage sweep")
 	ranksFlag  = flag.Int("ranks", 4, "simulated GPU count for the stage sweep")
 	stepsFlag  = flag.Int("steps", 3, "measured steps per stage-sweep row")
+	nodeFlag   = flag.Int("nodesize", 0, "ranks per simulated node for the stage sweep: route collectives hierarchically and report the intra/inter split (0 = flat)")
 )
 
 func sweepConfig() (experiments.StageSweepConfig, error) {
@@ -38,6 +40,12 @@ func sweepConfig() (experiments.StageSweepConfig, error) {
 	sc.Ranks = *ranksFlag
 	sc.Steps = *stepsFlag
 	sc.BucketElems = *bucketFlag
+	if *nodeFlag != 0 {
+		if err := comm.CheckNodeSize(sc.Ranks, *nodeFlag); err != nil {
+			return sc, err
+		}
+		sc.NodeSize = *nodeFlag
+	}
 	if *stageFlag != "" {
 		st, err := zero.ParseStage(*stageFlag)
 		if err != nil {
@@ -86,8 +94,9 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		// A bare `zerobench -stage=N` means: run the stage sweep.
-		if *stageFlag == "" {
+		// A bare `zerobench -stage=N` or `-nodesize=S` means: run the
+		// stage sweep.
+		if *stageFlag == "" && *nodeFlag == 0 {
 			usage()
 			os.Exit(2)
 		}

@@ -45,6 +45,7 @@ func main() {
 		bucket     = flag.Int("bucket", 4096, "gradient bucket elements (0 = one bucket per layer group)")
 		overlap    = flag.Bool("overlap", true, "overlap gradient collectives with backward compute (grad stream)")
 		prefetch   = flag.Bool("prefetch", true, "stage 3: pipeline parameter all-gathers on the prefetch stream")
+		nodeSize   = flag.Int("nodesize", 0, "ranks per simulated node: route collectives hierarchically (0 = flat)")
 		seed       = flag.Int64("seed", 7, "init and data seed")
 		savePath   = flag.String("save", "", "write a consolidated checkpoint here after training")
 		loadPath   = flag.String("load", "", "resume from a checkpoint written by -save")
@@ -72,6 +73,7 @@ func main() {
 		FP16:        *fp16,
 		Checkpoint:  *checkpoint,
 		ClipNorm:    *clip,
+		Topology:    zero.Topology{NodeSize: *nodeSize},
 	}
 
 	var resume *zero.Snapshot
@@ -95,11 +97,19 @@ func main() {
 		zero.ModelStateBytes(int64(psi), zero.StageDP, *ranks)/1e6)
 
 	ids, targets := model.SyntheticBatch(*seed, *batch, cfg.Seq, cfg.Vocab)
+	// Validate the topology before spawning ranks so a bad -nodesize is one
+	// clean error, not a mid-step panic (the remaining options are covered
+	// by the flag checks above).
+	if *nodeSize != 0 {
+		if err := comm.CheckNodeSize(*ranks, *nodeSize); err != nil {
+			log.Fatal(err)
+		}
+	}
 	w := comm.NewWorld(*ranks)
 	start := time.Now()
 	var snapBlob []byte
 	w.Run(func(c *comm.Comm) {
-		tr := zero.New(c, cfg, opts)
+		tr := zero.MustNew(c, cfg, opts)
 		defer tr.Close()
 		if resume != nil {
 			snap := resume
@@ -148,5 +158,14 @@ func main() {
 		if elems := st0.PerStream[name]; elems > 0 {
 			fmt.Printf("  stream %-10s %d elems\n", name, elems)
 		}
+	}
+	if opts.Topology.Hierarchical(*ranks) {
+		intra, inter := st0.PerGroup["hier-intra"], st0.PerGroup["hier-inter"]
+		fmt.Printf("topology (nodes of %d): intra-node %d B, inter-node %d B per rank — %.1fx less crosses the uplink\n",
+			*nodeSize, intra.Bytes, inter.Bytes,
+			float64(intra.Bytes+inter.Bytes)/float64(inter.Bytes))
+	} else if *nodeSize != 0 {
+		fmt.Printf("topology: -nodesize %d covers the whole %d-rank world (or a single rank) — flat routing\n",
+			*nodeSize, *ranks)
 	}
 }

@@ -52,7 +52,7 @@ func main() {
 	ids, targets := model.SyntheticBatch(1, 8, cfg.Seq, cfg.Vocab)
 	w := comm.NewWorld(4)
 	w.Run(func(c *comm.Comm) {
-		tr := zero.New(c, cfg, zero.Options{Stage: zero.StageOSGP, LR: 3e-3, Seed: 11})
+		tr := zero.MustNew(c, cfg, zero.Options{Stage: zero.StageOSGP, LR: 3e-3, Seed: 11})
 		for s := 0; s < 15; s++ {
 			loss := tr.Step(ids, targets, 8)
 			if c.Rank() == 0 && s%5 == 0 {

@@ -39,8 +39,17 @@ func main() {
 
 	w := comm.NewWorld(world)
 	w.Run(func(c *comm.Comm) {
-		mpGroup := c.MPGroup(mpSize)
-		dpGroup := c.DPGroup(mpSize)
+		// Comm.Split carves the world into process groups MPI-style:
+		// MPGroup/DPGroup are Split(color=node, key=rank) and
+		// Split(color=slot, key=rank) with "mp"/"dp" traffic labels.
+		mpGroup, err := c.MPGroup(mpSize)
+		if err != nil {
+			panic(err)
+		}
+		dpGroup, err := c.DPGroup(mpSize)
+		if err != nil {
+			panic(err)
+		}
 		replica := c.Rank() / mpSize
 
 		blk := mp.NewParallelBlock(mpGroup, hidden, heads, 42)
@@ -67,13 +76,13 @@ func main() {
 		}
 	})
 
-	fmt.Println("\nper-rank traffic (elements sent):")
+	fmt.Println("\nper-rank traffic (elements sent, per group label):")
 	for r := 0; r < world; r++ {
 		st := w.Stats(r)
-		fmt.Printf("  rank %d: total %6d | MP all-reduces %6d | DP grad sync %6d\n",
+		fmt.Printf("  rank %d: total %6d | MP group %6d | DP group %6d\n",
 			r, st.ElemsSent,
-			st.PerCollective["group-allreduce:mp"],
-			st.PerCollective["group-allreduce:dp"])
+			st.PerGroup["mp"].Elems,
+			st.PerGroup["dp"].Elems)
 	}
 	fmt.Println("\nMP traffic stays inside the 'node' (NVSwitch); only the DP sync crosses —")
 	fmt.Println("the topology split that lets ZeRO scale where cross-node MP collapses (Fig. 2).")

@@ -49,7 +49,7 @@ func main() {
 	var zeroLoss float64
 	var stateBytes int64
 	zeroWorld.Run(func(c *comm.Comm) {
-		tr := zero.New(c, cfg, zero.Options{
+		tr := zero.MustNew(c, cfg, zero.Options{
 			Stage: zero.StageOSG, LR: lr, Seed: 7,
 			FP16: true, BucketElems: 4096, Overlap: true,
 		})

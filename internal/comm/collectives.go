@@ -1,76 +1,84 @@
 package comm
 
+import "fmt"
+
 // Ring and tree collectives. Per-rank traffic for a buffer of Ψ elements on
-// N ranks (the quantities the paper's §7 analysis is built on):
+// a group of N members (the quantities the paper's §7 analysis is built on):
 //
 //	ReduceScatter: sends Ψ·(N-1)/N   ≈ Ψ
 //	AllGather:     sends Ψ·(N-1)/N   ≈ Ψ
 //	AllReduce:     sends 2Ψ·(N-1)/N  ≈ 2Ψ  (reduce-scatter + all-gather)
 //	Broadcast:     tree; root sends ≤ Ψ·⌈log2 N⌉ aggregate, Ψ per edge
 //
-// All collectives must be entered by every rank of the world with buffers of
-// identical length; they are synchronizing operations.
+// Every collective is group-generic: it runs over the members of its Comm —
+// the whole world for World.Comm handles, a rank subset for communicators
+// derived by Split/Subgroup — with ranks, partition indices and roots in
+// group-local coordinates. All members must enter the collective with
+// buffers of identical length; collectives are synchronizing operations.
 
-// AllReduce sums x elementwise across all ranks, in place, using the
+// AllReduce sums x elementwise across the group, in place, using the
 // two-phase ring algorithm (pipelined reduce-scatter then all-gather).
 func (c *Comm) AllReduce(x []float32) {
-	n := c.w.n
+	n := c.Size()
 	if n == 1 {
 		return
 	}
 	parts := Partition(len(x), n)
 	c.ringReduceScatter("allreduce", x, parts)
-	c.ringAllGather("allreduce", x, parts, c.rank)
+	c.ringAllGather("allreduce", x, parts, c.pos)
 }
 
-// AllReduceAvg sums x across ranks and divides by the world size — the
+// AllReduceAvg sums x across the group and divides by the group size — the
 // gradient-averaging step of data-parallel training.
 func (c *Comm) AllReduceAvg(x []float32) {
 	c.AllReduce(x)
-	inv := 1 / float32(c.w.n)
+	inv := 1 / float32(c.Size())
 	for i := range x {
 		x[i] *= inv
 	}
 }
 
-// ReduceScatter reduces x elementwise across ranks and leaves rank r owning
-// the fully reduced partition parts[r] (in place; other regions of x hold
-// partially reduced garbage afterwards). parts must come from
-// Partition(len(x), Size()). Returns this rank's reduced shard as a subslice
-// of x.
+// ReduceScatter reduces x elementwise across the group and leaves member r
+// owning the fully reduced partition parts[r] (in place; other regions of x
+// hold partially reduced garbage afterwards). parts has one Range per
+// member — typically Partition(len(x), Size()), but any list of disjoint
+// ranges works (the hierarchical collectives pass non-tiling lists).
+// Returns this member's reduced shard as a subslice of x.
 func (c *Comm) ReduceScatter(x []float32, parts []Range) []float32 {
-	if len(parts) != c.w.n {
-		panic("comm: ReduceScatter partition count != world size")
+	if len(parts) != c.Size() {
+		panic("comm: ReduceScatter partition count != group size")
 	}
-	if c.w.n > 1 {
+	if c.Size() > 1 {
 		c.ringReduceScatter("reducescatter", x, parts)
 	}
-	p := parts[c.rank]
+	p := parts[c.pos]
 	return x[p.Lo:p.Hi]
 }
 
-// AllGather collects each rank's shard (shard = x[parts[rank]] already in
-// place) into the full buffer x on every rank. parts must come from
-// Partition(len(x), Size()).
+// AllGather collects each member's shard (shard = x[parts[rank]] already in
+// place) into every listed range of x on every member. parts has one Range
+// per member (see ReduceScatter for the shape contract).
 func (c *Comm) AllGather(x []float32, parts []Range) {
-	if len(parts) != c.w.n {
-		panic("comm: AllGather partition count != world size")
+	if len(parts) != c.Size() {
+		panic("comm: AllGather partition count != group size")
 	}
-	if c.w.n == 1 {
+	if c.Size() == 1 {
 		return
 	}
-	c.ringAllGather("allgather", x, parts, c.rank)
+	c.ringAllGather("allgather", x, parts, c.pos)
 }
 
-// Broadcast distributes root's x to every rank, in place, over a binomial
-// tree (⌈log2 N⌉ latency, one buffer per tree edge).
+// Broadcast distributes the root member's x to every member, in place, over
+// a binomial tree (⌈log2 N⌉ latency, one buffer per tree edge). root is a
+// group-local rank.
 func (c *Comm) Broadcast(x []float32, root int) {
-	n := c.w.n
+	n := c.Size()
+	c.checkRoot(root)
 	if n == 1 {
 		return
 	}
 	// Virtual rank with root at 0 simplifies the tree arithmetic.
-	vr := (c.rank - root + n) % n
+	vr := (c.pos - root + n) % n
 	// Receive once from the parent: the node with this rank's lowest set
 	// bit cleared.
 	mask := 1
@@ -93,11 +101,12 @@ func (c *Comm) Broadcast(x []float32, root int) {
 	}
 }
 
-// Reduce sums x across ranks onto root (in place at root; other ranks' x is
-// unchanged). Implemented as reduce-scatter + gather-to-root so per-rank
-// volume stays O(Ψ).
+// Reduce sums x across the group onto the root member (in place at root;
+// other members' x is unchanged). Implemented as reduce-scatter +
+// gather-to-root so per-rank volume stays O(Ψ). root is a group-local rank.
 func (c *Comm) Reduce(x []float32, root int) {
-	n := c.w.n
+	n := c.Size()
+	c.checkRoot(root)
 	if n == 1 {
 		return
 	}
@@ -105,8 +114,8 @@ func (c *Comm) Reduce(x []float32, root int) {
 	work := make([]float32, len(x))
 	copy(work, x)
 	c.ringReduceScatter("reduce", work, parts)
-	mine := parts[c.rank]
-	if c.rank == root {
+	mine := parts[c.pos]
+	if c.pos == root {
 		copy(x[mine.Lo:mine.Hi], work[mine.Lo:mine.Hi])
 		for r := 0; r < n; r++ {
 			if r == root {
@@ -121,16 +130,17 @@ func (c *Comm) Reduce(x []float32, root int) {
 	}
 }
 
-// Gather collects each rank's shard to root. shard lengths may differ per
-// rank; root receives them in rank order into out (caller-sized). Non-root
-// ranks pass out == nil.
+// Gather collects each member's shard to the root member. shard lengths may
+// differ per member; root receives them in group-rank order into out
+// (caller-sized). Non-root members pass out == nil.
 func (c *Comm) Gather(shard []float32, root int, out [][]float32) {
-	if c.rank == root {
-		if len(out) != c.w.n {
-			panic("comm: Gather out must have one slot per rank")
+	c.checkRoot(root)
+	if c.pos == root {
+		if len(out) != c.Size() {
+			panic("comm: Gather out must have one slot per group member")
 		}
 		out[root] = append([]float32(nil), shard...)
-		for r := 0; r < c.w.n; r++ {
+		for r := 0; r < c.Size(); r++ {
 			if r == root {
 				continue
 			}
@@ -141,15 +151,25 @@ func (c *Comm) Gather(shard []float32, root int, out [][]float32) {
 	c.send("gather", root, shard)
 }
 
-// ringReduceScatter runs the N-1 step ring so that, on return, rank r holds
-// the fully reduced chunk parts[r] inside x.
+// checkRoot panics on a root outside the group — roots are group-local
+// ranks, an easy slip now that Rank() is group-local too (passing a global
+// rank into a subgroup's Broadcast would otherwise silently re-root at 0
+// or index out of range deep in the wire lookup).
+func (c *Comm) checkRoot(root int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("comm: root %d out of range [0,%d) (roots are group-local ranks)", root, c.Size()))
+	}
+}
+
+// ringReduceScatter runs the N-1 step ring so that, on return, member r
+// holds the fully reduced chunk parts[r] inside x.
 func (c *Comm) ringReduceScatter(op string, x []float32, parts []Range) {
-	n := c.w.n
-	right := (c.rank + 1) % n
-	left := (c.rank - 1 + n) % n
+	n := c.Size()
+	right := (c.pos + 1) % n
+	left := (c.pos - 1 + n) % n
 	for s := 0; s < n-1; s++ {
-		sendIdx := ((c.rank-s-1)%n + n) % n
-		recvIdx := ((c.rank-s-2)%n + n) % n
+		sendIdx := ((c.pos-s-1)%n + n) % n
+		recvIdx := ((c.pos-s-2)%n + n) % n
 		sp := parts[sendIdx]
 		c.send(op, right, x[sp.Lo:sp.Hi])
 		data := c.recv(op, left)
@@ -164,12 +184,12 @@ func (c *Comm) ringReduceScatter(op string, x []float32, parts []Range) {
 	}
 }
 
-// ringAllGather runs the N-1 step ring so that, on return, every rank holds
-// every chunk. ownIdx names the chunk this rank contributes.
+// ringAllGather runs the N-1 step ring so that, on return, every member
+// holds every chunk. ownIdx names the chunk this member contributes.
 func (c *Comm) ringAllGather(op string, x []float32, parts []Range, ownIdx int) {
-	n := c.w.n
-	right := (c.rank + 1) % n
-	left := (c.rank - 1 + n) % n
+	n := c.Size()
+	right := (c.pos + 1) % n
+	left := (c.pos - 1 + n) % n
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((ownIdx-s)%n + n) % n
 		recvIdx := ((ownIdx-s-1)%n + n) % n

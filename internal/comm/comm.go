@@ -66,6 +66,13 @@ type streamClaim struct {
 	name string
 }
 
+// Traffic is one bucket of per-group accounting: elements and native wire
+// bytes sent under a group label.
+type Traffic struct {
+	Elems int64
+	Bytes int64
+}
+
 // Stats counts communication traffic for one rank. Element counts are
 // dtype-agnostic; byte counts are native — each op records the wire width of
 // the Buffer it moved (2 bytes for F16, 4 for F32), so fp16 traffic is
@@ -76,11 +83,18 @@ type Stats struct {
 	BytesSent int64
 	BytesRecv int64
 	Messages  int64
-	// PerCollective maps collective name to elements sent under it.
+	// PerCollective maps collective name (suffixed ":<label>" on labeled
+	// group communicators) to elements sent under it.
 	PerCollective map[string]int64
 	// PerStream maps ordering-domain name (DefaultStream for plain Comms)
 	// to elements sent on it.
 	PerStream map[string]int64
+	// PerGroup maps a group communicator's accounting label (Comm.Named;
+	// "hier-intra"/"hier-inter" for the hierarchical collectives, "mp"/"dp"
+	// for the 2D layout helpers) to the traffic sent under it, with native
+	// byte accounting — the counters behind the measured intra-vs-inter
+	// node split.
+	PerGroup map[string]Traffic
 }
 
 // rankStats wraps one rank's Stats with a lock: a rank's traffic may be
@@ -90,7 +104,7 @@ type rankStats struct {
 	s  Stats
 }
 
-func (rs *rankStats) record(op, stream string, width int, sent, recv int64) {
+func (rs *rankStats) record(op, stream, label string, width int, sent, recv int64) {
 	rs.mu.Lock()
 	s := &rs.s
 	s.ElemsSent += sent
@@ -109,6 +123,15 @@ func (rs *rankStats) record(op, stream string, width int, sent, recv int64) {
 		stream = DefaultStream
 	}
 	s.PerStream[stream] += sent
+	if label != "" {
+		if s.PerGroup == nil {
+			s.PerGroup = make(map[string]Traffic)
+		}
+		tr := s.PerGroup[label]
+		tr.Elems += sent
+		tr.Bytes += sent * int64(width)
+		s.PerGroup[label] = tr
+	}
 	rs.mu.Unlock()
 }
 
@@ -145,7 +168,7 @@ func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.n {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.n))
 	}
-	return &Comm{w: w, rank: rank}
+	return &Comm{w: w, rank: rank, pos: rank}
 }
 
 // Run spawns one goroutine per rank, invokes fn with that rank's Comm, and
@@ -223,6 +246,13 @@ func (w *World) Stats(r int) Stats {
 		}
 		s.PerStream = cp
 	}
+	if s.PerGroup != nil {
+		cp := make(map[string]Traffic, len(s.PerGroup))
+		for k, v := range s.PerGroup {
+			cp[k] = v
+		}
+		s.PerGroup = cp
+	}
 	rs.mu.Unlock()
 	return s
 }
@@ -263,24 +293,84 @@ func (w *World) ResetStats() {
 	}
 }
 
-// Comm is one rank's handle on the world, bound to one ordering domain
-// (stream) and one wire dtype for traffic accounting. World.Comm hands out
-// the default domain; Scheduler.Stream derives named domains.
+// Comm is one rank's communicator: a process group (the whole world, or a
+// subset carved out by Split/Subgroup) bound to one ordering domain (stream)
+// and one wire dtype for traffic accounting. World.Comm hands out the
+// world group on the default domain; Scheduler.Stream derives named domains;
+// Split, Subgroup, MPGroup, DPGroup and NodeTopology derive subgroups.
+//
+// Every collective is group-generic: it runs over the communicator's member
+// set, with ranks, partition indices and broadcast roots all expressed in
+// group-local coordinates. On the world communicator, group-local and global
+// ranks coincide.
 type Comm struct {
-	w      *World
-	rank   int
-	stream string // "" = default ordering domain
-	dtype  DType  // wire width recorded by Stats; F32 unless derived
+	w       *World
+	rank    int    // global (world) rank: wire identity and stats slot
+	members []int  // group members as global ranks; nil ⇒ the whole world
+	pos     int    // this rank's index within the group (== rank when members is nil)
+	stream  string // "" = default ordering domain
+	dtype   DType  // wire width recorded by Stats; F32 unless derived
+	label   string // PerGroup accounting label ("" = unattributed)
 }
 
-// Rank returns this communicator's rank id.
-func (c *Comm) Rank() int { return c.rank }
+// Rank returns this communicator's group-local rank: the index of this rank
+// within the group's member list. On the world communicator it equals the
+// global rank.
+func (c *Comm) Rank() int { return c.pos }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.w.n }
+// Size returns the group's member count (the world size on the world
+// communicator).
+func (c *Comm) Size() int {
+	if c.members == nil {
+		return c.w.n
+	}
+	return len(c.members)
+}
+
+// GlobalRank returns the underlying world rank, regardless of how deeply
+// this communicator was derived.
+func (c *Comm) GlobalRank() int { return c.rank }
+
+// Members returns the group's member list as global ranks, in group-rank
+// order (index i is the global rank of group rank i).
+func (c *Comm) Members() []int {
+	if c.members == nil {
+		out := make([]int, c.w.n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return append([]int(nil), c.members...)
+}
+
+// global translates a group-local rank to the global rank addressed on the
+// wire.
+func (c *Comm) global(member int) int {
+	if c.members == nil {
+		return member
+	}
+	return c.members[member]
+}
 
 // World returns the underlying world (for stats inspection).
 func (c *Comm) World() *World { return c.w }
+
+// Named returns a view of the communicator whose traffic is additionally
+// aggregated under label in Stats.PerGroup (and whose PerCollective keys
+// carry a ":<label>" suffix), so e.g. MP and DP traffic of a 2D layout, or
+// the intra-vs-inter split of a hierarchical collective, can be separated.
+func (c *Comm) Named(label string) *Comm {
+	if label == c.label {
+		return c
+	}
+	cp := *c
+	cp.label = label
+	return &cp
+}
+
+// Label returns the traffic-accounting label set by Named ("" if none).
+func (c *Comm) Label() string { return c.label }
 
 // StreamName returns the ordering domain this communicator runs on.
 func (c *Comm) StreamName() string {
@@ -305,40 +395,54 @@ func (c *Comm) WithDType(d DType) *Comm {
 	return &cp
 }
 
-// send transmits a copy of data to dst and accounts for it under op.
+// opName decorates a collective name with the group label so PerCollective
+// separates labeled group traffic from the unlabeled world traffic.
+func (c *Comm) opName(op string) string {
+	if c.label == "" {
+		return op
+	}
+	return op + ":" + c.label
+}
+
+// send transmits a copy of data to the group-local rank dst and accounts
+// for it under op.
 func (c *Comm) send(op string, dst int, data []float32) {
-	if dst == c.rank {
+	gdst := c.global(dst)
+	if gdst == c.rank {
 		panic("comm: send to self")
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
-	c.w.channel(c.rank, dst, c.stream) <- cp
-	c.w.stats[c.rank].record(op, c.stream, c.dtype.Bytes(), int64(len(data)), 0)
+	c.w.channel(c.rank, gdst, c.stream) <- cp
+	c.w.stats[c.rank].record(c.opName(op), c.stream, c.label, c.dtype.Bytes(), int64(len(data)), 0)
 }
 
-// recv blocks for a message from src and accounts for it.
+// recv blocks for a message from the group-local rank src and accounts for
+// it.
 func (c *Comm) recv(op string, src int) []float32 {
-	if src == c.rank {
+	gsrc := c.global(src)
+	if gsrc == c.rank {
 		panic("comm: recv from self")
 	}
-	data := <-c.w.channel(src, c.rank, c.stream)
-	c.w.stats[c.rank].record(op, c.stream, c.dtype.Bytes(), 0, int64(len(data)))
+	data := <-c.w.channel(gsrc, c.rank, c.stream)
+	c.w.stats[c.rank].record(c.opName(op), c.stream, c.label, c.dtype.Bytes(), 0, int64(len(data)))
 	return data
 }
 
-// Send transmits data to dst (point-to-point).
+// Send transmits data to the group-local rank dst (point-to-point).
 func (c *Comm) Send(dst int, data []float32) { c.send("p2p", dst, data) }
 
-// Recv blocks for a message from src (point-to-point).
+// Recv blocks for a message from the group-local rank src (point-to-point).
 func (c *Comm) Recv(src int) []float32 { return c.recv("p2p", src) }
 
-// Barrier blocks until every rank has entered it. Implemented as a
-// dissemination barrier: ⌈log2 n⌉ rounds of empty messages.
+// Barrier blocks until every member of the group has entered it.
+// Implemented as a dissemination barrier: ⌈log2 n⌉ rounds of empty
+// messages.
 func (c *Comm) Barrier() {
-	n := c.w.n
+	n := c.Size()
 	for dist := 1; dist < n; dist <<= 1 {
-		dst := (c.rank + dist) % n
-		src := (c.rank - dist%n + n) % n
+		dst := (c.pos + dist) % n
+		src := (c.pos - dist%n + n) % n
 		c.send("barrier", dst, nil)
 		c.recv("barrier", src)
 	}

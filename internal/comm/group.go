@@ -1,152 +1,174 @@
 package comm
 
-// Group is a communicator over an arbitrary subset of the world's ranks —
-// the building block for 2D parallelism, where the paper's deployment
-// (§10.1) nests Megatron model parallelism inside each node (an MP group of
-// consecutive ranks) under ZeRO data parallelism across nodes (a DP group
-// of strided ranks).
-type Group struct {
-	c     *Comm
-	ranks []int
-	pos   int    // index of c's rank within ranks
-	label string // traffic-accounting label ("mp", "dp", ...)
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Process groups: every Comm is a communicator over a member set, and
+// Split/Subgroup derive sub-communicators the way MPI_Comm_split and
+// MPI_Comm_create_group do — the building block for 2D parallelism, where
+// the paper's deployment (§10.1) nests Megatron model parallelism inside
+// each node (an MP group of consecutive ranks) under ZeRO data parallelism
+// across nodes (a DP group of strided ranks), and for the hierarchical
+// intra/inter-node collectives of internal/comm/hierarchical.go.
+//
+// Construction returns structured errors (ErrGroup, ErrColor, ErrTopology)
+// instead of panicking, so trainers can validate a topology at setup time
+// and surface the problem before any collective is in flight.
+
+// Structured error classes for group and topology construction; match with
+// errors.Is.
+var (
+	// ErrGroup marks invalid member lists: empty, out of range, duplicate,
+	// or not containing the calling rank.
+	ErrGroup = errors.New("comm: invalid group")
+	// ErrColor marks an invalid Split color (anything below ColorNone).
+	ErrColor = errors.New("comm: invalid split color")
+	// ErrTopology marks node layouts the group cannot be tiled by (node
+	// size not positive, or not dividing the group size).
+	ErrTopology = errors.New("comm: invalid topology")
+)
+
+// ColorNone is the Split color for ranks that opt out of every subgroup
+// (MPI_UNDEFINED): Split returns (nil, nil) for them.
+const ColorNone = -1
+
+// Split partitions the communicator into disjoint sub-communicators, one
+// per distinct color, and returns the one this rank belongs to — the
+// MPI_Comm_split idiom. Members of a subgroup are ordered by (key, parent
+// rank). A rank passing ColorNone participates in the exchange but joins no
+// group (returns nil, nil). Colors below ColorNone are invalid; because the
+// color exchange is itself a collective, every member must call Split, and
+// an invalid color anywhere makes Split return ErrColor on *every* member
+// (no rank is left blocked on a group that will never form).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	n := c.Size()
+	// The wire payload is int32; colors or keys outside that range cannot
+	// be exchanged faithfully (silent truncation would merge distinct
+	// colors). An out-of-range value is replaced by a sentinel below
+	// ColorNone so the *exchange still completes* and every member fails
+	// together, exactly like a remote invalid color.
+	const wireInvalid = math.MinInt32
+	overflow := color > math.MaxInt32 || key < math.MinInt32 || key > math.MaxInt32
+	valid := !overflow && color >= ColorNone
+	wireColor, wireKey := int32(wireInvalid), int32(0)
+	if valid {
+		wireColor, wireKey = int32(color), int32(key)
+	}
+	// Exchange (color, key) via an all-gather of bit-exact int32 payloads:
+	// Float32frombits round-trips any 32-bit pattern through the float32
+	// wire without arithmetic touching it.
+	buf := make([]float32, 2*n)
+	buf[2*c.pos] = math.Float32frombits(uint32(wireColor))
+	buf[2*c.pos+1] = math.Float32frombits(uint32(wireKey))
+	if n > 1 {
+		c.ringAllGather("split", buf, Partition(len(buf), n), c.pos)
+	}
+	if overflow {
+		return nil, fmt.Errorf("%w: color %d / key %d do not fit the int32 exchange", ErrColor, color, key)
+	}
+	if !valid {
+		return nil, fmt.Errorf("%w: color %d (want ≥ %d, or ColorNone to opt out)", ErrColor, color, ColorNone)
+	}
+	colors := make([]int, n)
+	keys := make([]int, n)
+	for i := 0; i < n; i++ {
+		colors[i] = int(int32(math.Float32bits(buf[2*i])))
+		keys[i] = int(int32(math.Float32bits(buf[2*i+1])))
+	}
+	for i, col := range colors {
+		if col < ColorNone {
+			return nil, fmt.Errorf("%w: member %d passed color %d (want ≥ %d)", ErrColor, i, col, ColorNone)
+		}
+	}
+	if color == ColorNone {
+		return nil, nil
+	}
+	var members []int
+	for i, col := range colors {
+		if col == color {
+			members = append(members, i)
+		}
+	}
+	sort.SliceStable(members, func(a, b int) bool {
+		return keys[members[a]] < keys[members[b]]
+	})
+	return c.Subgroup(members)
 }
 
-// Group creates a subgroup communicator over the given ranks (which must
-// include this rank, appear in a consistent order on every member, and
-// contain no duplicates). Collectives on the group must be entered by
-// every member.
-func (c *Comm) Group(ranks []int) *Group {
+// Subgroup creates a sub-communicator over the given members without any
+// communication (the MPI_Comm_create_group shape): members are group-local
+// ranks of the *parent* communicator, must include the calling rank, and
+// must contain no duplicates. Every listed member must make the same call
+// before using the subgroup collectively; member order defines the
+// subgroup's rank order.
+func (c *Comm) Subgroup(members []int) (*Comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: empty member list", ErrGroup)
+	}
+	n := c.Size()
 	pos := -1
-	seen := make(map[int]bool, len(ranks))
-	for i, r := range ranks {
-		if r < 0 || r >= c.w.n {
-			panic("comm: group rank out of range")
+	seen := make(map[int]bool, len(members))
+	global := make([]int, len(members))
+	for i, m := range members {
+		if m < 0 || m >= n {
+			return nil, fmt.Errorf("%w: member %d out of range [0,%d)", ErrGroup, m, n)
 		}
-		if seen[r] {
-			panic("comm: duplicate rank in group")
+		if seen[m] {
+			return nil, fmt.Errorf("%w: duplicate member %d", ErrGroup, m)
 		}
-		seen[r] = true
-		if r == c.rank {
+		seen[m] = true
+		if m == c.pos {
 			pos = i
 		}
+		global[i] = c.global(m)
 	}
 	if pos < 0 {
-		panic("comm: this rank is not a member of the group")
+		return nil, fmt.Errorf("%w: rank %d is not a member", ErrGroup, c.pos)
 	}
-	return &Group{c: c, ranks: append([]int(nil), ranks...), pos: pos}
+	cp := *c
+	cp.members = global
+	cp.pos = pos
+	return &cp, nil
 }
 
-// Named sets the group's traffic-accounting label: collectives record under
-// "group-<op>:<label>" in Stats.PerCollective, so MP and DP traffic of a 2D
-// layout can be separated.
-func (g *Group) Named(label string) *Group {
-	g.label = label
-	return g
-}
-
-func (g *Group) op(base string) string {
-	if g.label == "" {
-		return base
+// CheckNodeSize validates that a group of the given size tiles into nodes
+// of nodeSize ranks; the error wraps ErrTopology.
+func CheckNodeSize(size, nodeSize int) error {
+	if nodeSize <= 0 || size%nodeSize != 0 {
+		return fmt.Errorf("%w: group size %d is not a positive multiple of node size %d", ErrTopology, size, nodeSize)
 	}
-	return base + ":" + g.label
+	return nil
 }
 
 // MPGroup returns the model-parallel group this rank belongs to when the
-// world is laid out as consecutive blocks of mpSize ranks (ranks 0..mp-1
-// form replica 0, etc. — MP inside the "node").
-func (c *Comm) MPGroup(mpSize int) *Group {
-	if mpSize <= 0 || c.w.n%mpSize != 0 {
-		panic("comm: world size must be a multiple of mpSize")
+// group is laid out as consecutive blocks of mpSize ranks (ranks 0..mp-1
+// form replica 0, etc. — MP inside the "node"). Collective: every member
+// of c must call it. Traffic is attributed to the "mp" group label.
+func (c *Comm) MPGroup(mpSize int) (*Comm, error) {
+	if err := CheckNodeSize(c.Size(), mpSize); err != nil {
+		return nil, err
 	}
-	base := (c.rank / mpSize) * mpSize
-	ranks := make([]int, mpSize)
-	for i := range ranks {
-		ranks[i] = base + i
+	g, err := c.Split(c.pos/mpSize, c.pos)
+	if err != nil {
+		return nil, err
 	}
-	return c.Group(ranks).Named("mp")
+	return g.Named("mp"), nil
 }
 
 // DPGroup returns the data-parallel group: ranks with the same MP position
-// across replicas (stride mpSize).
-func (c *Comm) DPGroup(mpSize int) *Group {
-	if mpSize <= 0 || c.w.n%mpSize != 0 {
-		panic("comm: world size must be a multiple of mpSize")
+// across replicas (stride mpSize). Collective: every member of c must call
+// it. Traffic is attributed to the "dp" group label.
+func (c *Comm) DPGroup(mpSize int) (*Comm, error) {
+	if err := CheckNodeSize(c.Size(), mpSize); err != nil {
+		return nil, err
 	}
-	local := c.rank % mpSize
-	ranks := make([]int, c.w.n/mpSize)
-	for i := range ranks {
-		ranks[i] = i*mpSize + local
+	g, err := c.Split(c.pos%mpSize, c.pos)
+	if err != nil {
+		return nil, err
 	}
-	return c.Group(ranks).Named("dp")
-}
-
-// Rank returns this member's position within the group.
-func (g *Group) Rank() int { return g.pos }
-
-// Size returns the group's member count.
-func (g *Group) Size() int { return len(g.ranks) }
-
-// AllReduce sums x elementwise across the group, in place (ring).
-func (g *Group) AllReduce(x []float32) {
-	if len(g.ranks) == 1 {
-		return
-	}
-	parts := Partition(len(x), len(g.ranks))
-	g.c.groupReduceScatter(g.op("group-allreduce"), x, parts, g.ranks, g.pos)
-	g.c.groupAllGather(g.op("group-allreduce"), x, parts, g.ranks, g.pos, g.pos)
-}
-
-// AllReduceAvg sums and divides by the group size.
-func (g *Group) AllReduceAvg(x []float32) {
-	g.AllReduce(x)
-	inv := 1 / float32(len(g.ranks))
-	for i := range x {
-		x[i] *= inv
-	}
-}
-
-// ReduceScatter reduces x so member i owns the fully reduced parts[i];
-// returns this member's shard (a subslice of x).
-func (g *Group) ReduceScatter(x []float32, parts []Range) []float32 {
-	if len(parts) != len(g.ranks) {
-		panic("comm: group ReduceScatter partition count != group size")
-	}
-	if len(g.ranks) > 1 {
-		g.c.groupReduceScatter(g.op("group-reducescatter"), x, parts, g.ranks, g.pos)
-	}
-	p := parts[g.pos]
-	return x[p.Lo:p.Hi]
-}
-
-// AllGather collects each member's shard into the full buffer on every
-// member.
-func (g *Group) AllGather(x []float32, parts []Range) {
-	if len(parts) != len(g.ranks) {
-		panic("comm: group AllGather partition count != group size")
-	}
-	if len(g.ranks) > 1 {
-		g.c.groupAllGather(g.op("group-allgather"), x, parts, g.ranks, g.pos, g.pos)
-	}
-}
-
-// Broadcast distributes the root member's x to the whole group (root is a
-// group-local index). Linear fan-out: group sizes here are node-scale.
-func (g *Group) Broadcast(x []float32, root int) {
-	if root < 0 || root >= len(g.ranks) {
-		panic("comm: group Broadcast root out of range")
-	}
-	if len(g.ranks) == 1 {
-		return
-	}
-	if g.pos == root {
-		for i, r := range g.ranks {
-			if i != root {
-				g.c.send(g.op("group-broadcast"), r, x)
-			}
-		}
-		return
-	}
-	data := g.c.recv(g.op("group-broadcast"), g.ranks[root])
-	copy(x, data)
+	return g.Named("dp"), nil
 }

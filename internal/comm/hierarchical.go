@@ -1,112 +1,176 @@
 package comm
 
-// Hierarchical (two-level) all-reduce, the NCCL-style algorithm clusters of
-// multi-GPU nodes use: an intra-node reduce-scatter concentrates each local
-// rank's share of the node's sum, only that 1/nodeSize share crosses the
-// node uplink for an inter-node all-reduce, and an intra-node all-gather
-// redistributes the result. Per-rank inter-node traffic drops from
-// 2Ψ(N-1)/N to 2(Ψ/nodeSize)(M-1)/M for M nodes — the reason DP
-// communication survives the node boundary while flat MP all-reduces do
-// not (the effective-bandwidth model in internal/perfmodel.DPBandwidth).
+import "fmt"
+
+// Hierarchical (two-level) collectives, the NCCL-style algorithms clusters
+// of multi-GPU nodes use: only 1/nodeSize of the buffer ever crosses the
+// node uplink, which is why DP communication survives the node boundary
+// while flat MP all-reduces do not (the effective-bandwidth model in
+// internal/perfmodel.DPBandwidth). They are compositions of the ordinary
+// group collectives over the two sub-communicators of a node Topology —
+// there is no bespoke ring code here.
 //
-// Traffic is accounted separately under "hier-intra" and "hier-inter" in
-// Stats.PerCollective, so the intra/inter split is measurable. Like every
-// collective, it runs on whatever ordering domain its Comm is bound to —
-// synchronously on the default domain, or asynchronously via
-// Stream.AllReduceHierarchical with byte-accurate dtype accounting.
+// For Ψ elements on M nodes of S ranks, per-rank traffic of one pass:
+//
+//	intra-node: Ψ·(S-1)/S        (recorded under the "hier-intra" group)
+//	inter-node: (Ψ/S)·(M-1)/M    (recorded under the "hier-inter" group)
+//
+// and a hierarchical all-reduce is two passes, so its inter-node volume is
+// 2(Ψ/S)(M-1)/M versus the flat ring's 2Ψ(N-1)/N — the cut the paper's
+// trillion-parameter analysis (§2.3, §7) rests on. The split is measured:
+// Stats.PerGroup["hier-intra"/"hier-inter"] counts elements and native
+// dtype-accurate bytes per group.
+//
+// The reduce-scatter/all-gather forms take the same []Range ownership
+// partition as the flat collectives (member i ends up owning parts[i], in
+// group-local order), so a ZeRO trainer can swap them in bucket-for-bucket:
+// the intra-node phase runs one reduce-scatter per node block with that
+// block's slice of the partition, and the inter-node phase finishes (or
+// seeds) the owned slices across same-slot ranks. Because each element's
+// accumulation order depends only on its owner's (node, slot) coordinates,
+// the result is independent of bucket framing — every schedule on the same
+// topology is bitwise identical. Across *different* topologies the
+// reduction tree differs, so sums agree only up to float reassociation.
+//
+// Like every collective, these run on whatever ordering domain their Comm
+// is bound to — synchronously on the default domain, or asynchronously via
+// the Stream.*Hierarchical methods with byte-accurate dtype accounting.
 
-// AllReduceHierarchical sums x elementwise across all ranks, in place,
-// using the two-level algorithm with the given node width. The world size
-// must be a multiple of nodeSize.
-func (c *Comm) AllReduceHierarchical(x []float32, nodeSize int) {
-	n := c.w.n
-	if nodeSize <= 0 || n%nodeSize != 0 {
-		panic("comm: world size must be a multiple of nodeSize")
-	}
-	if n == 1 {
-		return
-	}
-	if nodeSize == 1 || nodeSize == n {
-		c.AllReduce(x)
-		return
-	}
-	node := c.rank / nodeSize
-	local := c.rank % nodeSize
-	nodes := n / nodeSize
-
-	intra := make([]int, nodeSize)
-	for i := range intra {
-		intra[i] = node*nodeSize + i
-	}
-	inter := make([]int, nodes)
-	for i := range inter {
-		inter[i] = i*nodeSize + local
-	}
-
-	// 1. Intra-node reduce-scatter: local rank i ends up owning chunk i of
-	//    this node's partial sum.
-	parts := Partition(len(x), nodeSize)
-	c.groupReduceScatter("hier-intra", x, parts, intra, local)
-
-	// 2. Inter-node all-reduce of the owned chunk across same-local peers.
-	own := parts[local]
-	chunk := x[own.Lo:own.Hi]
-	subParts := Partition(len(chunk), nodes)
-	c.groupReduceScatter("hier-inter", chunk, subParts, inter, node)
-	c.groupAllGather("hier-inter", chunk, subParts, inter, node, node)
-
-	// 3. Intra-node all-gather of the globally reduced chunks.
-	c.groupAllGather("hier-intra", x, parts, intra, local, local)
+// Topology is a communicator's node layout: consecutive blocks of NodeSize
+// members form one node. Intra connects the members of this rank's node;
+// Inter connects the same-slot members across nodes.
+type Topology struct {
+	NodeSize int
+	Nodes    int
+	// Intra is this rank's intra-node group (consecutive members), with
+	// traffic attributed to "hier-intra".
+	Intra *Comm
+	// Inter is this rank's inter-node group (same node-local slot across
+	// nodes, stride NodeSize), with traffic attributed to "hier-inter".
+	Inter *Comm
 }
 
-// groupReduceScatter runs the ring reduce-scatter over an arbitrary rank
-// subset. group lists the member ranks in ring order; pos is this rank's
-// index in group; parts has one range per member. On return, member i owns
-// the fully reduced parts[i].
-func (c *Comm) groupReduceScatter(op string, x []float32, parts []Range, group []int, pos int) {
-	g := len(group)
-	if g == 1 {
-		return
+// NodeTopology carves the communicator into nodes of nodeSize consecutive
+// members and returns this rank's intra-node and inter-node groups. It is
+// communication-free; every member must construct the same topology before
+// collectives on it pair up. The group size must be a multiple of nodeSize
+// (ErrTopology otherwise).
+func (c *Comm) NodeTopology(nodeSize int) (*Topology, error) {
+	if err := CheckNodeSize(c.Size(), nodeSize); err != nil {
+		return nil, err
 	}
-	right := group[(pos+1)%g]
-	left := group[(pos-1+g)%g]
-	for s := 0; s < g-1; s++ {
-		sendIdx := ((pos-s-1)%g + g) % g
-		recvIdx := ((pos-s-2)%g + g) % g
-		sp := parts[sendIdx]
-		c.send(op, right, x[sp.Lo:sp.Hi])
-		data := c.recv(op, left)
-		rp := parts[recvIdx]
-		dst := x[rp.Lo:rp.Hi]
-		if len(data) != len(dst) {
-			panic("comm: group ring chunk length mismatch")
-		}
-		for i, v := range data {
-			dst[i] += v
-		}
+	node, slot := c.pos/nodeSize, c.pos%nodeSize
+	nodes := c.Size() / nodeSize
+	intraMembers := make([]int, nodeSize)
+	for i := range intraMembers {
+		intraMembers[i] = node*nodeSize + i
 	}
+	interMembers := make([]int, nodes)
+	for i := range interMembers {
+		interMembers[i] = i*nodeSize + slot
+	}
+	intra, err := c.Subgroup(intraMembers)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := c.Subgroup(interMembers)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{
+		NodeSize: nodeSize,
+		Nodes:    nodes,
+		Intra:    intra.Named("hier-intra"),
+		Inter:    inter.Named("hier-inter"),
+	}, nil
 }
 
-// groupAllGather runs the ring all-gather over an arbitrary rank subset;
-// ownIdx names the chunk this member contributes.
-func (c *Comm) groupAllGather(op string, x []float32, parts []Range, group []int, pos, ownIdx int) {
-	g := len(group)
-	if g == 1 {
-		return
+// interParts extracts the ownership ranges of this rank's inter-node group:
+// the slices owned by the same node-local slot in every node.
+func (t *Topology) interParts(parts []Range) []Range {
+	slot := t.Intra.Rank()
+	out := make([]Range, t.Nodes)
+	for m := range out {
+		out[m] = parts[m*t.NodeSize+slot]
 	}
-	right := group[(pos+1)%g]
-	left := group[(pos-1+g)%g]
-	for s := 0; s < g-1; s++ {
-		sendIdx := ((ownIdx-s)%g + g) % g
-		recvIdx := ((ownIdx-s-1)%g + g) % g
-		sp := parts[sendIdx]
-		c.send(op, right, x[sp.Lo:sp.Hi])
-		data := c.recv(op, left)
-		rp := parts[recvIdx]
-		dst := x[rp.Lo:rp.Hi]
-		if len(data) != len(dst) {
-			panic("comm: group ring chunk length mismatch")
-		}
-		copy(dst, data)
+	return out
+}
+
+// checkHierParts validates the partition/topology pair shared by the
+// hierarchical reduce-scatter and all-gather.
+func (c *Comm) checkHierParts(parts []Range, nodeSize int) error {
+	if len(parts) != c.Size() {
+		return fmt.Errorf("%w: partition count %d != group size %d", ErrGroup, len(parts), c.Size())
 	}
+	return CheckNodeSize(c.Size(), nodeSize)
+}
+
+// ReduceScatterHierarchical reduces b across the group in two levels so
+// member i ends up owning the fully reduced parts[i], like ReduceScatter:
+// each node block runs an intra-node reduce-scatter of its slice of the
+// partition, then the inter-node groups finish the owned slices across
+// nodes. Only (|b|/nodeSize)·(M-1)/M elements per rank cross nodes.
+// Degenerate layouts (one node, or one rank per node) fall back to the
+// flat ring.
+func (c *Comm) ReduceScatterHierarchical(b Buffer, parts []Range, nodeSize int) error {
+	if err := c.checkHierParts(parts, nodeSize); err != nil {
+		return err
+	}
+	v := c.WithDType(b.DType)
+	n := c.Size()
+	if n == 1 || nodeSize == 1 || nodeSize == n {
+		v.ReduceScatter(b.Data, parts)
+		return nil
+	}
+	topo, err := v.NodeTopology(nodeSize)
+	if err != nil {
+		return err
+	}
+	// Intra-node: concentrate each node's partial sums on the member that
+	// will own them, one node block of the partition at a time.
+	for m := 0; m < topo.Nodes; m++ {
+		topo.Intra.ReduceScatter(b.Data, parts[m*nodeSize:(m+1)*nodeSize])
+	}
+	// Inter-node: finish the reduction of the owned slices across the
+	// same-slot ranks of every node.
+	topo.Inter.ReduceScatter(b.Data, topo.interParts(parts))
+	return nil
+}
+
+// AllGatherHierarchical is the mirror of ReduceScatterHierarchical: member
+// i contributes parts[i] (already in place) and every member ends up with
+// every range, with only (|b|/nodeSize)·(M-1)/M elements per rank crossing
+// nodes. Inter-node groups exchange the owned slices first; each node then
+// redistributes internally, block by block.
+func (c *Comm) AllGatherHierarchical(b Buffer, parts []Range, nodeSize int) error {
+	if err := c.checkHierParts(parts, nodeSize); err != nil {
+		return err
+	}
+	v := c.WithDType(b.DType)
+	n := c.Size()
+	if n == 1 || nodeSize == 1 || nodeSize == n {
+		v.AllGather(b.Data, parts)
+		return nil
+	}
+	topo, err := v.NodeTopology(nodeSize)
+	if err != nil {
+		return err
+	}
+	topo.Inter.AllGather(b.Data, topo.interParts(parts))
+	for m := 0; m < topo.Nodes; m++ {
+		topo.Intra.AllGather(b.Data, parts[m*nodeSize:(m+1)*nodeSize])
+	}
+	return nil
+}
+
+// AllReduceHierarchical sums b elementwise across the group, in place,
+// using the two-level algorithm with the given node width: a hierarchical
+// reduce-scatter over the canonical partition followed by the matching
+// hierarchical all-gather. The group size must be a multiple of nodeSize.
+func (c *Comm) AllReduceHierarchical(b Buffer, nodeSize int) error {
+	parts := Partition(len(b.Data), c.Size())
+	if err := c.ReduceScatterHierarchical(b, parts, nodeSize); err != nil {
+		return err
+	}
+	return c.AllGatherHierarchical(b, parts, nodeSize)
 }

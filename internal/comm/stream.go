@@ -244,12 +244,50 @@ func (st *Stream) AllReduceAvg(b Buffer) *Handle {
 	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduceAvg(b.Data) })
 }
 
-// AllReduceHierarchical enqueues a two-level (intra-node reduce-scatter,
-// inter-node all-reduce, intra-node all-gather) sum of b for worlds laid
-// out as nodes of nodeSize ranks. On a stream it composes with the other
-// ordering domains exactly like the flat collectives do.
+// checkNodeSize validates a hierarchical submission eagerly, before the op
+// reaches the worker: topology errors are programming errors at this layer
+// (zero.New surfaces them at construction time), so a bad nodeSize panics
+// at the submission site instead of killing the worker goroutine later.
+func (st *Stream) checkNodeSize(nodeSize int) {
+	if err := CheckNodeSize(st.Size(), nodeSize); err != nil {
+		panic(err)
+	}
+}
+
+// AllReduceHierarchical enqueues a two-level sum of b (hierarchical
+// reduce-scatter + hierarchical all-gather) for groups laid out as nodes
+// of nodeSize ranks. On a stream it composes with the other ordering
+// domains exactly like the flat collectives do, with the intra/inter split
+// recorded under the "hier-intra"/"hier-inter" group labels at b's wire
+// width.
 func (st *Stream) AllReduceHierarchical(b Buffer, nodeSize int) *Handle {
-	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduceHierarchical(b.Data, nodeSize) })
+	st.checkNodeSize(nodeSize)
+	return st.Submit(func(c *Comm) {
+		if err := c.AllReduceHierarchical(b, nodeSize); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// ReduceScatterHierarchical enqueues a two-level reduce-scatter of b under
+// the ownership partition parts (member i ends up owning parts[i]).
+func (st *Stream) ReduceScatterHierarchical(b Buffer, parts []Range, nodeSize int) *Handle {
+	st.checkNodeSize(nodeSize)
+	return st.Submit(func(c *Comm) {
+		if err := c.ReduceScatterHierarchical(b, parts, nodeSize); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// AllGatherHierarchical enqueues a two-level all-gather of b under parts.
+func (st *Stream) AllGatherHierarchical(b Buffer, parts []Range, nodeSize int) *Handle {
+	st.checkNodeSize(nodeSize)
+	return st.Submit(func(c *Comm) {
+		if err := c.AllGatherHierarchical(b, parts, nodeSize); err != nil {
+			panic(err)
+		}
+	})
 }
 
 // Flush blocks until every previously submitted op has completed on this

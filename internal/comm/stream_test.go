@@ -377,7 +377,7 @@ func TestStreamHierarchicalAllReduce(t *testing.T) {
 		}
 	}
 	st := w.Stats(0)
-	if st.PerCollective["hier-intra"] == 0 || st.PerCollective["hier-inter"] == 0 {
+	if st.PerGroup["hier-intra"].Elems == 0 || st.PerGroup["hier-inter"].Elems == 0 {
 		t.Error("intra/inter accounting split missing on the stream path")
 	}
 	if st.BytesSent != 2*st.ElemsSent {

@@ -36,10 +36,28 @@ type Trainer struct {
 // replicas start identical (DDP broadcasts initial weights; identical
 // seeding is our equivalent).
 func New(c *comm.Comm, cfg model.Config, seed int64, lr float64) *Trainer {
-	return &Trainer{zero.New(c, cfg, zero.Options{
+	return &Trainer{zero.MustNew(c, cfg, zero.Options{
 		Stage:       zero.StageDDP,
 		LR:          lr,
 		Seed:        seed,
 		BucketElems: DefaultBucketElems,
 	})}
+}
+
+// NewHierarchical is New for a cluster laid out as nodes of nodeSize ranks:
+// the gradient all-reduce buckets route through the two-level intra/inter-
+// node algorithm, so only ~1/nodeSize of the gradient volume crosses the
+// node uplink. The world size must be a multiple of nodeSize.
+func NewHierarchical(c *comm.Comm, cfg model.Config, seed int64, lr float64, nodeSize int) (*Trainer, error) {
+	tr, err := zero.New(c, cfg, zero.Options{
+		Stage:       zero.StageDDP,
+		LR:          lr,
+		Seed:        seed,
+		BucketElems: DefaultBucketElems,
+		Topology:    zero.Topology{NodeSize: nodeSize},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{tr}, nil
 }

@@ -154,3 +154,63 @@ func TestDDPLearns(t *testing.T) {
 		}
 	}
 }
+
+// Hierarchical DDP: the stage-0 trainer on a node topology must still
+// match single-process training (the two-level reduction reassociates
+// floats but computes the same sums), keep every replica bitwise in
+// agreement, and actually cut the inter-node share of the all-reduce by
+// the node width.
+func TestDDPHierarchicalTopology(t *testing.T) {
+	cfg := testConfig()
+	const n, nodeSize, batch, steps, lr = 4, 2, 4, 5, 1e-3
+	ids, targets := model.SyntheticBatch(3, batch, cfg.Seq, cfg.Vocab)
+	want := singleProcessReference(cfg, 7, lr, ids, targets, batch, steps)
+
+	w := comm.NewWorld(n)
+	results := make([][]float32, n)
+	w.Run(func(c *comm.Comm) {
+		tr, err := NewHierarchical(c, cfg, 7, lr, nodeSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tr.BucketElems = 0
+		for s := 0; s < steps; s++ {
+			tr.Step(ids, targets, batch)
+		}
+		results[c.Rank()] = tr.Model.Params
+	})
+	for r := 0; r < n; r++ {
+		if d := tensor.MaxDiff(results[r], want); d > 2e-4 {
+			t.Errorf("rank %d: params differ from single-process by %g", r, d)
+		}
+	}
+	for r := 1; r < n; r++ {
+		if d := tensor.MaxDiff(results[r], results[0]); d != 0 {
+			t.Errorf("replicas %d and 0 diverged by %g", r, d)
+		}
+	}
+	// Per-rank inter-node volume: 2·(Ψ/S)·(M-1)/M elems per step.
+	st := w.Stats(0)
+	inter := st.PerGroup["hier-inter"].Elems
+	psi := int64(cfg.ParamCount())
+	wantInter := int64(steps) * 2 * (psi / nodeSize) * int64(n/nodeSize-1) / int64(n/nodeSize)
+	// Partition rounding can shift a rank's share by a few elements.
+	if diff := inter - wantInter; diff < -int64(steps*n) || diff > int64(steps*n) {
+		t.Errorf("inter-node elems %d, want ≈%d", inter, wantInter)
+	}
+	if st.PerGroup["hier-intra"].Elems == 0 {
+		t.Error("no intra-node traffic recorded")
+	}
+
+	// Invalid node widths surface as topology errors from the constructor.
+	w2 := comm.NewWorld(4)
+	w2.Run(func(c *comm.Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		if _, err := NewHierarchical(c, cfg, 7, lr, 3); err == nil {
+			t.Error("indivisible nodeSize must fail NewHierarchical")
+		}
+	})
+}

@@ -30,7 +30,7 @@ func Ablations() Table {
 		opts.Seed = 1
 		w := comm.NewWorld(n)
 		w.Run(func(c *comm.Comm) {
-			tr := zero.New(c, cfg, opts)
+			tr := zero.MustNew(c, cfg, opts)
 			tr.Step(ids, targets, batch)
 		})
 		for r := 0; r < n; r++ {
@@ -55,9 +55,13 @@ func Ablations() Table {
 	flat := comm.NewWorld(8)
 	flat.Run(func(c *comm.Comm) { c.AllReduce(make([]float32, psi)) })
 	hier := comm.NewWorld(8)
-	hier.Run(func(c *comm.Comm) { c.AllReduceHierarchical(make([]float32, psi), 4) })
+	hier.Run(func(c *comm.Comm) {
+		if err := c.AllReduceHierarchical(comm.F32Buf(make([]float32, psi)), 4); err != nil {
+			panic(err)
+		}
+	})
 	flatPer := flat.Stats(0).ElemsSent
-	inter := hier.Stats(0).PerCollective["hier-inter"]
+	inter := hier.Stats(0).PerGroup["hier-inter"].Elems
 	rows = append(rows,
 		[]string{"flat ring all-reduce (8 ranks)", fmt.Sprint(flatPer), "-",
 			"all traffic crosses nodes when DP spans them"},

@@ -53,7 +53,7 @@ func CommVolume() Table {
 		}
 		w := comm.NewWorld(n)
 		w.Run(func(c *comm.Comm) {
-			tr := zero.New(c, cfg, zero.Options{Stage: st, LR: 1e-3, Seed: 1})
+			tr := zero.MustNew(c, cfg, zero.Options{Stage: st, LR: 1e-3, Seed: 1})
 			tr.Step(ids, targets, batch)
 		})
 		addRow("ZeRO "+st.String(), w.TotalElemsSent(), mult)

@@ -11,12 +11,18 @@ import (
 )
 
 // StageSweepConfig parameterizes the measured stage sweep (cmd/zerobench's
-// -stage/-bucket/-ranks flags land here).
+// -stage/-bucket/-ranks/-nodesize flags land here).
 type StageSweepConfig struct {
 	Ranks       int
 	Steps       int
 	BucketElems int
 	Stages      []zero.Stage // nil sweeps all four
+	// NodeSize routes the ZeRO rows' collectives hierarchically (nodes of
+	// NodeSize ranks); 0 keeps them flat. The table then reports the
+	// measured intra/inter-node byte split next to the closed-form
+	// prediction mult·(Ψ/S)·(M-1)/M (fp16 bytes), where mult is the
+	// stage's pass count (2, or 3 for Pos+g+p).
+	NodeSize int
 }
 
 // DefaultStageSweep is the configuration zerobench uses when no flags are
@@ -55,59 +61,88 @@ func StageSweep(sc StageSweepConfig) Table {
 	psi := int64(cfg.ParamCount())
 	batch := 2 * sc.Ranks
 	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	hier := zero.Topology{NodeSize: sc.NodeSize}.Hierarchical(sc.Ranks)
 
-	// run returns per-rank elements and native bytes sent per step and the
-	// mean step time.
-	run := func(opts zero.Options) (elemsPerRankStep, bytesPerRankStep float64, stepTime time.Duration) {
+	// run returns per-rank elements, native bytes and inter-node bytes sent
+	// per step, and the mean step time.
+	run := func(opts zero.Options) (elemsPerRankStep, bytesPerRankStep, interBytesPerRankStep float64, stepTime time.Duration) {
 		w := comm.NewWorld(sc.Ranks)
 		start := time.Now()
 		w.Run(func(c *comm.Comm) {
-			tr := zero.New(c, cfg, opts)
+			tr := zero.MustNew(c, cfg, opts)
 			defer tr.Close()
 			for s := 0; s < sc.Steps; s++ {
 				tr.Step(ids, targets, batch)
 			}
 		})
 		elapsed := time.Since(start)
+		var interBytes int64
+		for r := 0; r < sc.Ranks; r++ {
+			interBytes += w.Stats(r).PerGroup["hier-inter"].Bytes
+		}
 		perRankStep := float64(sc.Ranks * sc.Steps)
 		return float64(w.TotalElemsSent()) / perRankStep,
 			float64(w.TotalBytesSent()) / perRankStep,
+			float64(interBytes) / perRankStep,
 			elapsed / time.Duration(sc.Steps)
 	}
 
-	// Seed baseline: synchronous replicated DP, fp32 wire, unbucketed.
-	seedElems, seedBytes, seedTime := run(zero.Options{Stage: zero.StageDDP, LR: 1e-3, Seed: 1})
+	// Seed baseline: synchronous replicated DP, fp32 wire, unbucketed, flat.
+	seedElems, seedBytes, _, seedTime := run(zero.Options{Stage: zero.StageDDP, LR: 1e-3, Seed: 1})
 
 	rows := [][]string{{
-		"seed sync DP", "fp32", fmtF(seedElems, 0), fmtF(seedBytes, 0), "1.00x",
+		"seed sync DP", "fp32", fmtF(seedElems, 0), fmtF(seedBytes, 0), "1.00x", "-", "-",
 		fmt.Sprint(seedTime.Round(time.Microsecond)), "-", "-",
 	}}
 	for _, st := range stages {
 		base := zero.Options{
 			Stage: st, LR: 1e-3, Seed: 1, FP16: true, BucketElems: sc.BucketElems,
 		}
-		elems, bytes, syncTime := run(base)
+		if hier {
+			base.Topology = zero.Topology{NodeSize: sc.NodeSize}
+		}
+		elems, bytes, interBytes, syncTime := run(base)
 		over := base
 		over.Overlap = true
 		over.Prefetch = true // pipelines the stage-3 gathers; no-op below stage 3
-		_, _, overTime := run(over)
+		_, _, _, overTime := run(over)
+		interMeas, interPred := "-", "-"
+		if hier {
+			// mult·(Ψ/S)·(M-1)/M elements per rank per step cross nodes
+			// (mult = the stage's full-width passes), at 2 B/elem fp16.
+			mult := 2.0
+			if st == zero.StageFull {
+				mult = 3.0
+			}
+			_, interElems := perfmodel.HierarchicalSplit(psi, sc.NodeSize, sc.Ranks/sc.NodeSize)
+			interMeas = fmtF(interBytes, 0)
+			interPred = fmtF(mult*interElems*2, 0)
+		}
 		rows = append(rows, []string{
 			"ZeRO " + st.String(), "fp16",
 			fmtF(elems, 0), fmtF(bytes, 0),
 			fmtF(bytes/seedBytes, 2) + "x",
+			interMeas, interPred,
 			fmt.Sprint(syncTime.Round(time.Microsecond)),
 			fmt.Sprint(overTime.Round(time.Microsecond)),
 			fmtF(float64(syncTime)/float64(overTime), 2) + "x",
 		})
 	}
+	topoNote := "flat topology (every collective is one ring over all ranks)"
+	if hier {
+		topoNote = fmt.Sprintf("hierarchical topology: M=%d nodes of S=%d ranks; inter-node prediction\n"+
+			"is mult·(Ψ/S)·(M-1)/M fp16 bytes per rank per step (mult=2, or 3 at Pos+g+p)",
+			sc.Ranks/sc.NodeSize, sc.NodeSize)
+	}
 	return Table{
 		Title: "Stage sweep: wire traffic and step time per ZeRO-DP stage",
 		Note: fmt.Sprintf("Ψ=%d params, N=%d ranks, bucket=%d elems; bytes measured natively by\n"+
-			"dtype-tagged buffers (fp16 = 2 B/elem on the wire). Step times are wall-clock of\n"+
-			"this run (overlap = grad-stream buckets + stage-3 prefetch stream).",
-			psi, sc.Ranks, sc.BucketElems),
+			"dtype-tagged buffers (fp16 = 2 B/elem on the wire); %s.\n"+
+			"Step times are wall-clock of this run (overlap = grad-stream buckets + stage-3\n"+
+			"prefetch stream).",
+			psi, sc.Ranks, sc.BucketElems, topoNote),
 		Header: []string{"System", "Wire", "Elems/rank/step", "Bytes/rank/step (measured)", "vs seed",
-			"Step (sync)", "Step (overlap)", "Speedup"},
+			"Inter-B/rank/step", "Inter-B predicted", "Step (sync)", "Step (overlap)", "Speedup"},
 		Rows: rows,
 	}
 }

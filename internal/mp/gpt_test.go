@@ -161,8 +161,8 @@ func TestGPT2DTrainingMatchesSingleReplica(t *testing.T) {
 	var gridEmb []float32
 	var mu sync.Mutex
 	w.Run(func(c *comm.Comm) {
-		mpGroup := c.MPGroup(mpSize)
-		dpGroup := c.DPGroup(mpSize)
+		mpGroup := mustGroup(c.MPGroup(mpSize))
+		dpGroup := mustGroup(c.DPGroup(mpSize))
 		replica := c.Rank() / mpSize
 		m := NewGPT(mpGroup, layers, hidden, heads, gptVocab, gptSeq, 17)
 

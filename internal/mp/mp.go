@@ -18,9 +18,9 @@ import (
 )
 
 // Reducer is the communication surface the parallel layers need: an
-// all-reduce over the model-parallel group. Both *comm.Comm (whole world as
-// one MP group) and *comm.Group (an MP slice of a 2D MP x DP layout)
-// implement it.
+// all-reduce over the model-parallel group. Any *comm.Comm implements it —
+// the whole world as one MP group, or a sub-communicator carved out by
+// Comm.Split/MPGroup (an MP slice of a 2D MP x DP layout).
 type Reducer interface {
 	AllReduce(x []float32)
 	Rank() int

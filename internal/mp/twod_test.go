@@ -1,12 +1,23 @@
 package mp
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/tensor"
 )
+
+// mustGroup unwraps a group-construction result inside a rank goroutine;
+// construction only fails on inconsistent topologies, which the tests
+// exercise separately through the error path.
+func mustGroup(g *comm.Comm, err error) *comm.Comm {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
 
 // The paper's deployment topology (§10.1): Megatron MP inside each node,
 // data parallelism across nodes. This test runs a 4-rank world as a 2×2
@@ -46,8 +57,8 @@ func TestTwoDimensionalMPxDP(t *testing.T) {
 	mpRanks := make([]int, world)
 	var mu sync.Mutex
 	w.Run(func(c *comm.Comm) {
-		mpGroup := c.MPGroup(mpSize)
-		dpGroup := c.DPGroup(mpSize)
+		mpGroup := mustGroup(c.MPGroup(mpSize))
+		dpGroup := mustGroup(c.DPGroup(mpSize))
 		replica := c.Rank() / mpSize
 
 		blk := NewParallelBlock(mpGroup, hidden, heads, 66)
@@ -114,8 +125,8 @@ func TestGroupTopology(t *testing.T) {
 	w := comm.NewWorld(world)
 	sums := make([]float32, world)
 	w.Run(func(c *comm.Comm) {
-		mpGroup := c.MPGroup(mpSize)
-		dpGroup := c.DPGroup(mpSize)
+		mpGroup := mustGroup(c.MPGroup(mpSize))
+		dpGroup := mustGroup(c.DPGroup(mpSize))
 		if mpGroup.Size() != mpSize || dpGroup.Size() != world/mpSize {
 			t.Errorf("rank %d: group sizes %d/%d", c.Rank(), mpGroup.Size(), dpGroup.Size())
 		}
@@ -140,7 +151,7 @@ func TestGroupBroadcastAndReduceScatter(t *testing.T) {
 	const world = 4
 	w := comm.NewWorld(world)
 	w.Run(func(c *comm.Comm) {
-		g := c.Group([]int{0, 1, 2, 3})
+		g := mustGroup(c.Subgroup([]int{0, 1, 2, 3}))
 		// Broadcast from group root 2.
 		x := make([]float32, 5)
 		if g.Rank() == 2 {
@@ -168,23 +179,25 @@ func TestGroupBroadcastAndReduceScatter(t *testing.T) {
 	})
 }
 
+// Group construction surfaces structured errors (no panics): invalid member
+// lists are comm.ErrGroup, indivisible MP widths are comm.ErrTopology.
 func TestGroupValidation(t *testing.T) {
 	w := comm.NewWorld(4)
 	w.Run(func(c *comm.Comm) {
 		if c.Rank() != 0 {
 			return
 		}
-		mustPanic := func(name string, fn func()) {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
+		for name, members := range map[string][]int{
+			"not a member": {1, 2},
+			"duplicate":    {0, 0},
+			"out of range": {0, 9},
+		} {
+			if _, err := c.Subgroup(members); !errors.Is(err, comm.ErrGroup) {
+				t.Errorf("%s: err = %v, want comm.ErrGroup", name, err)
+			}
 		}
-		mustPanic("not a member", func() { c.Group([]int{1, 2}) })
-		mustPanic("duplicate", func() { c.Group([]int{0, 0}) })
-		mustPanic("out of range", func() { c.Group([]int{0, 9}) })
-		mustPanic("indivisible", func() { c.MPGroup(3) })
+		if _, err := c.MPGroup(3); !errors.Is(err, comm.ErrTopology) {
+			t.Error("indivisible mpSize must be comm.ErrTopology")
+		}
 	})
 }

@@ -92,11 +92,54 @@ func (hw Hardware) MPBandwidth(mp int) float64 {
 // combination of the intra-node stage and the full node uplink,
 // 1/(1/intra + 1/(interPerGPU·gpusPerNode)) ≈ 60 GB/s on the DGX-2 profile
 // — which is why DP communication, unlike flat MP all-reduces, survives the
-// node boundary (insight §4.1a).
+// node boundary (insight §4.1a). It is the large-(S,M) limit of
+// HierarchicalDPBandwidth; the runtime's measured intra/inter split
+// validates both (see SplitDPBandwidth and the perfmodel tests).
 func (hw Hardware) DPBandwidth(mp, dp int) float64 {
 	if mp*dp <= hw.GPUsPerNode {
 		return hw.IntraNodeBW
 	}
 	nodeUplink := hw.InterNodeBWPerGPU * float64(hw.GPUsPerNode)
 	return 1 / (1/hw.IntraNodeBW + 1/nodeUplink)
+}
+
+// HierarchicalSplit predicts the per-rank traffic split of one two-level
+// collective pass (a hierarchical reduce-scatter or all-gather; an
+// all-reduce is two passes) over psi elements on M nodes of S ranks:
+//
+//	intra = Ψ·(S-1)/S          inter = (Ψ/S)·(M-1)/M
+//
+// These are exactly the element counts internal/comm records under the
+// "hier-intra"/"hier-inter" PerGroup keys — the experiments compare this
+// prediction against the wire measurement.
+func HierarchicalSplit(psi int64, nodeSize, nodes int) (intra, inter float64) {
+	s, m := float64(nodeSize), float64(nodes)
+	intra = float64(psi) * (s - 1) / s
+	inter = float64(psi) / s * (m - 1) / m
+	return intra, inter
+}
+
+// SplitDPBandwidth converts a *measured* per-rank (intra, inter) traffic
+// split — e.g. the PerGroup byte counters of a real run — into the
+// effective collective bandwidth it implies on this hardware profile:
+// total volume over the serialized time of the intra phase (NVSwitch) and
+// the inter phase (this GPU's uplink share).
+func (hw Hardware) SplitDPBandwidth(intra, inter float64) float64 {
+	if intra+inter == 0 {
+		return hw.IntraNodeBW
+	}
+	return (intra + inter) / (intra/hw.IntraNodeBW + inter/hw.InterNodeBWPerGPU)
+}
+
+// HierarchicalDPBandwidth is the exact-form effective DP bandwidth for M
+// nodes of S ranks: SplitDPBandwidth applied to the predicted two-level
+// split. As S and M grow it converges to DPBandwidth's harmonic limit
+// (intra share → 1, inter share → 1/S with S·interPerGPU = the node
+// uplink).
+func (hw Hardware) HierarchicalDPBandwidth(nodeSize, nodes int) float64 {
+	if nodeSize*nodes <= 1 {
+		return hw.IntraNodeBW
+	}
+	intra, inter := HierarchicalSplit(1<<30, nodeSize, nodes)
+	return hw.SplitDPBandwidth(intra, inter)
 }

@@ -17,7 +17,7 @@ func runStage3(t *testing.T, cfg model.Config, n, steps, batch int, opts Options
 	w := comm.NewWorld(n)
 	out := make([][]float32, n)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, opts)
+		tr := MustNew(c, cfg, opts)
 		defer tr.Close()
 		for s := 0; s < steps; s++ {
 			tr.Step(ids, targets, batch)
@@ -107,7 +107,7 @@ func TestPaComposesWithOverlapAndPrefetch(t *testing.T) {
 			if pa {
 				store = NewPartitionedStore(sched.Stream(StreamCheckpoint), false)
 			}
-			tr := New(c, cfg, Options{
+			tr := MustNew(c, cfg, Options{
 				Stage: StageFull, LR: testLR, Seed: testSeed, BucketElems: 193,
 				Checkpoint: true, Store: store,
 				Overlap: overlap, Prefetch: prefetch,
@@ -148,7 +148,7 @@ func TestOverlapRunsWithCheckpointStore(t *testing.T) {
 		w := comm.NewWorld(n)
 		out := make([]float64, steps)
 		w.Run(func(c *comm.Comm) {
-			tr := New(c, cfg, Options{
+			tr := MustNew(c, cfg, Options{
 				Stage: StageOSGrad, LR: testLR, Seed: testSeed, BucketElems: 100,
 				Checkpoint: true, Store: NewInlineStore(), Overlap: overlap,
 			})
@@ -184,7 +184,7 @@ func TestNativeByteAccountingPerStep(t *testing.T) {
 	for _, fp16 := range []bool{false, true} {
 		w := comm.NewWorld(n)
 		w.Run(func(c *comm.Comm) {
-			tr := New(c, cfg, Options{Stage: StageOSGrad, LR: testLR, Seed: testSeed, FP16: fp16})
+			tr := MustNew(c, cfg, Options{Stage: StageOSGrad, LR: testLR, Seed: testSeed, FP16: fp16})
 			defer tr.Close()
 			tr.Step(ids, targets, batch)
 		})
@@ -209,7 +209,7 @@ func TestQueueDepthAppliesToSharedScheduler(t *testing.T) {
 	w.Run(func(c *comm.Comm) {
 		sched := comm.NewScheduler(c)
 		defer sched.Close()
-		tr := New(c, testConfig(), Options{
+		tr := MustNew(c, testConfig(), Options{
 			Stage: StageFull, LR: testLR, Seed: testSeed,
 			QueueDepth: 2, Scheduler: sched,
 		})
@@ -232,7 +232,7 @@ func TestQueueDepthOptionTrainsIdentically(t *testing.T) {
 		w := comm.NewWorld(n)
 		out := make([]float64, steps)
 		w.Run(func(c *comm.Comm) {
-			tr := New(c, cfg, Options{
+			tr := MustNew(c, cfg, Options{
 				Stage: StageFull, LR: testLR, Seed: testSeed,
 				BucketElems: 64, Overlap: true, Prefetch: true, QueueDepth: depth,
 			})

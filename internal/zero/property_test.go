@@ -58,7 +58,7 @@ func TestPropertyAnyConfigStageEqualsDDP(t *testing.T) {
 		w := comm.NewWorld(tc.n)
 		ddpOut := make([][]float32, tc.n)
 		w.Run(func(c *comm.Comm) {
-			tr := New(c, tc.cfg, Options{Stage: StageDDP, LR: 1e-3, Seed: 1})
+			tr := MustNew(c, tc.cfg, Options{Stage: StageDDP, LR: 1e-3, Seed: 1})
 			for s := 0; s < steps; s++ {
 				tr.Step(ids, targets, tc.batch)
 			}
@@ -68,7 +68,7 @@ func TestPropertyAnyConfigStageEqualsDDP(t *testing.T) {
 		w2 := comm.NewWorld(tc.n)
 		zeroOut := make([][]float32, tc.n)
 		w2.Run(func(c *comm.Comm) {
-			tr := New(c, tc.cfg, Options{
+			tr := MustNew(c, tc.cfg, Options{
 				Stage: tc.stage, LR: 1e-3, Seed: 1,
 				BucketElems: tc.bucket, Overlap: tc.overlap,
 			})
@@ -116,7 +116,7 @@ func TestPropertyVolumeIdentityAnyWorld(t *testing.T) {
 		}{{StageDDP, 2}, {StageOS, 2}, {StageOSG, 2}, {StageOSGP, 3}} {
 			w := comm.NewWorld(n)
 			w.Run(func(c *comm.Comm) {
-				tr := New(c, cfg, Options{Stage: tc.stage, LR: 1e-3, Seed: 1})
+				tr := MustNew(c, cfg, Options{Stage: tc.stage, LR: 1e-3, Seed: 1})
 				tr.Step(ids, targets, n)
 			})
 			want := tc.mult * int64(n-1) * psi

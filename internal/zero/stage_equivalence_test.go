@@ -15,7 +15,7 @@ func lossTrajectory(cfg model.Config, n, steps, batch int, opts Options, ids, ta
 	w := comm.NewWorld(n)
 	out := make([]float64, steps)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, opts)
+		tr := MustNew(c, cfg, opts)
 		defer tr.Close()
 		for s := 0; s < steps; s++ {
 			l := tr.Step(ids, targets, batch)

@@ -27,7 +27,7 @@ func TestSaveLoadResumesBitwise(t *testing.T) {
 		var blob []byte
 		w1 := comm.NewWorld(n)
 		w1.Run(func(c *comm.Comm) {
-			tr := New(c, cfg, opts)
+			tr := MustNew(c, cfg, opts)
 			for s := 0; s < k; s++ {
 				tr.Step(ids, targets, batch)
 			}
@@ -46,7 +46,7 @@ func TestSaveLoadResumesBitwise(t *testing.T) {
 		w2 := comm.NewWorld(n)
 		results := make([][]float32, n)
 		w2.Run(func(c *comm.Comm) {
-			tr := New(c, cfg, Options{Stage: stage, LR: testLR, Seed: 999})
+			tr := MustNew(c, cfg, Options{Stage: stage, LR: testLR, Seed: 999})
 			var snap *Snapshot
 			if c.Rank() == 0 {
 				var err error
@@ -90,7 +90,7 @@ func TestElasticRestoreAcrossWorldSizes(t *testing.T) {
 	var blob []byte
 	w4 := comm.NewWorld(4)
 	w4.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, opts)
+		tr := MustNew(c, cfg, opts)
 		for s := 0; s < k; s++ {
 			tr.Step(ids, targets, batch)
 		}
@@ -107,7 +107,7 @@ func TestElasticRestoreAcrossWorldSizes(t *testing.T) {
 	w2 := comm.NewWorld(2)
 	results := make([][]float32, 2)
 	w2.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 123})
+		tr := MustNew(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 123})
 		var snap *Snapshot
 		if c.Rank() == 0 {
 			snap, _ = DecodeSnapshot(blob)
@@ -142,7 +142,7 @@ func TestSaveLoadFP16PreservesMasters(t *testing.T) {
 	var blob []byte
 	w1 := comm.NewWorld(n)
 	w1.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, opts)
+		tr := MustNew(c, cfg, opts)
 		for s := 0; s < 2; s++ {
 			tr.Step(ids, targets, batch)
 		}
@@ -153,7 +153,7 @@ func TestSaveLoadFP16PreservesMasters(t *testing.T) {
 	w2 := comm.NewWorld(n)
 	results := make([][]float32, n)
 	w2.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 55, FP16: true})
+		tr := MustNew(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 55, FP16: true})
 		var snap *Snapshot
 		if c.Rank() == 0 {
 			snap, _ = DecodeSnapshot(blob)
@@ -178,7 +178,7 @@ func TestSaveLoadFP16PreservesMasters(t *testing.T) {
 func TestLoadValidation(t *testing.T) {
 	w := comm.NewWorld(1)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, testConfig(), Options{Stage: StageOSG, LR: testLR})
+		tr := MustNew(c, testConfig(), Options{Stage: StageOSG, LR: testLR})
 		if err := tr.Load(nil); err == nil {
 			t.Error("expected error for nil snapshot")
 		}

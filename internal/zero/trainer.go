@@ -26,6 +26,29 @@ const (
 	StreamCheckpoint = "checkpoint"
 )
 
+// Topology describes the simulated cluster's node layout for the trainer's
+// collectives. The zero value is a flat (single-level) topology.
+type Topology struct {
+	// NodeSize is the number of ranks per node. When 1 < NodeSize < world
+	// size, every full-width gradient and parameter collective is routed
+	// through the two-level hierarchical algorithms (intra-node phase +
+	// inter-node phase, §2.3/§7's reason DP survives the node uplink), so
+	// only ~1/NodeSize of each bucket crosses nodes — measured under the
+	// "hier-intra"/"hier-inter" keys of comm.Stats.PerGroup. 0, 1 or the
+	// world size mean flat routing. The world size must be a multiple of
+	// NodeSize (zero.New returns the comm.ErrTopology error otherwise).
+	NodeSize int
+}
+
+// Hierarchical reports whether this topology actually routes two-level
+// collectives on a world of the given size: NodeSize strictly between 1
+// and the world size, dividing it. The single predicate shared by the
+// trainer, the experiments and the CLIs — degenerate layouts (one node,
+// or one rank per node) are flat everywhere by the same rule.
+func (tp Topology) Hierarchical(worldSize int) bool {
+	return tp.NodeSize > 1 && tp.NodeSize < worldSize && worldSize%tp.NodeSize == 0
+}
+
 // Options configures a ZeRO-DP trainer rank.
 type Options struct {
 	// Stage selects how much model state is partitioned: StageDDP (0,
@@ -50,6 +73,13 @@ type Options struct {
 	// activation-checkpoint Store: Pa's gathers ride their own checkpoint
 	// stream, so the two ordering domains interleave freely on the wire.
 	Overlap bool
+	// Topology routes the trainer's collectives hierarchically for worlds
+	// laid out as nodes of Topology.NodeSize ranks (flat when zero).
+	// Composes with Overlap and Prefetch: the hierarchical buckets ride
+	// the same streams. Schedules on the same topology are bitwise
+	// identical to each other; across topologies the reduction tree (and
+	// therefore the float rounding) differs.
+	Topology Topology
 	// Prefetch pipelines stage 3's parameter all-gathers on the prefetch
 	// stream: while a layer group computes, the next group's gather is
 	// already on the wire, and the forward/backward pass waits per-group
@@ -118,10 +148,11 @@ type Trainer struct {
 	opts  Options
 	stage Stage
 
-	parts  []comm.Range    // global Ψ/Nd partition; parts[rank] is owned
-	opt    *optimizer.Adam // optimizer over the owned partition (full buffer at stage 0)
-	master []float32       // fp32 master copy of the optimizer's domain (FP16 mode)
-	groups []model.Segment // layer groups: gather and bucket granularity
+	parts    []comm.Range    // global Ψ/Nd partition; parts[rank] is owned
+	opt      *optimizer.Adam // optimizer over the owned partition (full buffer at stage 0)
+	master   []float32       // fp32 master copy of the optimizer's domain (FP16 mode)
+	groups   []model.Segment // layer groups: gather and bucket granularity
+	nodeSize int             // hierarchical node width; 0 = flat routing
 
 	sched    *comm.Scheduler
 	ownSched bool         // whether Close should close sched
@@ -132,9 +163,22 @@ type Trainer struct {
 // New constructs a rank's trainer. Every rank must use identical cfg and
 // Options so the replicas agree on layout, initialization and stream
 // schedule. Construction performs no communication.
-func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
+//
+// Invalid configurations — an unknown stage, or a Topology.NodeSize the
+// world size does not tile into (comm.ErrTopology) — are reported here,
+// before any collective is in flight, instead of panicking mid-step.
+func New(c *comm.Comm, cfg model.Config, opts Options) (*Trainer, error) {
 	if !opts.Stage.Valid() {
-		panic(fmt.Sprintf("zero: unknown stage %v (want StageDDP..StageFull)", opts.Stage))
+		return nil, fmt.Errorf("zero: unknown stage %v (want StageDDP..StageFull)", opts.Stage)
+	}
+	if opts.Topology.NodeSize != 0 {
+		if err := comm.CheckNodeSize(c.Size(), opts.Topology.NodeSize); err != nil {
+			return nil, fmt.Errorf("zero: topology: %w", err)
+		}
+	}
+	nodeSize := 0 // flat unless the layout is genuinely two-level
+	if opts.Topology.Hierarchical(c.Size()) {
+		nodeSize = opts.Topology.NodeSize
 	}
 	m := model.New(cfg, opts.Seed)
 	m.Checkpoint = opts.Checkpoint
@@ -168,6 +212,7 @@ func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
 		parts:       parts,
 		opt:         optimizer.NewAdam(optDomain.Len(), opts.LR),
 		groups:      m.Layout.LayerSegments(cfg.Layers),
+		nodeSize:    nodeSize,
 		sched:       sched,
 		ownSched:    ownSched,
 	}
@@ -177,6 +222,16 @@ func New(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
 	}
 	if opts.Stage == StageFull {
 		t.dropUnowned()
+	}
+	return t, nil
+}
+
+// MustNew is New for configurations known to be valid (benchmarks,
+// examples); it panics on error.
+func MustNew(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
+	t, err := New(c, cfg, opts)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
@@ -248,6 +303,31 @@ func (t *Trainer) wireBuf(x []float32) comm.Buffer {
 	return comm.Buffer{Data: x, DType: t.wireDType()}
 }
 
+// NodeSize returns the effective hierarchical node width (0 when routing
+// is flat — including the degenerate one-node and one-rank-per-node
+// layouts).
+func (t *Trainer) NodeSize() int { return t.nodeSize }
+
+// reduceScatter submits one bucket's reduce-scatter to st, routed through
+// the two-level hierarchical algorithm when a topology is configured. The
+// ownership layout (parts) is identical either way.
+func (t *Trainer) reduceScatter(st *comm.Stream, b comm.Buffer, parts []comm.Range) *comm.Handle {
+	if t.nodeSize > 0 {
+		return st.ReduceScatterHierarchical(b, parts, t.nodeSize)
+	}
+	return st.ReduceScatter(b, parts)
+}
+
+// allGather submits one parameter/gradient all-gather to st, routed like
+// reduceScatter. The small N-element clip-partial gather stays flat: it is
+// latency-bound, and gathers are bitwise identical however they are routed.
+func (t *Trainer) allGather(st *comm.Stream, b comm.Buffer, parts []comm.Range) *comm.Handle {
+	if t.nodeSize > 0 {
+		return st.AllGatherHierarchical(b, parts, t.nodeSize)
+	}
+	return st.AllGather(b, parts)
+}
+
 // dropUnowned zeroes every parameter outside the owned partition — the
 // stage-3 resident state is Ψ/Nd (§5.3). The full-size buffer remains as
 // gather workspace; accounting distinguishes resident from transient.
@@ -265,7 +345,7 @@ func (t *Trainer) dropUnowned() {
 func (t *Trainer) gatherParams() {
 	for _, g := range t.groups {
 		groupParts := intersect(t.parts, g.Lo, g.Hi)
-		t.prefetchStream().AllGather(t.wireBuf(t.Model.Params), groupParts).Wait()
+		t.allGather(t.prefetchStream(), t.wireBuf(t.Model.Params), groupParts).Wait()
 	}
 }
 
@@ -292,7 +372,7 @@ func (p *paramPrefetcher) submit(k int) {
 	}
 	g := p.order[k]
 	groupParts := intersect(p.t.parts, g.Lo, g.Hi)
-	p.handles[k] = p.t.prefetchStream().AllGather(p.t.wireBuf(p.t.Model.Params), groupParts)
+	p.handles[k] = p.t.allGather(p.t.prefetchStream(), p.t.wireBuf(p.t.Model.Params), groupParts)
 }
 
 // arrive blocks until order[k]'s parameters are resident and launches the
@@ -488,7 +568,7 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 	case StageFull:
 		t.dropUnowned()
 	default:
-		t.gradStream().AllGather(t.wireBuf(t.Model.Params), t.parts).Wait()
+		t.allGather(t.gradStream(), t.wireBuf(t.Model.Params), t.parts).Wait()
 	}
 	return loss
 }
@@ -543,14 +623,15 @@ func (t *Trainer) groupBuckets(g model.Segment) []comm.Range {
 // global partition, completed into an all-reduce by a gradient all-gather
 // at stage 0. The window's per-rank ownership comes from intersecting the
 // global partition, so the elementwise reduction order — and therefore the
-// bits — is independent of bucket framing.
+// bits — is independent of bucket framing; under a Topology both ops route
+// hierarchically with the same ownership layout.
 func (t *Trainer) reduceBucket(lo, hi int) *comm.Handle {
 	wparts := intersect(t.parts, lo, hi)
 	buf := t.wireBuf(t.Model.Grads)
 	st := t.gradStream()
-	h := st.ReduceScatter(buf, wparts)
+	h := t.reduceScatter(st, buf, wparts)
 	if t.stage == StageDDP {
-		h = st.AllGather(buf, wparts) // FIFO after the reduce-scatter
+		h = t.allGather(st, buf, wparts) // FIFO after the reduce-scatter
 	}
 	return h
 }

@@ -1,6 +1,8 @@
 package zero
 
 import (
+	"errors"
+
 	"testing"
 
 	"repro/internal/comm"
@@ -28,7 +30,7 @@ func runZeRO(t *testing.T, cfg model.Config, stage Stage, n, steps int, opts Opt
 	w := comm.NewWorld(n)
 	out := make([][]float32, n)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, opts)
+		tr := MustNew(c, cfg, opts)
 		for s := 0; s < steps; s++ {
 			tr.Step(ids, targets, batch)
 		}
@@ -46,7 +48,7 @@ func runDDP(cfg model.Config, n, steps int, ids, targets []int, batch int) []flo
 	w := comm.NewWorld(n)
 	out := make([][]float32, n)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, Options{Stage: StageDDP, LR: testLR, Seed: testSeed})
+		tr := MustNew(c, cfg, Options{Stage: StageDDP, LR: testLR, Seed: testSeed})
 		for s := 0; s < steps; s++ {
 			tr.Step(ids, targets, batch)
 		}
@@ -135,7 +137,7 @@ func TestCommunicationVolumeIdentities(t *testing.T) {
 			w.Run(func(c *comm.Comm) {
 				// Trainer construction performs no communication, so the
 				// counters hold exactly one step's traffic.
-				tr := New(c, cfg, Options{Stage: tc.stage, LR: testLR, Seed: testSeed})
+				tr := MustNew(c, cfg, Options{Stage: tc.stage, LR: testLR, Seed: testSeed})
 				tr.Step(ids, targets, batch)
 			})
 			want := tc.mult * int64(n-1) * psi
@@ -156,7 +158,7 @@ func TestStage3ResidencyAndShards(t *testing.T) {
 	ids, targets := model.SyntheticBatch(5, batch, cfg.Seq, cfg.Vocab)
 	w := comm.NewWorld(n)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, Options{Stage: StageOSGP, LR: testLR, Seed: testSeed})
+		tr := MustNew(c, cfg, Options{Stage: StageOSGP, LR: testLR, Seed: testSeed})
 		tr.Step(ids, targets, batch)
 		own := tr.Owned()
 		for i, v := range tr.Model.Params {
@@ -196,7 +198,7 @@ func TestFP16StagesAgreeAndLearn(t *testing.T) {
 	losses := make([]float64, n)
 	firsts := make([]float64, n)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, Options{Stage: StageOSG, LR: 5e-3, Seed: 23, FP16: true})
+		tr := MustNew(c, cfg, Options{Stage: StageOSG, LR: 5e-3, Seed: 23, FP16: true})
 		for s := 0; s < steps; s++ {
 			l := tr.Step(ids, targets, batch)
 			if s == 0 {
@@ -226,18 +228,43 @@ func TestZeROWithCheckpointingBitwise(t *testing.T) {
 	}
 }
 
-func TestTrainerRejectsInvalidStage(t *testing.T) {
+// Invalid configurations surface as errors from New — before any
+// collective is in flight — rather than panics mid-step.
+func TestTrainerRejectsInvalidConfigs(t *testing.T) {
 	for _, bad := range []Stage{-1, 4} {
 		w := comm.NewWorld(1)
 		w.Run(func(c *comm.Comm) {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("expected panic for stage %d", bad)
-				}
-			}()
-			New(c, testConfig(), Options{Stage: bad, LR: testLR})
+			if _, err := New(c, testConfig(), Options{Stage: bad, LR: testLR}); err == nil {
+				t.Errorf("expected error for stage %d", bad)
+			}
 		})
 	}
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		for _, bad := range []int{3, -2, 5} {
+			_, err := New(c, testConfig(), Options{
+				Stage: StageOSGrad, LR: testLR, Topology: Topology{NodeSize: bad},
+			})
+			if !errors.Is(err, comm.ErrTopology) {
+				t.Errorf("NodeSize %d: err = %v, want comm.ErrTopology", bad, err)
+			}
+		}
+		// Degenerate-but-valid layouts collapse to flat routing.
+		for _, flat := range []int{0, 1, 4} {
+			tr, err := New(c, testConfig(), Options{
+				Stage: StageOSGrad, LR: testLR, Topology: Topology{NodeSize: flat},
+			})
+			if err != nil || tr.NodeSize() != 0 {
+				t.Errorf("NodeSize %d: err=%v effective=%d, want flat", flat, err, tr.NodeSize())
+			}
+		}
+		tr := MustNew(c, testConfig(), Options{
+			Stage: StageOSGrad, LR: testLR, Topology: Topology{NodeSize: 2},
+		})
+		if tr.NodeSize() != 2 {
+			t.Errorf("NodeSize 2: effective %d", tr.NodeSize())
+		}
+	})
 }
 
 // ModelStateBytes must follow the planner equation for the trainer's own
@@ -246,7 +273,7 @@ func TestTrainerModelStateAccounting(t *testing.T) {
 	cfg := testConfig()
 	w := comm.NewWorld(4)
 	w.Run(func(c *comm.Comm) {
-		tr := New(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 1})
+		tr := MustNew(c, cfg, Options{Stage: StageOSG, LR: testLR, Seed: 1})
 		want := int64(ModelStateBytes(int64(cfg.ParamCount()), StageOSG, 4))
 		if got := tr.ModelStateBytes(); got != want {
 			t.Errorf("ModelStateBytes = %d, want %d", got, want)

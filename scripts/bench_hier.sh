@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the hierarchical-topology benchmark baseline (BENCH_HIER.json):
+# BenchmarkHierarchicalStep sweeps flat vs node=2 vs node=4 routing of the
+# stage-2 gradient buckets and reports the measured inter-node byte share.
+# Usage: scripts/bench_hier.sh [benchtime]   (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+exec ./scripts/bench.sh "${1:-10x}" 'HierarchicalStep' BENCH_HIER.json
