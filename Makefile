@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-prefetch bench-hier bench-compare sweep all
+.PHONY: check fmt vet build test race configcheck bench bench-prefetch bench-hier bench-accum bench-compare sweep all
 
-check: fmt vet build test race
+check: fmt vet build test race configcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,10 +20,15 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate for the concurrent packages: the collectives, the
-# stream scheduler, the trainer overlap/prefetch paths, and the parallel
-# kernels.
+# stream scheduler, the trainer overlap/prefetch/accumulation paths, the
+# engine lifecycle, and the parallel kernels.
 race:
-	$(GO) test -race ./internal/comm ./internal/zero ./internal/tensor ./internal/ddp
+	$(GO) test -race ./internal/comm ./internal/zero ./internal/engine ./internal/tensor ./internal/ddp
+
+# Config-roundtrip gate: every committed example config must parse strictly
+# and pass engine.Config.Validate.
+configcheck:
+	$(GO) test ./internal/engine -run TestCommittedConfigsValidate
 
 # Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
 bench:
@@ -37,15 +42,20 @@ bench-prefetch:
 bench-hier:
 	./scripts/bench_hier.sh
 
+# Regenerate the gradient-accumulation baseline (BENCH_ACCUM.json).
+bench-accum:
+	./scripts/bench_accum.sh
+
 # Re-run every baseline suite and fail on >10% ns/op regression against the
 # committed JSONs.
 bench-compare:
 	./scripts/bench_compare.sh BENCH_STAGE_API.json
 	./scripts/bench_compare.sh BENCH_PREFETCH.json
 	./scripts/bench_compare.sh BENCH_HIER.json
+	./scripts/bench_compare.sh BENCH_ACCUM.json
 
 # Render the stage-sweep experiments.
 sweep:
-	$(GO) run ./cmd/zerobench stagememory stagesweep stagethroughput
+	$(GO) run ./cmd/zerobench stagememory stagesweep stagethroughput accumsweep
 
 all: check

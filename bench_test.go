@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/ddp"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/mp"
@@ -358,6 +359,44 @@ func BenchmarkHierarchicalStep(b *testing.B) {
 			st := w.Stats(0)
 			b.ReportMetric(float64(st.BytesSent)/float64(b.N), "wire-B/rank/step")
 			b.ReportMetric(float64(st.PerGroup["hier-inter"].Bytes)/float64(b.N), "inter-B/rank/step")
+		})
+	}
+}
+
+// BenchmarkAccumStep sweeps GradAccumSteps through the Engine API at a
+// fixed global batch: ns per optimizer step for k ∈ {1,2,4} micro-batches
+// (stage 2, fp16, overlapped buckets), reporting measured wire bytes per
+// boundary. Larger k trades step latency for the (k+1)/2k wire discount
+// and a fixed Ψ/N accumulator — the BENCH_ACCUM.json baseline.
+func BenchmarkAccumStep(b *testing.B) {
+	const globalBatch = 16
+	base := engine.DefaultConfig()
+	base.Model = benchStageConfig()
+	base.Ranks = 4
+	base.Stage = "2"
+	base.Optimizer.LR = 1e-3
+	base.Seed = 1
+	base.FP16 = true
+	base.BucketElems = 4096
+	base.Overlap = true
+	base.GlobalBatch = globalBatch
+	ids, targets := model.SyntheticBatch(1, globalBatch, base.Model.Seq, base.Model.Vocab)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("accum=%d", k), func(b *testing.B) {
+			cfg := base
+			cfg.GradAccumSteps = k
+			cfg.MicroBatch = 0 // derive globalBatch/k
+			b.ResetTimer()
+			w, err := engine.Run(cfg, func(e *engine.Engine) {
+				for i := 0; i < b.N; i++ {
+					e.TrainBatch(ids, targets)
+				}
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(w.Stats(0).BytesSent)/float64(b.N), "wire-B/rank/step")
 		})
 	}
 }

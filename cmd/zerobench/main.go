@@ -35,16 +35,19 @@ var (
 	nodeFlag   = flag.Int("nodesize", 0, "ranks per simulated node for the stage sweep: route collectives hierarchically and report the intra/inter split (0 = flat)")
 )
 
+// sweepConfig routes the flags into the sweep's engine.Config base — the
+// same constructor zerotrain and the examples use, so knobs cannot drift
+// between the entry points.
 func sweepConfig() (experiments.StageSweepConfig, error) {
 	sc := experiments.DefaultStageSweep()
-	sc.Ranks = *ranksFlag
+	sc.Base.Ranks = *ranksFlag
 	sc.Steps = *stepsFlag
-	sc.BucketElems = *bucketFlag
+	sc.Base.BucketElems = *bucketFlag
 	if *nodeFlag != 0 {
-		if err := comm.CheckNodeSize(sc.Ranks, *nodeFlag); err != nil {
+		if err := comm.CheckNodeSize(sc.Base.Ranks, *nodeFlag); err != nil {
 			return sc, err
 		}
-		sc.NodeSize = *nodeFlag
+		sc.Base.NodeSize = *nodeFlag
 	}
 	if *stageFlag != "" {
 		st, err := zero.ParseStage(*stageFlag)
@@ -75,6 +78,7 @@ var drivers = map[string]func() experiments.Table{
 	},
 	"stagethroughput": experiments.StageThroughput,
 	"stagememory":     experiments.StageMemory,
+	"accumsweep":      experiments.AccumSweep,
 }
 
 // order fixes the "all" sequence to the paper's presentation order, with
@@ -82,7 +86,7 @@ var drivers = map[string]func() experiments.Table{
 var order = []string{
 	"fig1", "table1", "table2", "fig2", "fig3", "fig4",
 	"fig5", "fig6", "fig7", "fig8", "commvolume", "ablations",
-	"stagememory", "stagesweep", "stagethroughput",
+	"stagememory", "stagesweep", "stagethroughput", "accumsweep",
 }
 
 func main() {

@@ -1,14 +1,17 @@
 // Command zerotrain runs end-to-end training of a GPT-2-like model on a
-// simulated multi-GPU cluster under a chosen ZeRO configuration, printing
+// simulated multi-GPU cluster through the declarative Engine API, printing
 // loss, throughput of the simulation, per-rank memory accounting and wire
 // traffic. It is the "kick the tires" tool for the library.
 //
-// Examples:
+// The run is described by a JSON config (engine.Config, ds_config-style);
+// every flag overrides the corresponding config field, so a committed
+// config plus a couple of flags covers most experiments:
 //
-//	zerotrain -ranks 4 -stage 2 -steps 50
+//	zerotrain -config examples/quickstart/config.json
+//	zerotrain -config cfg.json -stage 3 -prefetch      (override the stage)
+//	zerotrain -ranks 4 -stage 2 -steps 50              (no config file: flag defaults)
+//	zerotrain -batch 32 -accum 4                       (8-row micro-batches, Step fires every 4th)
 //	zerotrain -ranks 8 -stage 3 -fp16 -checkpoint -clip 1.0
-//	zerotrain -ranks 4 -stage 3 -prefetch         (pipelined parameter all-gathers)
-//	zerotrain -ranks 4 -stage 0 -overlap=false    (seed-style synchronous DDP)
 //	zerotrain -ranks 4 -stage 2 -save ckpt.bin -steps 20
 //	zerotrain -ranks 4 -stage 2 -load ckpt.bin -steps 20
 package main
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/zero"
 )
@@ -28,52 +32,106 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zerotrain: ")
+	def := engine.DefaultConfig()
 	var (
-		ranks      = flag.Int("ranks", 4, "simulated GPU count (DP degree)")
-		stage      = flag.String("stage", "2", "ZeRO stage: 0/ddp, 1/os, 2/os+g, 3/full")
-		layers     = flag.Int("layers", 4, "transformer layers")
-		hidden     = flag.Int("hidden", 64, "hidden width")
-		heads      = flag.Int("heads", 4, "attention heads")
-		vocab      = flag.Int("vocab", 101, "vocabulary size")
-		seq        = flag.Int("seq", 32, "sequence length")
-		batch      = flag.Int("batch", 8, "global batch size (must divide by ranks)")
-		steps      = flag.Int("steps", 30, "training steps")
-		lr         = flag.Float64("lr", 3e-3, "Adam learning rate")
-		clip       = flag.Float64("clip", 0, "gradient clipping norm (0 = off)")
-		fp16       = flag.Bool("fp16", false, "simulate mixed-precision training")
-		checkpoint = flag.Bool("checkpoint", false, "activation checkpointing")
-		bucket     = flag.Int("bucket", 4096, "gradient bucket elements (0 = one bucket per layer group)")
-		overlap    = flag.Bool("overlap", true, "overlap gradient collectives with backward compute (grad stream)")
-		prefetch   = flag.Bool("prefetch", true, "stage 3: pipeline parameter all-gathers on the prefetch stream")
-		nodeSize   = flag.Int("nodesize", 0, "ranks per simulated node: route collectives hierarchically (0 = flat)")
-		seed       = flag.Int64("seed", 7, "init and data seed")
+		configPath = flag.String("config", "", "JSON engine config (engine.Config); flags override its fields")
+		ranks      = flag.Int("ranks", def.Ranks, "simulated GPU count (DP degree)")
+		stage      = flag.String("stage", string(def.Stage), "ZeRO stage: 0/ddp, 1/os, 2/os+g, 3/full")
+		layers     = flag.Int("layers", def.Model.Layers, "transformer layers")
+		hidden     = flag.Int("hidden", def.Model.Hidden, "hidden width")
+		heads      = flag.Int("heads", def.Model.Heads, "attention heads")
+		vocab      = flag.Int("vocab", def.Model.Vocab, "vocabulary size")
+		seq        = flag.Int("seq", def.Model.Seq, "sequence length")
+		batch      = flag.Int("batch", def.GlobalBatch, "global batch size per optimizer step")
+		microB     = flag.Int("micro", def.MicroBatch, "micro-batch size per Forward/Backward (global rows)")
+		accum      = flag.Int("accum", def.GradAccumSteps, "gradient accumulation steps per optimizer step")
+		steps      = flag.Int("steps", 30, "optimizer steps to train")
+		opt        = flag.String("opt", def.Optimizer.Type, "optimizer: adam, sgd or lamb")
+		lr         = flag.Float64("lr", def.Optimizer.LR, "learning rate")
+		clip       = flag.Float64("clip", def.GradClip, "gradient clipping norm (0 = off)")
+		fp16       = flag.Bool("fp16", def.FP16, "simulate mixed-precision training")
+		checkpoint = flag.Bool("checkpoint", def.Checkpoint, "activation checkpointing")
+		bucket     = flag.Int("bucket", def.BucketElems, "gradient bucket elements (0 = one bucket per layer group)")
+		overlap    = flag.Bool("overlap", def.Overlap, "overlap gradient collectives with backward compute (grad stream)")
+		prefetch   = flag.Bool("prefetch", def.Prefetch, "stage 3: pipeline parameter all-gathers on the prefetch stream")
+		depth      = flag.Int("depth", def.PrefetchDepth, "prefetch window in layer groups (1 = one group ahead)")
+		nodeSize   = flag.Int("nodesize", def.NodeSize, "ranks per simulated node: route collectives hierarchically (0 = flat)")
+		seed       = flag.Int64("seed", def.Seed, "init and data seed")
 		savePath   = flag.String("save", "", "write a consolidated checkpoint here after training")
 		loadPath   = flag.String("load", "", "resume from a checkpoint written by -save")
 	)
 	flag.Parse()
 
-	st, err := zero.ParseStage(*stage)
+	cfg := def
+	if *configPath != "" {
+		var err error
+		if cfg, err = engine.LoadConfig(*configPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Explicitly-set flags override the config file field by field; batch
+	// geometry fields that were NOT set are re-derived so a single -batch,
+	// -micro or -accum override stays consistent.
+	var batchSet, microSet, accumSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ranks":
+			cfg.Ranks = *ranks
+		case "stage":
+			cfg.Stage = engine.StageSpec(*stage)
+		case "layers":
+			cfg.Model.Layers = *layers
+		case "hidden":
+			cfg.Model.Hidden = *hidden
+		case "heads":
+			cfg.Model.Heads = *heads
+		case "vocab":
+			cfg.Model.Vocab = *vocab
+		case "seq":
+			cfg.Model.Seq = *seq
+		case "batch":
+			cfg.GlobalBatch, batchSet = *batch, true
+		case "micro":
+			cfg.MicroBatch, microSet = *microB, true
+		case "accum":
+			cfg.GradAccumSteps, accumSet = *accum, true
+		case "opt":
+			cfg.Optimizer.Type = *opt
+		case "lr":
+			cfg.Optimizer.LR = *lr
+		case "clip":
+			cfg.GradClip = *clip
+		case "fp16":
+			cfg.FP16 = *fp16
+		case "checkpoint":
+			cfg.Checkpoint = *checkpoint
+		case "bucket":
+			cfg.BucketElems = *bucket
+		case "overlap":
+			cfg.Overlap = *overlap
+		case "prefetch":
+			cfg.Prefetch = *prefetch
+		case "depth":
+			cfg.PrefetchDepth = *depth
+		case "nodesize":
+			cfg.NodeSize = *nodeSize
+		case "seed":
+			cfg.Seed = *seed
+		}
+	})
+	if (batchSet || accumSet) && !microSet {
+		cfg.MicroBatch = 0 // re-derive from global/accum
+	}
+	if microSet && !batchSet {
+		cfg.GlobalBatch = 0 // re-derive from micro×accum
+	}
+	if batchSet && microSet && !accumSet {
+		cfg.GradAccumSteps = 0 // re-derive from global/micro
+	}
+
+	cfg, err := cfg.Normalized()
 	if err != nil {
 		log.Fatal(err)
-	}
-	cfg := model.Config{Layers: *layers, Hidden: *hidden, Heads: *heads, Vocab: *vocab, Seq: *seq}
-	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
-	}
-	if *batch%*ranks != 0 {
-		log.Fatalf("-batch %d must be divisible by -ranks %d", *batch, *ranks)
-	}
-	opts := zero.Options{
-		Stage:       st,
-		LR:          *lr,
-		Seed:        *seed,
-		BucketElems: *bucket,
-		Overlap:     *overlap,
-		Prefetch:    *prefetch,
-		FP16:        *fp16,
-		Checkpoint:  *checkpoint,
-		ClipNorm:    *clip,
-		Topology:    zero.Topology{NodeSize: *nodeSize},
 	}
 
 	var resume *zero.Snapshot
@@ -82,64 +140,53 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		resume, err = zero.DecodeSnapshot(blob)
-		if err != nil {
+		if resume, err = zero.DecodeSnapshot(blob); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("resuming from %s (opt step %d)\n", *loadPath, resume.OptSteps)
 	}
 
-	psi := cfg.ParamCount()
-	fmt.Printf("model: Ψ=%d params | ranks: %d | stage: %v | fp16: %v | ckpt: %v\n",
-		psi, *ranks, opts.Stage, *fp16, *checkpoint)
+	st, _ := cfg.Stage.Parse()
+	psi := cfg.Model.ParamCount()
+	fmt.Printf("model: Ψ=%d params | ranks: %d | stage: %v | opt: %s | fp16: %v | ckpt: %v\n",
+		psi, cfg.Ranks, st, cfg.Optimizer.Type, cfg.FP16, cfg.Checkpoint)
+	fmt.Printf("batch: %d global = %d micro-batch × %d accumulation steps (accumulator: Ψ/N elems at stages ≥ 1)\n",
+		cfg.GlobalBatch, cfg.MicroBatch, cfg.GradAccumSteps)
 	fmt.Printf("model-state/rank: %.2f MB (baseline DP would be %.2f MB)\n\n",
-		zero.ModelStateBytes(int64(psi), opts.Stage, *ranks)/1e6,
-		zero.ModelStateBytes(int64(psi), zero.StageDP, *ranks)/1e6)
+		zero.ModelStateBytes(int64(psi), st, cfg.Ranks)/1e6,
+		zero.ModelStateBytes(int64(psi), zero.StageDP, cfg.Ranks)/1e6)
 
-	ids, targets := model.SyntheticBatch(*seed, *batch, cfg.Seq, cfg.Vocab)
-	// Validate the topology before spawning ranks so a bad -nodesize is one
-	// clean error, not a mid-step panic (the remaining options are covered
-	// by the flag checks above).
-	if *nodeSize != 0 {
-		if err := comm.CheckNodeSize(*ranks, *nodeSize); err != nil {
-			log.Fatal(err)
-		}
-	}
-	w := comm.NewWorld(*ranks)
+	ids, targets := model.SyntheticBatch(cfg.Seed, cfg.GlobalBatch, cfg.Model.Seq, cfg.Model.Vocab)
 	start := time.Now()
 	var snapBlob []byte
-	w.Run(func(c *comm.Comm) {
-		tr := zero.MustNew(c, cfg, opts)
-		defer tr.Close()
+	w, err := engine.Run(cfg, func(e *engine.Engine) {
 		if resume != nil {
-			snap := resume
-			if c.Size() > 1 {
-				snap = zero.BroadcastSnapshot(c, resume)
-			}
-			if err := tr.Load(snap); err != nil {
+			if err := e.Load(resume); err != nil {
 				log.Fatal(err)
 			}
 		}
 		for s := 0; s < *steps; s++ {
-			loss := tr.Step(ids, targets, *batch)
-			if c.Rank() == 0 && (s == 0 || (s+1)%10 == 0) {
+			loss := e.TrainBatch(ids, targets)
+			if e.Rank() == 0 && (s == 0 || (s+1)%10 == 0) {
 				clipNote := ""
-				if *clip > 0 {
-					clipNote = fmt.Sprintf("  |grad| %.3f", tr.LastGradNorm)
+				if cfg.GradClip > 0 {
+					clipNote = fmt.Sprintf("  |grad| %.3f", e.LastGradNorm())
 				}
 				fmt.Printf("  step %3d  loss %.4f%s\n", s+1, loss, clipNote)
 			}
 		}
 		if *savePath != "" {
-			if snap := tr.Save(); snap != nil {
+			if snap := e.Save(); snap != nil {
 				var err error
-				snapBlob, err = snap.Encode()
-				if err != nil {
+				if snapBlob, err = snap.Encode(); err != nil {
 					log.Fatal(err)
 				}
 			}
 		}
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	elapsed := time.Since(start)
 
 	if *savePath != "" {
@@ -148,7 +195,7 @@ func main() {
 		}
 		fmt.Printf("\ncheckpoint written to %s (%d bytes)\n", *savePath, len(snapBlob))
 	}
-	tokens := int64(*steps) * int64(*batch) * int64(cfg.Seq)
+	tokens := int64(*steps) * int64(cfg.GlobalBatch) * int64(cfg.Model.Seq)
 	st0 := w.Stats(0)
 	fmt.Printf("\n%d steps in %v (%.0f tokens/s simulated)\n",
 		*steps, elapsed.Round(time.Millisecond), float64(tokens)/elapsed.Seconds())
@@ -159,13 +206,13 @@ func main() {
 			fmt.Printf("  stream %-10s %d elems\n", name, elems)
 		}
 	}
-	if opts.Topology.Hierarchical(*ranks) {
+	if (zero.Topology{NodeSize: cfg.NodeSize}).Hierarchical(cfg.Ranks) {
 		intra, inter := st0.PerGroup["hier-intra"], st0.PerGroup["hier-inter"]
 		fmt.Printf("topology (nodes of %d): intra-node %d B, inter-node %d B per rank — %.1fx less crosses the uplink\n",
-			*nodeSize, intra.Bytes, inter.Bytes,
+			cfg.NodeSize, intra.Bytes, inter.Bytes,
 			float64(intra.Bytes+inter.Bytes)/float64(inter.Bytes))
-	} else if *nodeSize != 0 {
-		fmt.Printf("topology: -nodesize %d covers the whole %d-rank world (or a single rank) — flat routing\n",
-			*nodeSize, *ranks)
+	} else if cfg.NodeSize != 0 {
+		fmt.Printf("topology: node_size %d covers the whole %d-rank world (or a single rank) — flat routing\n",
+			cfg.NodeSize, cfg.Ranks)
 	}
 }

@@ -5,14 +5,15 @@
 //
 // The example first plans memory for the paper-scale models (13B on 128
 // V100s), then demonstrates the identical API at laptop scale: the same
-// zero.Trainer call that would drive the 13B run trains a small model
-// across simulated ranks, stage 3 partitioning everything.
+// engine config that would drive the 13B run trains a small model across
+// simulated ranks, stage 3 partitioning everything.
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/comm"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/zero"
 )
@@ -46,21 +47,27 @@ func main() {
 		fmt.Printf("%-8s %9.1f GB  %9.1f GB   %s\n", m.label, base, z, verdict)
 	}
 
-	// Part 2: the same API at laptop scale, with full partitioning (stage 3).
-	fmt.Println("\nTraining a model with zero.Trainer stage 3 (Pos+g+p), 4 ranks:")
-	cfg := model.Config{Layers: 3, Hidden: 48, Heads: 4, Vocab: 67, Seq: 24}
-	ids, targets := model.SyntheticBatch(1, 8, cfg.Seq, cfg.Vocab)
-	w := comm.NewWorld(4)
-	w.Run(func(c *comm.Comm) {
-		tr := zero.MustNew(c, cfg, zero.Options{Stage: zero.StageOSGP, LR: 3e-3, Seed: 11})
+	// Part 2: the same API at laptop scale, with full partitioning (stage
+	// 3) through the declarative engine config — the data scientist writes
+	// a config, not a parallelization strategy.
+	fmt.Println("\nTraining through engine.Initialize at stage 3 (Pos+g+p), 4 ranks:")
+	cfg := engine.DefaultConfig()
+	cfg.Model = model.Config{Layers: 3, Hidden: 48, Heads: 4, Vocab: 67, Seq: 24}
+	cfg.Stage = "3"
+	cfg.Seed = 11
+	cfg.GlobalBatch, cfg.MicroBatch, cfg.GradAccumSteps = 8, 0, 1
+	ids, targets := model.SyntheticBatch(1, cfg.GlobalBatch, cfg.Model.Seq, cfg.Model.Vocab)
+	if _, err := engine.Run(cfg, func(e *engine.Engine) {
 		for s := 0; s < 15; s++ {
-			loss := tr.Step(ids, targets, 8)
-			if c.Rank() == 0 && s%5 == 0 {
-				own := tr.Owned()
+			loss := e.TrainBatch(ids, targets)
+			if e.Rank() == 0 && s%5 == 0 {
+				own := e.Owned()
 				fmt.Printf("  step %2d  loss %.4f  (rank 0 stores params [%d,%d) of %d)\n",
-					s, loss, own.Lo, own.Hi, tr.Model.NumParams())
+					s, loss, own.Lo, own.Hi, e.NumParams())
 			}
 		}
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nNo model refactoring: the model code is identical under DDP and every ZeRO stage.")
 }

@@ -8,6 +8,8 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/model"
 	"repro/internal/perfmodel"
 	"repro/internal/zero"
 )
@@ -72,6 +74,39 @@ func main() {
 		fmt.Printf("  same split on DGX-2 bandwidths -> %.0f GB/s effective per GPU;\n", measuredBW/1e9)
 		fmt.Printf("  at the paper's scale (16-GPU nodes, 25 nodes): %.0f GB/s vs %.1f GB/s flat uplink share\n",
 			hw.HierarchicalDPBandwidth(16, 25)/1e9, hw.InterNodeBWPerGPU/1e9)
+	}
+
+	// Large global batches on fixed memory (§5.2): the batch a 1T run needs
+	// for efficiency far exceeds what fits per device, so the engine
+	// accumulates micro-batches — and because gradients are reduce-scattered
+	// as each micro-batch's buckets complete, the state carried across
+	// micro-batches is the Ψ/N partition, never Ψ. Run it live at miniature
+	// scale and read the residency and wire volume off the simulator.
+	fmt.Println("\nGradient accumulation: k× the global batch on a fixed Ψ/N accumulator:")
+	{
+		cfg := engine.DefaultConfig()
+		cfg.Model = model.Config{Layers: 2, Hidden: 32, Heads: 4, Vocab: 31, Seq: 8}
+		cfg.Ranks = 4
+		cfg.Stage = "2"
+		cfg.Optimizer.LR = 1e-3
+		psiMini := int64(cfg.Model.ParamCount())
+		for _, k := range []int{1, 4} {
+			cfg.GlobalBatch, cfg.MicroBatch, cfg.GradAccumSteps = 4*k, 4, k
+			ids, targets := model.SyntheticBatch(3, cfg.GlobalBatch, cfg.Model.Seq, cfg.Model.Vocab)
+			var accumElems int
+			w, err := engine.Run(cfg, func(e *engine.Engine) {
+				e.TrainBatch(ids, targets)
+				if e.Rank() == 0 {
+					accumElems = e.GradAccumElems()
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  k=%d: global batch %2d, accumulator %d elems (Ψ/N of %d), %6d elems on the wire\n",
+				k, cfg.GlobalBatch, accumElems, psiMini, w.TotalElemsSent())
+		}
+		fmt.Println("  4x the batch, same gradient residency; wire grows (k+1)/2, not 2k/2 as in DDP")
 	}
 
 	fmt.Println("\nCompute-power gap (§9): even fitted, 1T is compute-bound.")

@@ -1,0 +1,305 @@
+// Package engine is the user-facing entry point of the ZeRO reproduction:
+// a declarative, JSON-loadable configuration (the shape of DeepSpeed's
+// ds_config.json) compiled down to the internal zero.Options layer, and a
+// training Engine whose lifecycle is the paper's three-call loop —
+// Forward, Backward, Step — with gradient accumulation across micro-batches
+// (§5.2): Backward reduce-scatters each micro-batch's gradient buckets into
+// the rank's owned partition, and the optimizer fires only on the
+// accumulation boundary.
+//
+// Every command, example and experiment constructs its training run through
+// this one package, so a new knob lands in the config struct once instead
+// of being duplicated as ad-hoc flags and hand-built option structs.
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/zero"
+)
+
+// Sentinel errors for the distinct ways a config can be invalid. Validate
+// (and everything built on it) wraps one of these, so callers distinguish
+// failure classes with errors.Is instead of string matching.
+var (
+	// ErrJSON marks malformed or unknown-field config JSON.
+	ErrJSON = errors.New("engine: malformed config JSON")
+	// ErrModel marks an invalid model shape.
+	ErrModel = errors.New("engine: invalid model")
+	// ErrWorld marks an invalid rank count, or a world whose size does not
+	// match the config at Initialize time.
+	ErrWorld = errors.New("engine: invalid world")
+	// ErrStage marks an unknown ZeRO stage spelling.
+	ErrStage = errors.New("engine: invalid stage")
+	// ErrOptimizer marks an unknown optimizer name or bad hyperparameters.
+	ErrOptimizer = errors.New("engine: invalid optimizer")
+	// ErrBatch marks inconsistent batch geometry: global_batch must equal
+	// grad_accum_steps × micro_batch, and micro_batch must divide by ranks.
+	ErrBatch = errors.New("engine: invalid batch geometry")
+	// ErrTopology marks a node layout the world does not tile into.
+	ErrTopology = errors.New("engine: invalid topology")
+	// ErrSchedule marks bad communication-schedule knobs (negative bucket,
+	// queue depth or prefetch depth).
+	ErrSchedule = errors.New("engine: invalid schedule")
+)
+
+// StageSpec is a ZeRO stage in config form: a JSON number 0-3 or a paper
+// name ("ddp", "os", "os+g", "full", "pos+g+p", ...). The empty value means
+// stage 0 (plain data parallelism), mirroring DeepSpeed's default.
+type StageSpec string
+
+// UnmarshalJSON accepts both `"stage": 2` and `"stage": "os+g"`.
+func (s *StageSpec) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err == nil {
+		*s = StageSpec(str)
+		return nil
+	}
+	var num json.Number
+	if err := json.Unmarshal(b, &num); err == nil {
+		*s = StageSpec(num.String())
+		return nil
+	}
+	return fmt.Errorf("stage must be a number or a string, got %s", b)
+}
+
+// Parse resolves the spec to a zero.Stage.
+func (s StageSpec) Parse() (zero.Stage, error) {
+	if s == "" {
+		return zero.StageDDP, nil
+	}
+	return zero.ParseStage(string(s))
+}
+
+// OptimizerConfig is the "optimizer" block: which update rule drives the
+// owned partition, and its hyperparameters.
+type OptimizerConfig struct {
+	Type        string  `json:"type"` // adam (default) | sgd | lamb
+	LR          float64 `json:"lr"`
+	Momentum    float64 `json:"momentum,omitempty"`     // sgd (0 → 0.9)
+	WeightDecay float64 `json:"weight_decay,omitempty"` // adam / lamb
+}
+
+// Config is the declarative training configuration. Zero values mean "use
+// the documented default"; Validate reports structured errors for every
+// inconsistent combination. The batch geometry follows DeepSpeed's
+// contract: global_batch = grad_accum_steps × micro_batch, with any one of
+// the three derivable from the other two.
+type Config struct {
+	// Model is the transformer shape to train.
+	Model model.Config `json:"model"`
+	// Ranks is the simulated GPU count (the data-parallel degree).
+	Ranks int `json:"ranks"`
+	// Stage selects the ZeRO-DP stage (0-3 or a paper name; default 0).
+	Stage StageSpec `json:"stage,omitempty"`
+	// Optimizer selects adam|sgd|lamb plus hyperparameters.
+	Optimizer OptimizerConfig `json:"optimizer"`
+	// GradClip caps the global gradient L2 norm at the accumulation
+	// boundary (0 disables).
+	GradClip float64 `json:"grad_clip,omitempty"`
+	// FP16 simulates mixed-precision training (§3.1).
+	FP16 bool `json:"fp16,omitempty"`
+	// Checkpoint enables activation checkpointing.
+	Checkpoint bool `json:"activation_checkpoint,omitempty"`
+	// BucketElems is the gradient bucket size in elements (0 = one bucket
+	// per layer group).
+	BucketElems int `json:"bucket_elems,omitempty"`
+	// Overlap rides gradient buckets on the grad stream under backward.
+	Overlap bool `json:"overlap,omitempty"`
+	// Prefetch pipelines stage-3 parameter all-gathers (§7.2.2).
+	Prefetch bool `json:"prefetch,omitempty"`
+	// PrefetchDepth is the pipelining window in layer groups (0/1 = the
+	// classic one-group-ahead schedule).
+	PrefetchDepth int `json:"prefetch_depth,omitempty"`
+	// NodeSize routes collectives hierarchically for worlds laid out as
+	// nodes of NodeSize ranks (0 = flat).
+	NodeSize int `json:"node_size,omitempty"`
+	// QueueDepth overrides the per-stream submission-queue capacity.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// GlobalBatch is the rows per optimizer step across all ranks.
+	GlobalBatch int `json:"global_batch"`
+	// MicroBatch is the rows per Forward/Backward across all ranks; the
+	// engine accumulates GradAccumSteps of them per optimizer step.
+	MicroBatch int `json:"micro_batch,omitempty"`
+	// GradAccumSteps is the number of micro-batches folded into the
+	// partitioned gradient accumulator per optimizer step (default 1).
+	GradAccumSteps int `json:"grad_accum_steps,omitempty"`
+	// Seed drives parameter init and synthetic data.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DefaultConfig is the one constructor every entry point starts from: the
+// stage-2 streamed schedule (overlap + prefetch, fp32 numerics — set FP16
+// for the mixed-precision wire) on a small 4-rank world. cmd/zerotrain's
+// flag defaults, cmd/zerobench's sweep base and the examples all derive
+// from it, so a new knob defaults consistently everywhere.
+func DefaultConfig() Config {
+	return Config{
+		Model:          model.Config{Layers: 4, Hidden: 64, Heads: 4, Vocab: 101, Seq: 32},
+		Ranks:          4,
+		Stage:          "2",
+		Optimizer:      OptimizerConfig{Type: "adam", LR: 3e-3},
+		BucketElems:    4096,
+		Overlap:        true,
+		Prefetch:       true,
+		PrefetchDepth:  1,
+		GlobalBatch:    8,
+		MicroBatch:     8,
+		GradAccumSteps: 1,
+		Seed:           7,
+	}
+}
+
+// ParseConfig decodes a JSON config strictly: unknown fields, trailing
+// data and type mismatches are ErrJSON (catching ds_config-style typos at
+// load time instead of silently training with defaults).
+func ParseConfig(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrJSON, err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("%w: trailing data after the config object", ErrJSON)
+	}
+	return c, nil
+}
+
+// LoadConfig reads and strictly parses a JSON config file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("engine: reading config: %w", err)
+	}
+	c, err := ParseConfig(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Normalized returns the config with derivable batch-geometry fields
+// filled in (the config Initialize actually runs), validating everything
+// and wrapping one sentinel error per failure class.
+func (c Config) Normalized() (Config, error) {
+	if c.Ranks < 1 {
+		return c, fmt.Errorf("%w: ranks %d (want ≥ 1)", ErrWorld, c.Ranks)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return c, fmt.Errorf("%w: %v", ErrModel, err)
+	}
+	if _, err := c.Stage.Parse(); err != nil {
+		return c, fmt.Errorf("%w: %v", ErrStage, err)
+	}
+	if _, err := optimizer.ParseKind(c.Optimizer.Type); err != nil {
+		return c, fmt.Errorf("%w: %v", ErrOptimizer, err)
+	}
+	if c.Optimizer.LR <= 0 {
+		return c, fmt.Errorf("%w: lr %g (want > 0)", ErrOptimizer, c.Optimizer.LR)
+	}
+	if c.Optimizer.Momentum < 0 || c.Optimizer.Momentum >= 1 {
+		return c, fmt.Errorf("%w: momentum %g (want [0,1))", ErrOptimizer, c.Optimizer.Momentum)
+	}
+	if c.Optimizer.WeightDecay < 0 || c.GradClip < 0 {
+		return c, fmt.Errorf("%w: weight_decay %g / grad_clip %g (want ≥ 0)",
+			ErrOptimizer, c.Optimizer.WeightDecay, c.GradClip)
+	}
+	if c.BucketElems < 0 || c.QueueDepth < 0 || c.PrefetchDepth < 0 {
+		return c, fmt.Errorf("%w: bucket_elems %d, queue_depth %d, prefetch_depth %d (want ≥ 0)",
+			ErrSchedule, c.BucketElems, c.QueueDepth, c.PrefetchDepth)
+	}
+	if c.NodeSize < 0 {
+		return c, fmt.Errorf("%w: node_size %d (want ≥ 0)", ErrTopology, c.NodeSize)
+	}
+	if c.NodeSize != 0 {
+		if err := comm.CheckNodeSize(c.Ranks, c.NodeSize); err != nil {
+			return c, fmt.Errorf("%w: %v", ErrTopology, err)
+		}
+	}
+
+	// Batch geometry: global = accum × micro, any one field derivable.
+	switch {
+	case c.GradAccumSteps < 0 || c.MicroBatch < 0 || c.GlobalBatch < 0:
+		return c, fmt.Errorf("%w: negative batch field (global %d, micro %d, accum %d)",
+			ErrBatch, c.GlobalBatch, c.MicroBatch, c.GradAccumSteps)
+	case c.GradAccumSteps == 0 && c.GlobalBatch > 0 && c.MicroBatch > 0:
+		if c.GlobalBatch%c.MicroBatch != 0 {
+			return c, fmt.Errorf("%w: global_batch %d not a multiple of micro_batch %d",
+				ErrBatch, c.GlobalBatch, c.MicroBatch)
+		}
+		c.GradAccumSteps = c.GlobalBatch / c.MicroBatch
+	case c.GradAccumSteps == 0:
+		c.GradAccumSteps = 1
+	}
+	if c.MicroBatch == 0 && c.GlobalBatch > 0 {
+		if c.GlobalBatch%c.GradAccumSteps != 0 {
+			return c, fmt.Errorf("%w: global_batch %d not a multiple of grad_accum_steps %d",
+				ErrBatch, c.GlobalBatch, c.GradAccumSteps)
+		}
+		c.MicroBatch = c.GlobalBatch / c.GradAccumSteps
+	}
+	if c.GlobalBatch == 0 {
+		c.GlobalBatch = c.GradAccumSteps * c.MicroBatch
+	}
+	if c.GlobalBatch <= 0 || c.MicroBatch <= 0 {
+		return c, fmt.Errorf("%w: batch geometry unresolved (global %d, micro %d, accum %d)",
+			ErrBatch, c.GlobalBatch, c.MicroBatch, c.GradAccumSteps)
+	}
+	if c.GradAccumSteps*c.MicroBatch != c.GlobalBatch {
+		return c, fmt.Errorf("%w: grad_accum_steps %d × micro_batch %d = %d, want global_batch %d",
+			ErrBatch, c.GradAccumSteps, c.MicroBatch, c.GradAccumSteps*c.MicroBatch, c.GlobalBatch)
+	}
+	if c.MicroBatch%c.Ranks != 0 {
+		return c, fmt.Errorf("%w: micro_batch %d not divisible by ranks %d",
+			ErrBatch, c.MicroBatch, c.Ranks)
+	}
+	return c, nil
+}
+
+// Validate reports whether the config is runnable, wrapping one of the
+// package's sentinel errors per failure class. It does not mutate c;
+// derivable batch fields may stay zero and are filled at Initialize.
+func (c Config) Validate() error {
+	_, err := c.Normalized()
+	return err
+}
+
+// compile lowers the validated config to the internal zero.Options layer.
+func (c Config) compile() (zero.Options, error) {
+	stage, err := c.Stage.Parse()
+	if err != nil {
+		return zero.Options{}, fmt.Errorf("%w: %v", ErrStage, err)
+	}
+	kind, err := optimizer.ParseKind(c.Optimizer.Type)
+	if err != nil {
+		return zero.Options{}, fmt.Errorf("%w: %v", ErrOptimizer, err)
+	}
+	return zero.Options{
+		Stage:         stage,
+		LR:            c.Optimizer.LR,
+		Seed:          c.Seed,
+		BucketElems:   c.BucketElems,
+		Overlap:       c.Overlap,
+		Prefetch:      c.Prefetch,
+		PrefetchDepth: c.PrefetchDepth,
+		Topology:      zero.Topology{NodeSize: c.NodeSize},
+		QueueDepth:    c.QueueDepth,
+		FP16:          c.FP16,
+		Checkpoint:    c.Checkpoint,
+		ClipNorm:      c.GradClip,
+		Optimizer: optimizer.Spec{
+			Kind:        kind,
+			LR:          c.Optimizer.LR,
+			Momentum:    c.Optimizer.Momentum,
+			WeightDecay: c.Optimizer.WeightDecay,
+		},
+	}, nil
+}

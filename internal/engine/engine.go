@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/zero"
+)
+
+// Engine is one rank of a configured training job: the ZeRO trainer plus
+// the accumulation-boundary bookkeeping of the Forward/Backward/Step loop.
+//
+// The lifecycle contract per micro-batch is
+//
+//	loss := e.Forward(ids, targets) // one micro-batch, sharded across ranks
+//	e.Backward()                    // reduce-scatter into the owned accumulator
+//	fired := e.Step()               // optimizer fires only on the boundary
+//
+// Step returns true on every GradAccumSteps-th call — the accumulation
+// boundary, where the accumulated partitioned gradient is averaged,
+// clipped and consumed by the optimizer. Between boundaries the only
+// cross-micro-batch state is the Ψ/Nd gradient accumulator (§5.2);
+// micro-batch forward/backward workspace is transient.
+type Engine struct {
+	cfg Config
+	c   *comm.Comm
+	tr  *zero.Trainer
+
+	micro   int     // micro-batches since the last boundary
+	lossSum float64 // summed micro losses since the last boundary
+	last    float64 // mean local loss of the last completed boundary
+	steps   int     // optimizer steps fired
+}
+
+// Initialize validates cfg, compiles it down to zero.Options and builds
+// this rank's Engine — the deepspeed.initialize of the reproduction. The
+// same cfg must be passed on every rank of the world.
+func Initialize(c *comm.Comm, cfg Config) (*Engine, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if c.Size() != norm.Ranks {
+		return nil, fmt.Errorf("%w: world has %d ranks, config says %d", ErrWorld, c.Size(), norm.Ranks)
+	}
+	opts, err := norm.compile()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := zero.New(c, norm.Model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: norm, c: c, tr: tr}, nil
+}
+
+// Run simulates a full data-parallel job: it validates cfg once, spins up
+// a world of cfg.Ranks ranks, initializes an Engine per rank and invokes
+// body on each rank's goroutine. The world is returned so callers can read
+// wire statistics after the run.
+func Run(cfg Config, body func(*Engine)) (*comm.World, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	w := comm.NewWorld(norm.Ranks)
+	var mu sync.Mutex
+	var firstErr error
+	w.Run(func(c *comm.Comm) {
+		e, err := Initialize(c, norm)
+		if err != nil {
+			// The config validated above, so per-rank failures are
+			// identical across ranks; every rank returns before any
+			// collective starts.
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		defer e.Close()
+		body(e)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return w, nil
+}
+
+// Config returns the normalized configuration the engine runs (batch
+// geometry fully resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Rank returns this engine's data-parallel rank.
+func (e *Engine) Rank() int { return e.c.Rank() }
+
+// Size returns the data-parallel degree.
+func (e *Engine) Size() int { return e.c.Size() }
+
+// Stage returns the configured ZeRO stage.
+func (e *Engine) Stage() zero.Stage { return e.tr.Stage() }
+
+// Forward runs one micro-batch's forward pass (MicroBatch rows across the
+// group, row-major ids/targets; this rank computes its shard) and returns
+// the local loss.
+func (e *Engine) Forward(ids, targets []int) float64 {
+	mb := e.cfg.MicroBatch
+	if len(ids) != len(targets) || len(ids) == 0 || len(ids)%mb != 0 || len(ids)/mb > e.cfg.Model.Seq {
+		panic(fmt.Sprintf("engine: Forward wants micro_batch %d × seq ≤ %d tokens, got %d",
+			mb, e.cfg.Model.Seq, len(ids)))
+	}
+	loss := e.tr.Forward(ids, targets, mb)
+	e.lossSum += loss
+	return loss
+}
+
+// Backward runs the micro-batch's backward pass and folds its
+// reduce-scattered gradient into the owned accumulator.
+func (e *Engine) Backward() { e.tr.Backward() }
+
+// Step advances the accumulation counter and, on the boundary (every
+// GradAccumSteps-th call), averages the accumulated gradient, applies
+// clipping, runs the optimizer and re-materializes parameters. It returns
+// whether the optimizer fired. Panics when called without a completed
+// Forward/Backward pair since the previous Step.
+func (e *Engine) Step() bool {
+	if e.tr.AccumulatedMicros() != e.micro+1 {
+		panic("engine: Step without a preceding Forward/Backward")
+	}
+	e.micro++
+	if e.micro < e.cfg.GradAccumSteps {
+		return false
+	}
+	e.tr.Update()
+	e.last = e.lossSum / float64(e.micro)
+	e.micro = 0
+	e.lossSum = 0
+	e.steps++
+	return true
+}
+
+// TrainBatch runs one full global batch — GradAccumSteps micro-batches of
+// MicroBatch rows, sliced row-major from ids/targets — through the
+// Forward/Backward/Step lifecycle and returns the mean local loss at the
+// boundary. It is the one-call convenience for data already materialized
+// at global-batch granularity.
+func (e *Engine) TrainBatch(ids, targets []int) float64 {
+	if e.micro != 0 {
+		panic("engine: TrainBatch mid-accumulation")
+	}
+	if len(ids) != len(targets) || len(ids) == 0 || len(ids)%e.cfg.GlobalBatch != 0 {
+		panic(fmt.Sprintf("engine: TrainBatch wants global_batch %d × seq tokens, got %d",
+			e.cfg.GlobalBatch, len(ids)))
+	}
+	seqLen := len(ids) / e.cfg.GlobalBatch
+	mt := e.cfg.MicroBatch * seqLen
+	for j := 0; j < e.cfg.GradAccumSteps; j++ {
+		e.Forward(ids[j*mt:(j+1)*mt], targets[j*mt:(j+1)*mt])
+		e.Backward()
+		e.Step()
+	}
+	return e.BatchLoss()
+}
+
+// BatchLoss returns the mean local loss of the last completed accumulation
+// boundary (0 before the first).
+func (e *Engine) BatchLoss() float64 { return e.last }
+
+// Steps returns how many optimizer steps have fired.
+func (e *Engine) Steps() int { return e.steps }
+
+// MicroSteps reports the micro-batches accumulated since the last boundary.
+func (e *Engine) MicroSteps() int { return e.micro }
+
+// LastGradNorm returns the pre-clipping global gradient norm of the most
+// recent boundary (when grad_clip is enabled).
+func (e *Engine) LastGradNorm() float64 { return e.tr.LastGradNorm }
+
+// Owned returns this rank's partition of the flat parameter space.
+func (e *Engine) Owned() comm.Range { return e.tr.Owned() }
+
+// NumParams returns the model's flat parameter count Ψ.
+func (e *Engine) NumParams() int { return e.tr.Model.NumParams() }
+
+// ModelStateBytes returns this rank's resident model-state bytes under the
+// §3.1 accounting for the configured stage.
+func (e *Engine) ModelStateBytes() int64 { return e.tr.ModelStateBytes() }
+
+// GradAccumElems returns the element count of the persistent gradient
+// accumulator (Ψ/Nd at the partitioned stages, independent of
+// GradAccumSteps — the §5.2 memory property).
+func (e *Engine) GradAccumElems() int { return e.tr.GradAccumElems() }
+
+// Save consolidates the partitioned training state to rank 0 (other ranks
+// return nil). Collective; call on an accumulation boundary.
+func (e *Engine) Save() *zero.Snapshot { return e.tr.Save() }
+
+// Load restores a snapshot into this rank (see zero.Trainer.Load) and
+// resets the accumulation boundary: any half-accumulated micro-batches are
+// discarded along with the trainer's accumulator, so the next Forward
+// starts a fresh cycle.
+func (e *Engine) Load(s *zero.Snapshot) error {
+	if err := e.tr.Load(s); err != nil {
+		return err
+	}
+	e.micro = 0
+	e.lossSum = 0
+	return nil
+}
+
+// Trainer exposes the underlying zero.Trainer for internal callers that
+// tune scheduling knobs between steps (bench harnesses, experiments).
+func (e *Engine) Trainer() *zero.Trainer { return e.tr }
+
+// Close releases the engine's stream workers.
+func (e *Engine) Close() { e.tr.Close() }

@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/zero"
+)
+
+// testEngineConfig is a small accumulating stage-2 job used across the
+// lifecycle tests.
+func testEngineConfig() Config {
+	c := DefaultConfig()
+	c.Model = model.Config{Layers: 2, Hidden: 16, Heads: 2, Vocab: 19, Seq: 8}
+	c.Ranks = 2
+	c.Optimizer.LR = 1e-3
+	c.GlobalBatch, c.MicroBatch, c.GradAccumSteps = 8, 4, 2
+	c.BucketElems = 193
+	return c
+}
+
+// The Step contract: the optimizer fires exactly on every
+// GradAccumSteps-th call, BatchLoss materializes at the boundary, and the
+// micro counter resets.
+func TestEngineStepFiresOnBoundary(t *testing.T) {
+	cfg := testEngineConfig()
+	cfg.GradAccumSteps, cfg.MicroBatch, cfg.GlobalBatch = 3, 4, 12
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, targets := model.SyntheticBatch(3, norm.MicroBatch, norm.Model.Seq, norm.Model.Vocab)
+	_, err = Run(norm, func(e *Engine) {
+		for b := 0; b < 2; b++ {
+			for j := 0; j < norm.GradAccumSteps; j++ {
+				loss := e.Forward(ids, targets)
+				e.Backward()
+				fired := e.Step()
+				if want := j == norm.GradAccumSteps-1; fired != want {
+					t.Errorf("boundary %d micro %d: Step fired=%v, want %v", b, j, fired, want)
+				}
+				if fired && e.Rank() == 0 {
+					if e.BatchLoss() == 0 || loss == 0 {
+						t.Error("BatchLoss not materialized at the boundary")
+					}
+					if e.MicroSteps() != 0 {
+						t.Error("micro counter did not reset at the boundary")
+					}
+				}
+			}
+		}
+		if e.Steps() != 2 {
+			t.Errorf("Steps() = %d, want 2", e.Steps())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TrainBatch == the explicit Forward/Backward/Step loop, and the engine
+// actually trains (the boundary loss descends).
+func TestEngineTrainBatchDescends(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, targets := model.SyntheticBatch(3, norm.GlobalBatch, norm.Model.Seq, norm.Model.Vocab)
+	var first, last float64
+	_, err = Run(norm, func(e *Engine) {
+		for s := 0; s < 10; s++ {
+			l := e.TrainBatch(ids, targets)
+			if e.Rank() == 0 {
+				if s == 0 {
+					first = l
+				}
+				last = l
+			}
+		}
+		// The accumulator is the owned partition, independent of k.
+		if got, want := e.GradAccumElems(), e.Owned().Len(); got != want {
+			t.Errorf("rank %d: GradAccumElems = %d, want %d", e.Rank(), got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Errorf("accumulated training did not descend: %v -> %v", first, last)
+	}
+}
+
+// Engine training with accumulation is race-clean under the overlapped +
+// prefetched schedule (run with -race in the module's race gate): stage 3,
+// all streams armed, two boundaries.
+func TestEngineAccumOverlapPrefetchRace(t *testing.T) {
+	cfg := testEngineConfig()
+	cfg.Stage = "3"
+	cfg.Overlap, cfg.Prefetch, cfg.PrefetchDepth = true, true, 2
+	cfg.FP16 = true
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, targets := model.SyntheticBatch(9, norm.GlobalBatch, norm.Model.Seq, norm.Model.Vocab)
+	if _, err := Run(norm, func(e *Engine) {
+		for s := 0; s < 2; s++ {
+			e.TrainBatch(ids, targets)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Step without a Forward/Backward pair is a programming error.
+func TestEngineStepWithoutBackwardPanics(t *testing.T) {
+	cfg := testEngineConfig()
+	if _, err := Run(cfg, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic from Step without Backward")
+			}
+		}()
+		e.Step()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Initialize rejects a world whose size disagrees with the config.
+func TestInitializeWorldMismatch(t *testing.T) {
+	cfg := testEngineConfig() // says 2 ranks
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		if _, err := Initialize(c, cfg); !errors.Is(err, ErrWorld) {
+			t.Errorf("Initialize on wrong-sized world: err = %v, want ErrWorld", err)
+		}
+	})
+}
+
+// Run surfaces config errors instead of spawning a world.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := testEngineConfig()
+	cfg.Optimizer.Type = "adafactor"
+	if _, err := Run(cfg, func(*Engine) { t.Error("body must not run") }); !errors.Is(err, ErrOptimizer) {
+		t.Errorf("Run error = %v, want ErrOptimizer", err)
+	}
+}
+
+// Save/Load through the engine: an accumulating run checkpoints at a
+// boundary and resumes bitwise (the trainer-level guarantee surfaced
+// through the Engine API).
+func TestEngineSaveLoadResume(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, targets := model.SyntheticBatch(3, norm.GlobalBatch, norm.Model.Seq, norm.Model.Vocab)
+
+	var ref float64
+	if _, err := Run(norm, func(e *Engine) {
+		var l float64
+		for s := 0; s < 5; s++ {
+			l = e.TrainBatch(ids, targets)
+		}
+		if e.Rank() == 0 {
+			ref = l
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var blob []byte
+	if _, err := Run(norm, func(e *Engine) {
+		for s := 0; s < 2; s++ {
+			e.TrainBatch(ids, targets)
+		}
+		if snap := e.Save(); snap != nil {
+			blob, _ = snap.Encode()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumed float64
+	if _, err := Run(norm, func(e *Engine) {
+		snap, err := zero.DecodeSnapshot(blob)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := e.Load(snap); err != nil {
+			t.Error(err)
+			return
+		}
+		var l float64
+		for s := 0; s < 3; s++ {
+			l = e.TrainBatch(ids, targets)
+		}
+		if e.Rank() == 0 {
+			resumed = l
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed != ref {
+		t.Errorf("resumed boundary loss %.17g != uninterrupted %.17g", resumed, ref)
+	}
+}

@@ -4,41 +4,61 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/comm"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
 	"repro/internal/zero"
 )
 
-// StageSweepConfig parameterizes the measured stage sweep (cmd/zerobench's
-// -stage/-bucket/-ranks/-nodesize flags land here).
+// StageSweepConfig parameterizes the measured stage sweep. Base is an
+// engine.Config — the one constructor every entry point shares — so
+// cmd/zerobench's -stage/-bucket/-ranks/-nodesize flags mutate the same
+// struct zerotrain and the examples run, and a new knob cannot silently
+// diverge between them. The sweep derives its global batch (2 rows per
+// rank) and fixes k=1; AccumSweep covers the accumulation axis.
 type StageSweepConfig struct {
-	Ranks       int
-	Steps       int
-	BucketElems int
-	Stages      []zero.Stage // nil sweeps all four
-	// NodeSize routes the ZeRO rows' collectives hierarchically (nodes of
-	// NodeSize ranks); 0 keeps them flat. The table then reports the
-	// measured intra/inter-node byte split next to the closed-form
-	// prediction mult·(Ψ/S)·(M-1)/M (fp16 bytes), where mult is the
-	// stage's pass count (2, or 3 for Pos+g+p).
-	NodeSize int
+	// Base carries the shared knobs: Ranks, BucketElems, NodeSize, seed.
+	Base engine.Config
+	// Steps is the measured optimizer steps per row.
+	Steps int
+	// Stages restricts the sweep (nil sweeps all four).
+	Stages []zero.Stage
 }
 
 // DefaultStageSweep is the configuration zerobench uses when no flags are
 // given: all four stages on a 4-rank world.
 func DefaultStageSweep() StageSweepConfig {
-	return StageSweepConfig{Ranks: 4, Steps: 3, BucketElems: 4096}
+	base := engine.DefaultConfig()
+	base.Model = model.Config{Layers: 3, Hidden: 32, Heads: 4, Vocab: 31, Seq: 8}
+	base.Optimizer.LR = 1e-3
+	base.Seed = 1
+	base.NodeSize = 0
+	return StageSweepConfig{Base: base, Steps: 3}
+}
+
+// sweepRow builds one row's engine config from the shared base.
+func (sc StageSweepConfig) sweepRow(stage zero.Stage, fp16, overlap, prefetch bool, bucket int) engine.Config {
+	cfg := sc.Base
+	cfg.Stage = engine.StageSpec(fmt.Sprint(int(stage)))
+	cfg.FP16 = fp16
+	cfg.Overlap = overlap
+	cfg.Prefetch = prefetch
+	cfg.BucketElems = bucket
+	cfg.GlobalBatch = 2 * cfg.Ranks
+	cfg.MicroBatch = cfg.GlobalBatch
+	cfg.GradAccumSteps = 1
+	return cfg
 }
 
 // StageSweep measures the unified Stage API end to end on the real
-// engines: for each ZeRO-DP stage it trains a small model and reports the
-// wire traffic per rank per step — elements counted by the collectives and
-// bytes counted *natively* by the dtype-tagged buffers (comm.Stats records
-// each op at its Buffer's wire width, so the fp16 column is measured, not
-// elems × convention) — and the wall-clock of the synchronous schedule
-// versus the streamed schedule (grad-stream bucket overlap, plus prefetch
-// of the stage-3 parameter gathers).
+// engines: for each ZeRO-DP stage it trains a small model through
+// engine.Initialize and reports the wire traffic per rank per step —
+// elements counted by the collectives and bytes counted *natively* by the
+// dtype-tagged buffers (comm.Stats records each op at its Buffer's wire
+// width, so the fp16 column is measured, not elems × convention) — and the
+// wall-clock of the synchronous schedule versus the streamed schedule
+// (grad-stream bucket overlap, plus prefetch of the stage-3 parameter
+// gathers).
 //
 // The seed baseline row is the pre-Stage-API synchronous path: replicated
 // DP whose gradients cross the wire in fp32 (4 bytes/element, the only
@@ -47,8 +67,8 @@ func DefaultStageSweep() StageSweepConfig {
 // which is why every stage, including Pos+g, moves fewer bytes per step
 // than the seed path even when the element counts match.
 func StageSweep(sc StageSweepConfig) Table {
-	if sc.Ranks <= 0 {
-		sc.Ranks = 4
+	if sc.Base.Ranks <= 0 {
+		sc.Base.Ranks = 4
 	}
 	if sc.Steps <= 0 {
 		sc.Steps = 3
@@ -57,30 +77,31 @@ func StageSweep(sc StageSweepConfig) Table {
 	if len(stages) == 0 {
 		stages = zero.AllStages
 	}
-	cfg := model.Config{Layers: 3, Hidden: 32, Heads: 4, Vocab: 31, Seq: 8}
+	cfg := sc.Base.Model
 	psi := int64(cfg.ParamCount())
-	batch := 2 * sc.Ranks
+	ranks := sc.Base.Ranks
+	batch := 2 * ranks
 	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
-	hier := zero.Topology{NodeSize: sc.NodeSize}.Hierarchical(sc.Ranks)
+	hier := zero.Topology{NodeSize: sc.Base.NodeSize}.Hierarchical(ranks)
 
 	// run returns per-rank elements, native bytes and inter-node bytes sent
 	// per step, and the mean step time.
-	run := func(opts zero.Options) (elemsPerRankStep, bytesPerRankStep, interBytesPerRankStep float64, stepTime time.Duration) {
-		w := comm.NewWorld(sc.Ranks)
+	run := func(rowCfg engine.Config) (elemsPerRankStep, bytesPerRankStep, interBytesPerRankStep float64, stepTime time.Duration) {
 		start := time.Now()
-		w.Run(func(c *comm.Comm) {
-			tr := zero.MustNew(c, cfg, opts)
-			defer tr.Close()
+		w, err := engine.Run(rowCfg, func(e *engine.Engine) {
 			for s := 0; s < sc.Steps; s++ {
-				tr.Step(ids, targets, batch)
+				e.TrainBatch(ids, targets)
 			}
 		})
+		if err != nil {
+			panic(fmt.Sprintf("stagesweep: %v", err))
+		}
 		elapsed := time.Since(start)
 		var interBytes int64
-		for r := 0; r < sc.Ranks; r++ {
+		for r := 0; r < ranks; r++ {
 			interBytes += w.Stats(r).PerGroup["hier-inter"].Bytes
 		}
-		perRankStep := float64(sc.Ranks * sc.Steps)
+		perRankStep := float64(ranks * sc.Steps)
 		return float64(w.TotalElemsSent()) / perRankStep,
 			float64(w.TotalBytesSent()) / perRankStep,
 			float64(interBytes) / perRankStep,
@@ -88,23 +109,18 @@ func StageSweep(sc StageSweepConfig) Table {
 	}
 
 	// Seed baseline: synchronous replicated DP, fp32 wire, unbucketed, flat.
-	seedElems, seedBytes, _, seedTime := run(zero.Options{Stage: zero.StageDDP, LR: 1e-3, Seed: 1})
+	seedCfg := sc.sweepRow(zero.StageDDP, false, false, false, 0)
+	seedCfg.NodeSize = 0
+	seedElems, seedBytes, _, seedTime := run(seedCfg)
 
 	rows := [][]string{{
 		"seed sync DP", "fp32", fmtF(seedElems, 0), fmtF(seedBytes, 0), "1.00x", "-", "-",
 		fmt.Sprint(seedTime.Round(time.Microsecond)), "-", "-",
 	}}
 	for _, st := range stages {
-		base := zero.Options{
-			Stage: st, LR: 1e-3, Seed: 1, FP16: true, BucketElems: sc.BucketElems,
-		}
-		if hier {
-			base.Topology = zero.Topology{NodeSize: sc.NodeSize}
-		}
+		base := sc.sweepRow(st, true, false, false, sc.Base.BucketElems)
 		elems, bytes, interBytes, syncTime := run(base)
-		over := base
-		over.Overlap = true
-		over.Prefetch = true // pipelines the stage-3 gathers; no-op below stage 3
+		over := sc.sweepRow(st, true, true, true, sc.Base.BucketElems)
 		_, _, _, overTime := run(over)
 		interMeas, interPred := "-", "-"
 		if hier {
@@ -114,7 +130,7 @@ func StageSweep(sc StageSweepConfig) Table {
 			if st == zero.StageFull {
 				mult = 3.0
 			}
-			_, interElems := perfmodel.HierarchicalSplit(psi, sc.NodeSize, sc.Ranks/sc.NodeSize)
+			_, interElems := perfmodel.HierarchicalSplit(psi, sc.Base.NodeSize, ranks/sc.Base.NodeSize)
 			interMeas = fmtF(interBytes, 0)
 			interPred = fmtF(mult*interElems*2, 0)
 		}
@@ -132,15 +148,15 @@ func StageSweep(sc StageSweepConfig) Table {
 	if hier {
 		topoNote = fmt.Sprintf("hierarchical topology: M=%d nodes of S=%d ranks; inter-node prediction\n"+
 			"is mult·(Ψ/S)·(M-1)/M fp16 bytes per rank per step (mult=2, or 3 at Pos+g+p)",
-			sc.Ranks/sc.NodeSize, sc.NodeSize)
+			ranks/sc.Base.NodeSize, sc.Base.NodeSize)
 	}
 	return Table{
 		Title: "Stage sweep: wire traffic and step time per ZeRO-DP stage",
 		Note: fmt.Sprintf("Ψ=%d params, N=%d ranks, bucket=%d elems; bytes measured natively by\n"+
 			"dtype-tagged buffers (fp16 = 2 B/elem on the wire); %s.\n"+
 			"Step times are wall-clock of this run (overlap = grad-stream buckets + stage-3\n"+
-			"prefetch stream).",
-			psi, sc.Ranks, sc.BucketElems, topoNote),
+			"prefetch stream). All rows run through engine.Initialize.",
+			psi, ranks, sc.Base.BucketElems, topoNote),
 		Header: []string{"System", "Wire", "Elems/rank/step", "Bytes/rank/step (measured)", "vs seed",
 			"Inter-B/rank/step", "Inter-B predicted", "Step (sync)", "Step (overlap)", "Speedup"},
 		Rows: rows,

@@ -13,13 +13,14 @@ package model
 
 import "fmt"
 
-// Config describes a transformer architecture.
+// Config describes a transformer architecture. The JSON tags are the
+// "model" block of the declarative engine config (internal/engine).
 type Config struct {
-	Layers int // transformer blocks
-	Hidden int // embedding width h
-	Heads  int // attention heads (must divide Hidden)
-	Vocab  int // token vocabulary
-	Seq    int // maximum sequence length (position table size)
+	Layers int `json:"layers"` // transformer blocks
+	Hidden int `json:"hidden"` // embedding width h
+	Heads  int `json:"heads"`  // attention heads (must divide Hidden)
+	Vocab  int `json:"vocab"`  // token vocabulary
+	Seq    int `json:"seq"`    // maximum sequence length (position table size)
 }
 
 // Validate reports configuration errors.

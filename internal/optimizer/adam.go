@@ -79,19 +79,19 @@ func (a *Adam) Step(params, grads []float32) {
 // Steps returns the number of updates applied so far.
 func (a *Adam) Steps() int { return a.t }
 
-// State exposes the live momentum and variance buffers, in parameter
-// order. Checkpointing gathers these across ZeRO shards; mutate only when
+// State exposes the live momentum and variance buffers, in that order.
+// Checkpointing gathers these across ZeRO shards; mutate only when
 // restoring.
-func (a *Adam) State() (m, v []float32) { return a.m, a.v }
+func (a *Adam) State() [][]float32 { return [][]float32{a.m, a.v} }
 
 // Restore overwrites the optimizer state (momentum, variance, step count),
-// e.g. when resuming from a checkpoint. Slice lengths must match Len().
-func (a *Adam) Restore(m, v []float32, steps int) {
-	if len(m) != len(a.m) || len(v) != len(a.v) {
-		panic("optimizer: Adam.Restore length mismatch")
+// e.g. when resuming from a checkpoint. The shape must match State()'s.
+func (a *Adam) Restore(state [][]float32, steps int) {
+	if len(state) != 2 || len(state[0]) != len(a.m) || len(state[1]) != len(a.v) {
+		panic("optimizer: Adam.Restore shape mismatch")
 	}
-	copy(a.m, m)
-	copy(a.v, v)
+	copy(a.m, state[0])
+	copy(a.v, state[1])
 	a.t = steps
 }
 
@@ -147,6 +147,7 @@ type SGD struct {
 	LR       float64
 	Momentum float64
 	buf      []float32
+	t        int
 }
 
 // NewSGD creates a momentum-SGD instance managing n parameters.
@@ -154,11 +155,15 @@ func NewSGD(n int, lr, momentum float64) *SGD {
 	return &SGD{LR: lr, Momentum: momentum, buf: make([]float32, n)}
 }
 
+// Len returns the number of parameters this instance manages.
+func (s *SGD) Len() int { return len(s.buf) }
+
 // Step applies one SGD update.
 func (s *SGD) Step(params, grads []float32) {
 	if len(params) != len(s.buf) || len(grads) != len(s.buf) {
 		panic("optimizer: SGD.Step length mismatch")
 	}
+	s.t++
 	mu := float32(s.Momentum)
 	lr := float32(s.LR)
 	for i, g := range grads {
@@ -167,5 +172,20 @@ func (s *SGD) Step(params, grads []float32) {
 	}
 }
 
+// Steps returns the number of updates applied so far.
+func (s *SGD) Steps() int { return s.t }
+
 // StateBytes returns the SGD state footprint (one fp32 buffer).
 func (s *SGD) StateBytes() int64 { return int64(len(s.buf)) * tensor.BytesPerFloat32 }
+
+// State exposes the live momentum buffer.
+func (s *SGD) State() [][]float32 { return [][]float32{s.buf} }
+
+// Restore overwrites the momentum buffer and step count.
+func (s *SGD) Restore(state [][]float32, steps int) {
+	if len(state) != 1 || len(state[0]) != len(s.buf) {
+		panic("optimizer: SGD.Restore shape mismatch")
+	}
+	copy(s.buf, state[0])
+	s.t = steps
+}

@@ -63,3 +63,46 @@ func TestHierarchicalDPBandwidthConvergesToHarmonic(t *testing.T) {
 		t.Error("single-GPU layout must return intra-node bandwidth")
 	}
 }
+
+// The depth-k prefetch window model: depth ≤ 1 is the classic assumed
+// window (golden compatibility), deeper windows increase monotonically
+// toward the gradient-overlap ceiling, and a measured GatherWindow
+// overrides the model entirely.
+func TestPrefetchWindowDepthModel(t *testing.T) {
+	base := ZeROConfig{Stage: 3, Prefetch: true}
+	if w := base.PrefetchWindow(); w != gatherOverlapWindow {
+		t.Errorf("depth 0 window %v, want the assumed %v", w, gatherOverlapWindow)
+	}
+	prev := base.PrefetchWindow()
+	for d := 2; d <= 8; d *= 2 {
+		z := base
+		z.PrefetchDepth = d
+		w := z.PrefetchWindow()
+		if w <= prev || w >= dpOverlapWindow {
+			t.Errorf("depth %d window %v: want monotonically rising below %v (prev %v)",
+				d, w, dpOverlapWindow, prev)
+		}
+		prev = w
+	}
+	meas := ZeROConfig{Stage: 3, Prefetch: true, PrefetchDepth: 4, GatherWindow: 0.42}
+	if w := meas.PrefetchWindow(); w != 0.42 {
+		t.Errorf("measured override window %v, want 0.42", w)
+	}
+	// A deeper window must shrink the exposed gather time in Estimate. Use
+	// a bandwidth-starved cluster so the gathers cannot fully hide at
+	// depth 1 (on DGX-2 they do, which is the §7.2.2 design point).
+	slow := DGX2()
+	slow.IntraNodeBW = 2e9
+	slow.InterNodeBWPerGPU = 0.5e9
+	mk := func(depth int) Breakdown {
+		return Estimate(slow, Config{
+			Shape: GPT2Like(48, 1600, 16), MP: 1, DP: 64, MicroBatch: 1,
+			ZeRO: ZeROConfig{Stage: 3, Prefetch: true, PrefetchDepth: depth},
+		})
+	}
+	d1, d4 := mk(1), mk(4)
+	if d1.ExposedGatherSec <= 0 || d4.ExposedGatherSec >= d1.ExposedGatherSec {
+		t.Errorf("depth 4 exposed gather %v not below depth 1's %v (want both positive, deeper smaller)",
+			d4.ExposedGatherSec, d1.ExposedGatherSec)
+	}
+}

@@ -9,10 +9,10 @@ import (
 	"repro/internal/tensor"
 )
 
-// Snapshot is a full training checkpoint: parameters plus the Adam state
-// that ZeRO keeps partitioned across ranks. Save gathers the shards to
-// rank 0 (the "consolidated checkpoint" operation of ZeRO systems — under
-// partitioning no single rank holds the whole optimizer state, so
+// Snapshot is a full training checkpoint: parameters plus the optimizer
+// state that ZeRO keeps partitioned across ranks. Save gathers the shards
+// to rank 0 (the "consolidated checkpoint" operation of ZeRO systems —
+// under partitioning no single rank holds the whole optimizer state, so
 // checkpointing is itself a collective).
 type Snapshot struct {
 	Stage     Stage
@@ -21,15 +21,28 @@ type Snapshot struct {
 	OptSteps  int
 
 	Params []float32 // fp32 master parameters (full)
-	AdamM  []float32 // first-moment estimates (full)
-	AdamV  []float32 // second-moment estimates (full)
+	// Opt holds the optimizer's state tensors, each NumParams long, in the
+	// optimizer's State() order: momentum and variance for Adam/LAMB, the
+	// single momentum buffer for SGD.
+	Opt [][]float32
+
+	// AdamM/AdamV are the legacy field names of the Adam-only snapshot
+	// format; DecodeSnapshot folds them into Opt so checkpoints written
+	// before the optimizer interface still load.
+	AdamM, AdamV []float32
 }
 
 // Save gathers this world's partitioned training state to rank 0 and
 // returns the snapshot there; other ranks return nil. Every rank must
 // call Save collectively. At stage 0 every rank already holds the full
 // state, so rank 0 snapshots locally and no communication happens.
+// Save must be called on an accumulation boundary (right after Update);
+// it panics if micro-gradients are pending in the accumulator, because a
+// checkpoint cannot represent a half-accumulated batch.
 func (t *Trainer) Save() *Snapshot {
+	if t.accumMicros != 0 {
+		panic("zero: Save mid-accumulation (call on an Update boundary)")
+	}
 	n := t.Model.NumParams()
 	dom := t.optimizerDomain()
 
@@ -39,24 +52,27 @@ func (t *Trainer) Save() *Snapshot {
 	if t.opts.FP16 {
 		paramShard = t.master
 	}
-	m, v := t.opt.State()
+	state := t.opt.State()
 
 	if t.stage == StageDDP {
 		if t.c.Rank() != 0 {
 			return nil
 		}
-		return &Snapshot{
+		snap := &Snapshot{
 			Stage:     t.stage,
 			WorldSize: t.c.Size(),
 			NumParams: n,
 			OptSteps:  t.opt.Steps(),
 			Params:    append([]float32(nil), paramShard...),
-			AdamM:     append([]float32(nil), m...),
-			AdamV:     append([]float32(nil), v...),
 		}
+		for _, s := range state {
+			snap.Opt = append(snap.Opt, append([]float32(nil), s...))
+		}
+		return snap
 	}
 
 	root := 0
+	locals := append([][]float32{paramShard}, state...)
 	if t.c.Rank() == root {
 		snap := &Snapshot{
 			Stage:     t.opts.Stage,
@@ -64,36 +80,36 @@ func (t *Trainer) Save() *Snapshot {
 			NumParams: n,
 			OptSteps:  t.opt.Steps(),
 			Params:    make([]float32, n),
-			AdamM:     make([]float32, n),
-			AdamV:     make([]float32, n),
+			Opt:       make([][]float32, len(state)),
 		}
-		for _, buf := range []struct {
-			dst   []float32
-			local []float32
-		}{
-			{snap.Params, paramShard}, {snap.AdamM, m}, {snap.AdamV, v},
-		} {
+		for i := range snap.Opt {
+			snap.Opt[i] = make([]float32, n)
+		}
+		full := append([][]float32{snap.Params}, snap.Opt...)
+		for i, local := range locals {
 			out := make([][]float32, t.c.Size())
-			t.c.Gather(buf.local, root, out)
+			t.c.Gather(local, root, out)
 			for r, shard := range out {
 				p := t.parts[r]
-				copy(buf.dst[p.Lo:p.Hi], shard)
+				copy(full[i][p.Lo:p.Hi], shard)
 			}
 		}
 		return snap
 	}
-	for _, local := range [][]float32{paramShard, m, v} {
+	for _, local := range locals {
 		t.c.Gather(local, root, nil)
 	}
 	return nil
 }
 
 // Load restores a snapshot into this rank: the owned shard of the master
-// parameters and Adam state, plus the replicated (or gathered-on-demand)
-// parameter copy. Every rank must receive the same snapshot — use
-// BroadcastSnapshot after reading it on one rank. The snapshot's world
-// size need not match: repartitioning happens naturally because the state
-// is stored unpartitioned (ZeRO elasticity).
+// parameters and optimizer state, plus the replicated (or
+// gathered-on-demand) parameter copy. Every rank must receive the same
+// snapshot — use BroadcastSnapshot after reading it on one rank. The
+// snapshot's world size need not match: repartitioning happens naturally
+// because the state is stored unpartitioned (ZeRO elasticity). The
+// optimizer kind must match the one that wrote the snapshot (the state
+// tensor count is checked).
 func (t *Trainer) Load(s *Snapshot) error {
 	if s == nil {
 		return fmt.Errorf("zero: Load of nil snapshot")
@@ -101,8 +117,19 @@ func (t *Trainer) Load(s *Snapshot) error {
 	if s.NumParams != t.Model.NumParams() {
 		return fmt.Errorf("zero: snapshot has %d params, model has %d", s.NumParams, t.Model.NumParams())
 	}
+	if len(s.Opt) != len(t.opt.State()) {
+		return fmt.Errorf("zero: snapshot has %d optimizer state tensors, optimizer expects %d (different optimizer kind?)",
+			len(s.Opt), len(t.opt.State()))
+	}
 	dom := t.optimizerDomain()
-	t.opt.Restore(s.AdamM[dom.Lo:dom.Hi], s.AdamV[dom.Lo:dom.Hi], s.OptSteps)
+	shards := make([][]float32, len(s.Opt))
+	for i, full := range s.Opt {
+		if len(full) != s.NumParams {
+			return fmt.Errorf("zero: snapshot optimizer state %d has %d elems, want %d", i, len(full), s.NumParams)
+		}
+		shards[i] = full[dom.Lo:dom.Hi]
+	}
+	t.opt.Restore(shards, s.OptSteps)
 	if t.opts.FP16 {
 		copy(t.master, s.Params[dom.Lo:dom.Hi])
 		tensor.Copy(t.Model.Params, s.Params)
@@ -113,6 +140,8 @@ func (t *Trainer) Load(s *Snapshot) error {
 	if t.stage == StageFull {
 		t.dropUnowned()
 	}
+	tensor.Zero(t.accum)
+	t.accumMicros = 0
 	return nil
 }
 
@@ -120,12 +149,13 @@ func (t *Trainer) Load(s *Snapshot) error {
 // other than 0 pass nil and receive a fresh copy). Must be called
 // collectively.
 func BroadcastSnapshot(c *comm.Comm, s *Snapshot) *Snapshot {
-	header := make([]float32, 4)
+	header := make([]float32, 5)
 	if c.Rank() == 0 {
 		header[0] = float32(s.Stage)
 		header[1] = float32(s.WorldSize)
 		header[2] = float32(s.NumParams)
 		header[3] = float32(s.OptSteps)
+		header[4] = float32(len(s.Opt))
 	}
 	c.Broadcast(header, 0)
 	if c.Rank() != 0 {
@@ -136,13 +166,16 @@ func BroadcastSnapshot(c *comm.Comm, s *Snapshot) *Snapshot {
 			NumParams: n,
 			OptSteps:  int(header[3]),
 			Params:    make([]float32, n),
-			AdamM:     make([]float32, n),
-			AdamV:     make([]float32, n),
+			Opt:       make([][]float32, int(header[4])),
+		}
+		for i := range s.Opt {
+			s.Opt[i] = make([]float32, n)
 		}
 	}
 	c.Broadcast(s.Params, 0)
-	c.Broadcast(s.AdamM, 0)
-	c.Broadcast(s.AdamV, 0)
+	for _, st := range s.Opt {
+		c.Broadcast(st, 0)
+	}
 	return s
 }
 
@@ -155,11 +188,16 @@ func (s *Snapshot) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeSnapshot deserializes a snapshot produced by Encode.
+// DecodeSnapshot deserializes a snapshot produced by Encode. Legacy blobs
+// from the Adam-only format (AdamM/AdamV fields) are migrated into Opt.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("zero: decoding snapshot: %w", err)
 	}
+	if len(s.Opt) == 0 && s.AdamM != nil && s.AdamV != nil {
+		s.Opt = [][]float32{s.AdamM, s.AdamV}
+	}
+	s.AdamM, s.AdamV = nil, nil
 	return &s, nil
 }

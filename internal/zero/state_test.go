@@ -191,7 +191,8 @@ func TestLoadValidation(t *testing.T) {
 func TestSnapshotEncodeDecode(t *testing.T) {
 	s := &Snapshot{
 		Stage: StageOSG, WorldSize: 4, NumParams: 3, OptSteps: 7,
-		Params: []float32{1, 2, 3}, AdamM: []float32{4, 5, 6}, AdamV: []float32{7, 8, 9},
+		Params: []float32{1, 2, 3},
+		Opt:    [][]float32{{4, 5, 6}, {7, 8, 9}},
 	}
 	blob, err := s.Encode()
 	if err != nil {
@@ -201,10 +202,42 @@ func TestSnapshotEncodeDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.OptSteps != 7 || got.Params[2] != 3 || got.AdamV[0] != 7 {
+	if got.OptSteps != 7 || got.Params[2] != 3 || got.Opt[1][0] != 7 {
 		t.Errorf("round trip mangled snapshot: %+v", got)
 	}
 	if _, err := DecodeSnapshot([]byte("garbage")); err == nil {
 		t.Error("expected decode error")
 	}
+}
+
+// Checkpoints written by the legacy Adam-only snapshot format (AdamM/AdamV
+// fields) still load: DecodeSnapshot migrates them into Opt.
+func TestDecodeSnapshotLegacyAdamFields(t *testing.T) {
+	legacy := &Snapshot{
+		Stage: StageOSG, WorldSize: 2, NumParams: 3, OptSteps: 4,
+		Params: []float32{1, 2, 3},
+		AdamM:  []float32{4, 5, 6}, AdamV: []float32{7, 8, 9},
+	}
+	blob, err := legacy.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Opt) != 2 || got.Opt[0][0] != 4 || got.Opt[1][2] != 9 {
+		t.Errorf("legacy fields not migrated into Opt: %+v", got)
+	}
+	if got.AdamM != nil || got.AdamV != nil {
+		t.Error("legacy fields should be cleared after migration")
+	}
+	w := comm.NewWorld(2)
+	w.Run(func(c *comm.Comm) {
+		tr := MustNew(c, testConfig(), Options{Stage: StageOSG, LR: testLR})
+		defer tr.Close()
+		if err := tr.Load(got); err == nil {
+			t.Error("expected size-mismatch error, not an optimizer-count one")
+		}
+	})
 }

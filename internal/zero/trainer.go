@@ -88,6 +88,22 @@ type Options struct {
 	// propagation"). Bitwise identical to the synchronous gathers; no-op
 	// for stages 0-2, which keep parameters resident.
 	Prefetch bool
+	// PrefetchDepth is the pipelining window of the Prefetch schedule in
+	// layer groups: when a group's parameters arrive, the gathers of the
+	// next PrefetchDepth groups are (re-)submitted, so up to that many
+	// gathers ride the wire while one group computes. 0 or 1 is the
+	// classic one-group-ahead pipeline; larger depths trade transient
+	// gather memory for more overlap. Results are bitwise identical at
+	// every depth — gathers move bits, they never sum them.
+	PrefetchDepth int
+	// Optimizer selects and parameterizes the optimizer the rank runs over
+	// its partition (Adam, momentum SGD or LAMB — §2.3's optimizer family,
+	// all of whose state partitions identically). The zero value means
+	// Adam; a zero Spec.LR falls back to Options.LR. LAMB trust ratios are
+	// computed over full tensors from partition-ordered partial norms (one
+	// extra 2·#tensors-float all-gather per boundary), so the update stays
+	// bitwise identical across stages.
+	Optimizer optimizer.Spec
 	// QueueDepth overrides the per-stream submission-queue capacity
 	// (0 = comm's default of 64). When a queue fills, submission blocks
 	// until the stream worker drains an op — backpressure, never loss.
@@ -132,27 +148,37 @@ type Options struct {
 type Trainer struct {
 	Model *model.Model
 
-	// BucketElems, ClipNorm, Overlap and Prefetch mirror the Options
-	// fields and may be mutated between steps (internal/ddp tunes them
-	// after New).
-	BucketElems int
-	ClipNorm    float64
-	Overlap     bool
-	Prefetch    bool
+	// BucketElems, ClipNorm, Overlap, Prefetch and PrefetchDepth mirror
+	// the Options fields and may be mutated between steps (internal/ddp
+	// tunes them after New).
+	BucketElems   int
+	ClipNorm      float64
+	Overlap       bool
+	Prefetch      bool
+	PrefetchDepth int
 
 	// LastGradNorm is the global gradient norm observed by the most
-	// recent Step when ClipNorm is enabled (pre-clipping).
+	// recent Update when ClipNorm is enabled (pre-clipping).
 	LastGradNorm float64
 
 	c     *comm.Comm
 	opts  Options
 	stage Stage
 
-	parts    []comm.Range    // global Ψ/Nd partition; parts[rank] is owned
-	opt      *optimizer.Adam // optimizer over the owned partition (full buffer at stage 0)
-	master   []float32       // fp32 master copy of the optimizer's domain (FP16 mode)
-	groups   []model.Segment // layer groups: gather and bucket granularity
-	nodeSize int             // hierarchical node width; 0 = flat routing
+	parts    []comm.Range        // global Ψ/Nd partition; parts[rank] is owned
+	opt      optimizer.Optimizer // optimizer over the owned partition (full buffer at stage 0)
+	master   []float32           // fp32 master copy of the optimizer's domain (FP16 mode)
+	groups   []model.Segment     // layer groups: gather and bucket granularity
+	nodeSize int                 // hierarchical node width; 0 = flat routing
+
+	// accum is the persistent gradient accumulator over the optimizer
+	// domain: Ψ/Nd elements at the partitioned stages, Ψ at stage 0 where
+	// gradients are replicated anyway. Backward folds each micro-batch's
+	// reduce-scattered gradient into it as the buckets complete, so
+	// gradient accumulation never holds more than the partition across
+	// micro-batch boundaries (§5.2); Update consumes and re-zeroes it.
+	accum       []float32
+	accumMicros int // micro-batches folded into accum since the last Update
 
 	sched    *comm.Scheduler
 	ownSched bool         // whether Close should close sched
@@ -200,21 +226,31 @@ func New(c *comm.Comm, cfg model.Config, opts Options) (*Trainer, error) {
 		sched = comm.NewScheduler(c, so...)
 		ownSched = true
 	}
+	spec := opts.Optimizer
+	if spec.LR == 0 {
+		spec.LR = opts.LR
+	}
+	opt, err := optimizer.New(spec, optDomain.Len())
+	if err != nil {
+		return nil, fmt.Errorf("zero: %w", err)
+	}
 	t := &Trainer{
-		Model:       m,
-		BucketElems: opts.BucketElems,
-		ClipNorm:    opts.ClipNorm,
-		Overlap:     opts.Overlap,
-		Prefetch:    opts.Prefetch,
-		c:           c,
-		opts:        opts,
-		stage:       opts.Stage,
-		parts:       parts,
-		opt:         optimizer.NewAdam(optDomain.Len(), opts.LR),
-		groups:      m.Layout.LayerSegments(cfg.Layers),
-		nodeSize:    nodeSize,
-		sched:       sched,
-		ownSched:    ownSched,
+		Model:         m,
+		BucketElems:   opts.BucketElems,
+		ClipNorm:      opts.ClipNorm,
+		Overlap:       opts.Overlap,
+		Prefetch:      opts.Prefetch,
+		PrefetchDepth: opts.PrefetchDepth,
+		c:             c,
+		opts:          opts,
+		stage:         opts.Stage,
+		parts:         parts,
+		opt:           opt,
+		accum:         make([]float32, optDomain.Len()),
+		groups:        m.Layout.LayerSegments(cfg.Layers),
+		nodeSize:      nodeSize,
+		sched:         sched,
+		ownSched:      ownSched,
 	}
 	if opts.FP16 {
 		t.master = append([]float32(nil), m.Params[optDomain.Lo:optDomain.Hi]...)
@@ -350,18 +386,35 @@ func (t *Trainer) gatherParams() {
 }
 
 // paramPrefetcher pipelines layer-group all-gathers on the prefetch stream:
-// submit(k) launches group k's gather, arrive(k) waits for it and launches
-// group k+1 — so while group k computes, group k+1 is on the wire. Every
-// rank walks the same order, so the per-stream submission order is
-// identical across ranks (the determinism contract).
+// submit(k) launches group k's gather, arrive(k) waits for it and keeps the
+// next depth groups' gathers in flight — so while group k computes, up to
+// depth groups are on the wire (depth 1 is the classic one-group-ahead
+// pipeline of §7.2.2; deeper windows trade transient gather memory for more
+// overlap). Every rank walks the same order with the same depth, so the
+// per-stream submission order is identical across ranks (the determinism
+// contract), and gathers only move bits, so results are depth-invariant.
 type paramPrefetcher struct {
 	t       *Trainer
 	order   []model.Segment
 	handles []*comm.Handle
+	depth   int
 }
 
 func (t *Trainer) newPrefetcher(order []model.Segment) *paramPrefetcher {
-	return &paramPrefetcher{t: t, order: order, handles: make([]*comm.Handle, len(order))}
+	return &paramPrefetcher{
+		t: t, order: order,
+		handles: make([]*comm.Handle, len(order)),
+		depth:   t.prefetchWindow(),
+	}
+}
+
+// prefetchWindow is the effective depth-k window: PrefetchDepth, floored at
+// the classic depth of one.
+func (t *Trainer) prefetchWindow() int {
+	if t.PrefetchDepth > 1 {
+		return t.PrefetchDepth
+	}
+	return 1
 }
 
 // submit launches the all-gather for order[k] if it exists and has not been
@@ -375,12 +428,21 @@ func (p *paramPrefetcher) submit(k int) {
 	p.handles[k] = p.t.allGather(p.t.prefetchStream(), p.t.wireBuf(p.t.Model.Params), groupParts)
 }
 
-// arrive blocks until order[k]'s parameters are resident and launches the
-// next group's gather.
+// arrive blocks until order[k]'s parameters are resident and tops the
+// pipeline back up to depth groups ahead.
 func (p *paramPrefetcher) arrive(k int) {
 	p.submit(k) // defensive; a no-op on the normal path
 	p.handles[k].Wait()
-	p.submit(k + 1)
+	for d := 1; d <= p.depth; d++ {
+		p.submit(k + d)
+	}
+}
+
+// prime launches the initial window: groups [0, n) for an n-deep start.
+func (p *paramPrefetcher) prime(n int) {
+	for k := 0; k < n && k < len(p.order); k++ {
+		p.submit(k)
+	}
 }
 
 // forwardPrefetched runs the forward pass with the stage-3 parameter
@@ -398,7 +460,7 @@ func (t *Trainer) forwardPrefetched(ids, targets []int, per int) float64 {
 	}
 	order = append(order, t.layerGroup(layers))
 	pf := t.newPrefetcher(order)
-	pf.submit(0)
+	pf.prime(pf.depth)
 	t.Model.ForwardHook = func(layer int) { pf.arrive(layer + 1) }
 	loss := t.Model.Loss(ids, targets, per)
 	t.Model.ForwardHook = nil
@@ -419,8 +481,7 @@ func (t *Trainer) installBackwardPrefetch() func() {
 		order = append(order, t.layerGroup(l))
 	}
 	pf := t.newPrefetcher(order)
-	pf.submit(0)
-	pf.submit(1)
+	pf.prime(pf.depth + 1) // the head reads two groups (embeddings + ln_f) at once
 	t.Model.BackwardPreHook = func(layer int) {
 		if layer == layers {
 			pf.arrive(0)
@@ -454,25 +515,49 @@ func intersect(parts []comm.Range, lo, hi int) []comm.Range {
 }
 
 // Step runs one ZeRO-DP training step on this rank's shard of the global
-// batch and returns the local loss.
+// batch and returns the local loss. It is the one-micro-batch composition
+// of the three-phase lifecycle — Forward, Backward, Update — and is bitwise
+// identical to calling the phases explicitly with a single micro-batch per
+// update.
 func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
-	shardIDs, shardTargets, per := model.ShardBatch(ids, targets, globalBatch, t.c.Size(), t.c.Rank())
-	own := t.Owned()
-	prefetching := t.stage == StageFull && t.Prefetch
+	loss := t.Forward(ids, targets, globalBatch)
+	t.Backward()
+	t.Update()
+	return loss
+}
 
-	// Stage 3: re-materialize parameters for the forward pass — up front
-	// (synchronous schedule) or pipelined under the forward compute.
+// Forward runs the forward pass of one micro-batch (microBatch rows across
+// the whole data-parallel group; this rank computes its 1/Nd shard) and
+// returns the local loss. Stage 3 re-materializes parameters first — up
+// front on the synchronous schedule, or pipelined under the forward compute
+// with Prefetch (§7.2.2). Each Forward starts a fresh micro-gradient; the
+// cross-micro-batch state lives in the partitioned accumulator that
+// Backward maintains.
+func (t *Trainer) Forward(ids, targets []int, microBatch int) float64 {
+	shardIDs, shardTargets, per := model.ShardBatch(ids, targets, microBatch, t.c.Size(), t.c.Rank())
+	prefetching := t.stage == StageFull && t.Prefetch
 	if t.stage == StageFull && !prefetching {
 		t.gatherParams()
 	}
-
 	t.Model.ZeroGrads()
-	var loss float64
 	if prefetching {
-		loss = t.forwardPrefetched(shardIDs, shardTargets, per)
-	} else {
-		loss = t.Model.Loss(shardIDs, shardTargets, per)
+		return t.forwardPrefetched(shardIDs, shardTargets, per)
 	}
+	return t.Model.Loss(shardIDs, shardTargets, per)
+}
+
+// Backward runs the backward pass of the micro-batch last seen by Forward
+// and folds its gradient into the rank's persistent accumulator: the bucket
+// schedule reduce-scatters each window across the group as gradients become
+// available (synchronously after backward, or overlapped bucket by bucket
+// as layers finish), and only the reduced values over the optimizer domain
+// are accumulated. At the partitioned stages that domain is the owned Ψ/Nd
+// shard, so gradient accumulation across micro-batches never holds more
+// than the partition (§5.2) — the full-width micro gradient is transient
+// workspace, re-zeroed by the next Forward.
+func (t *Trainer) Backward() {
+	own := t.Owned()
+	prefetching := t.stage == StageFull && t.Prefetch
 
 	// Stage 3: parameters were "discarded once used" after forward; gather
 	// them again for the backward pass (the second Ψ of §7.2.2).
@@ -506,56 +591,67 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 		disarmPrefetch()
 	}
 
-	// Average. Stage 0 holds the full reduced gradient on every rank;
-	// the partitioned stages scale just the owned shard.
-	gradShard := t.Model.Grads[own.Lo:own.Hi]
-	if t.stage == StageDDP {
-		tensor.Scale(t.Model.Grads, 1/float32(t.c.Size()))
-	} else {
-		tensor.Scale(gradShard, 1/float32(t.c.Size()))
-	}
-
-	// Stage ≥ 2: gradients outside the owned partition are released as
-	// soon as their bucket is reduced (§5.2); zeroing models the release.
+	// Stage ≥ 2: micro-gradients outside the owned partition are released
+	// as soon as their bucket is reduced (§5.2); zeroing models the
+	// release.
 	if t.stage >= StageOSGrad {
 		tensor.Zero(t.Model.Grads[:own.Lo])
 		tensor.Zero(t.Model.Grads[own.Hi:])
 	}
 
+	// Fold this micro-batch's reduced gradient into the accumulator. The
+	// first fold adds into zeros, so a single-micro-batch update sees the
+	// reduced gradient bit for bit.
+	dom := t.optimizerDomain()
+	tensor.Add(t.accum, t.Model.Grads[dom.Lo:dom.Hi])
+	t.accumMicros++
+}
+
+// Update consumes the accumulated gradient — the optimizer-step phase that
+// fires on the accumulation boundary. It averages the accumulator over
+// ranks × micro-batches, applies global gradient clipping, runs the
+// configured optimizer over this rank's domain, re-materializes the
+// post-step parameter state for the next micro-batch, and re-zeroes the
+// accumulator. Panics if no Backward has run since the last Update.
+func (t *Trainer) Update() {
+	if t.accumMicros == 0 {
+		panic("zero: Update without an accumulated Backward")
+	}
+
+	// Average over the group and the accumulation window. Micro-batch
+	// losses are means over 1/k of the rows, so the accumulated sum is
+	// k·N times the global-batch mean gradient.
+	tensor.Scale(t.accum, 1/float32(t.c.Size()*t.accumMicros))
+
 	// Global gradient clipping over the partition-ordered partial Σg².
-	// Stage 0 computes every partial locally (the full gradient is
+	// Stage 0 computes every partial locally (the full accumulator is
 	// resident); the partitioned stages contribute their shard's partial
 	// and all-gather the rest — same arithmetic, same bits.
 	if t.ClipNorm > 0 {
 		var partials []float32
 		if t.stage == StageDDP {
-			partials = optimizer.PartitionSquaredSums(t.Model.Grads, t.parts)
+			partials = optimizer.PartitionSquaredSums(t.accum, t.parts)
 		} else {
 			partials = make([]float32, t.c.Size())
-			partials[t.c.Rank()] = optimizer.PartialSquaredSum(gradShard)
+			partials[t.c.Rank()] = optimizer.PartialSquaredSum(t.accum)
 			t.gradStream().AllGather(comm.F32Buf(partials), comm.Partition(len(partials), t.c.Size())).Wait()
 		}
 		norm := optimizer.GlobalGradNorm(partials)
 		t.LastGradNorm = norm
-		scale := optimizer.ClipScale(norm, t.ClipNorm)
-		if t.stage == StageDDP {
-			tensor.Scale(t.Model.Grads, scale)
-		} else {
-			tensor.Scale(gradShard, scale)
-		}
+		tensor.Scale(t.accum, optimizer.ClipScale(norm, t.ClipNorm))
 	}
 
 	// Optimizer step over this rank's domain: the owned shard (Pos, §5.1),
-	// or the full buffer at stage 0.
+	// or the full buffer at stage 0. LAMB steps with per-tensor trust
+	// ratio blocks clipped to the domain.
 	dom := t.optimizerDomain()
-	grads := t.Model.Grads[dom.Lo:dom.Hi]
 	if t.opts.FP16 {
-		t.opt.Step(t.master, grads)
+		t.stepOptimizer(t.master, t.accum)
 		for i := range t.master {
 			t.Model.Params[dom.Lo+i] = tensor.FromFloat32(t.master[i]).Float32()
 		}
 	} else {
-		t.opt.Step(t.Model.Params[dom.Lo:dom.Hi], grads)
+		t.stepOptimizer(t.Model.Params[dom.Lo:dom.Hi], t.accum)
 	}
 
 	// Post-step parameter state per stage. Stage 0: every replica applied
@@ -570,8 +666,100 @@ func (t *Trainer) Step(ids, targets []int, globalBatch int) float64 {
 	default:
 		t.allGather(t.gradStream(), t.wireBuf(t.Model.Params), t.parts).Wait()
 	}
-	return loss
+
+	tensor.Zero(t.accum)
+	t.accumMicros = 0
 }
+
+// stepOptimizer applies one optimizer update, routing layer-wise
+// optimizers (LAMB) through the collective trust-ratio path.
+func (t *Trainer) stepOptimizer(params, grads []float32) {
+	if l, ok := t.opt.(*optimizer.LAMB); ok {
+		t.stepLAMB(l, params, grads)
+		return
+	}
+	t.opt.Step(params, grads)
+}
+
+// stepLAMB applies a LAMB update whose per-tensor trust ratios are computed
+// over FULL tensors at every stage: each rank contributes the partial
+// Σw²/Σu² of its shard's overlap with every tensor, the partials cross the
+// wire once (an all-gather of 2·#tensors floats per rank, skipped at stage
+// 0 where everything is resident), and every rank folds them in partition
+// order — the same arithmetic gradient clipping uses, which is what keeps
+// LAMB bitwise identical across stages even though its blocks span shard
+// boundaries.
+func (t *Trainer) stepLAMB(l *optimizer.LAMB, params, grads []float32) {
+	dom := t.optimizerDomain()
+	update := make([]float32, len(params))
+	l.PrepareUpdate(params, grads, update)
+
+	segs := t.Model.Layout.Segments
+	nseg := len(segs)
+	n := t.c.Size()
+	stride := 2 * nseg
+	partials := make([]float32, stride*n)
+	// clip returns the overlap of segment s with partition p, rebased to
+	// the local buffer (which covers dom).
+	clip := func(s model.Segment, p comm.Range) (lo, hi int) {
+		lo, hi = s.Lo, s.Hi
+		if lo < p.Lo {
+			lo = p.Lo
+		}
+		if hi > p.Hi {
+			hi = p.Hi
+		}
+		if lo >= hi {
+			return 0, 0
+		}
+		return lo - dom.Lo, hi - dom.Lo
+	}
+	fill := func(rank int, p comm.Range) {
+		base := rank * stride
+		for s, seg := range segs {
+			lo, hi := clip(seg, p)
+			if lo == hi {
+				continue
+			}
+			partials[base+2*s] = optimizer.PartialSquaredSum(params[lo:hi])
+			partials[base+2*s+1] = optimizer.PartialSquaredSum(update[lo:hi])
+		}
+	}
+	if t.stage == StageDDP {
+		// Full buffers resident: every partition's partials are local, but
+		// the partition grouping must match the partitioned stages'.
+		for r, p := range t.parts {
+			fill(r, p)
+		}
+	} else {
+		fill(t.c.Rank(), t.parts[t.c.Rank()])
+		t.gradStream().AllGather(comm.F32Buf(partials), comm.Partition(len(partials), n)).Wait()
+	}
+
+	wp := make([]float32, n)
+	up := make([]float32, n)
+	for s, seg := range segs {
+		for r := 0; r < n; r++ {
+			wp[r] = partials[r*stride+2*s]
+			up[r] = partials[r*stride+2*s+1]
+		}
+		trust := optimizer.TrustRatio(optimizer.GlobalGradNorm(wp), optimizer.GlobalGradNorm(up))
+		lo, hi := clip(seg, dom)
+		if lo != hi {
+			l.ApplyBlock(params, update, lo, hi, trust)
+		}
+	}
+}
+
+// AccumulatedMicros reports how many micro-batch gradients are currently
+// folded into the accumulator (0 right after an Update).
+func (t *Trainer) AccumulatedMicros() int { return t.accumMicros }
+
+// GradAccumElems returns the element count of the persistent gradient
+// accumulator: the §5.2 memory claim made measurable — Ψ/Nd at the
+// partitioned stages regardless of how many micro-batches accumulate, Ψ
+// only at stage 0 where every state is replicated anyway.
+func (t *Trainer) GradAccumElems() int { return len(t.accum) }
 
 // commSchedule returns the deterministic gradient-bucket order shared by
 // the synchronous and overlapped paths: transformer blocks in backward

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Regenerate the gradient-accumulation baseline (BENCH_ACCUM.json): the
+# Engine API's Forward/Backward/Step loop at k ∈ {1,2,4} micro-batches per
+# optimizer step.
+set -eu
+exec "$(dirname "$0")/bench.sh" "${1:-10x}" 'BenchmarkAccumStep' BENCH_ACCUM.json
