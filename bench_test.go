@@ -24,6 +24,7 @@ import (
 
 func benchTable(b *testing.B, driver func() experiments.Table) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := driver()
 		t.Render(io.Discard)
@@ -53,6 +54,7 @@ func BenchmarkSingleProcessStep(b *testing.B) {
 	cfg := benchConfig()
 	m := model.New(cfg, 1)
 	ids, targets := model.SyntheticBatch(1, 4, cfg.Seq, cfg.Vocab)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ZeroGrads()
@@ -63,6 +65,7 @@ func BenchmarkSingleProcessStep(b *testing.B) {
 
 func benchWorld(b *testing.B, run func(c *comm.Comm, ids, targets []int)) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := benchConfig()
 	ids, targets := model.SyntheticBatch(1, 4, cfg.Seq, cfg.Vocab)
 	w := comm.NewWorld(4)
@@ -138,6 +141,7 @@ func BenchmarkAllReduce1M(b *testing.B) {
 	const n, elems = 4, 1 << 20
 	w := comm.NewWorld(n)
 	b.SetBytes(elems * 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		x := make([]float32, elems)
@@ -151,6 +155,7 @@ func BenchmarkReduceScatter1M(b *testing.B) {
 	const n, elems = 4, 1 << 20
 	w := comm.NewWorld(n)
 	b.SetBytes(elems * 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		x := make([]float32, elems)
@@ -169,6 +174,7 @@ func BenchmarkHierarchicalAllReduce1M(b *testing.B) {
 	const n, elems, nodeSize = 8, 1 << 20, 4
 	w := comm.NewWorld(n)
 	b.SetBytes(elems * 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		x := make([]float32, elems)
@@ -185,6 +191,7 @@ func BenchmarkParallelBlock(b *testing.B) {
 	x := make([]float32, batch*seq*hidden)
 	dy := make([]float32, batch*seq*hidden)
 	w := comm.NewWorld(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		blk := mp.NewParallelBlock(c, hidden, heads, 1)
@@ -210,6 +217,7 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 	cfg := benchConfig()
 	ids, targets := model.SyntheticBatch(1, 4, cfg.Seq, cfg.Vocab)
 	w := comm.NewWorld(4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		tr := zero.MustNew(c, cfg, zero.Options{Stage: zero.StageOSG, LR: 1e-3, Seed: 1})
@@ -238,6 +246,7 @@ func BenchmarkStreamReduceScatter1M(b *testing.B) {
 	const n, elems = 4, 1 << 20
 	w := comm.NewWorld(n)
 	b.SetBytes(elems * 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		s := comm.NewScheduler(c)
@@ -269,6 +278,7 @@ func BenchmarkStageStep(b *testing.B) {
 			name := fmt.Sprintf("stage=%d/overlap=%v", int(stage), overlap)
 			b.Run(name, func(b *testing.B) {
 				w := comm.NewWorld(ranks)
+				b.ReportAllocs()
 				b.ResetTimer()
 				w.Run(func(c *comm.Comm) {
 					tr := zero.MustNew(c, cfg, zero.Options{
@@ -307,6 +317,7 @@ func BenchmarkPrefetchStep(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			w := comm.NewWorld(ranks)
+			b.ReportAllocs()
 			b.ResetTimer()
 			w.Run(func(c *comm.Comm) {
 				tr := zero.MustNew(c, cfg, zero.Options{
@@ -343,6 +354,7 @@ func BenchmarkHierarchicalStep(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			w := comm.NewWorld(ranks)
+			b.ReportAllocs()
 			b.ResetTimer()
 			w.Run(func(c *comm.Comm) {
 				tr := zero.MustNew(c, cfg, zero.Options{
@@ -386,6 +398,7 @@ func BenchmarkAccumStep(b *testing.B) {
 			cfg := base
 			cfg.GradAccumSteps = k
 			cfg.MicroBatch = 0 // derive globalBatch/k
+			b.ReportAllocs()
 			b.ResetTimer()
 			w, err := engine.Run(cfg, func(e *engine.Engine) {
 				for i := 0; i < b.N; i++ {
@@ -407,6 +420,7 @@ func BenchmarkMegatronGPTStep(b *testing.B) {
 	const layers, hidden, heads, vocab, seq, batch = 2, 64, 4, 64, 16, 2
 	ids, targets := model.SyntheticBatch(1, batch, seq, vocab)
 	w := comm.NewWorld(4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	w.Run(func(c *comm.Comm) {
 		m := mp.NewGPT(c, layers, hidden, heads, vocab, seq, 1)

@@ -201,7 +201,7 @@ func main() {
 		*steps, elapsed.Round(time.Millisecond), float64(tokens)/elapsed.Seconds())
 	fmt.Printf("wire (rank 0): %d elems, %d bytes (native dtype accounting)\n",
 		st0.ElemsSent, st0.BytesSent)
-	for _, name := range []string{comm.DefaultStream, zero.StreamGrad, zero.StreamPrefetch, zero.StreamCheckpoint} {
+	for _, name := range []string{comm.DefaultStream, zero.StreamGrad, zero.StreamPrefetch, zero.StreamCheckpoint, zero.StreamPriority} {
 		if elems := st0.PerStream[name]; elems > 0 {
 			fmt.Printf("  stream %-10s %d elems\n", name, elems)
 		}

@@ -1,0 +1,124 @@
+// Package arena provides size-classed, reusable float32 scratch buffers —
+// the allocation discipline behind the repo's zero-allocation steady state.
+//
+// ZeRO's whole argument (§3, §5) is that the memory you do not allocate is
+// what buys scale; the same discipline applies to the simulator's hot loop.
+// Every per-step transient — collective wire copies, reduce/gather scratch,
+// staging buffers — draws from an Arena instead of `make`, so after a
+// warm-up step the steady-state training loop performs no heap allocation
+// and pays no GC tax. Unlike sync.Pool, an Arena never gives buffers back
+// to the garbage collector behind the caller's back: allocation counts are
+// deterministic, which is what lets the benchmark suite gate allocs/op as a
+// hard regression signal.
+//
+// Ownership rules:
+//
+//   - Get(n) returns a buffer of length n whose contents are UNDEFINED
+//     (reused buffers carry stale values). Callers must fully overwrite it
+//     (or explicitly zero it first when the algorithm accumulates).
+//   - Put returns a buffer to the arena; the caller must not touch it
+//     afterwards. Put is optional — a buffer that escapes (e.g. handed to
+//     user code) is simply garbage-collected like any other slice.
+//   - Release drops every pooled buffer, returning the memory to the GC —
+//     the teardown hook that keeps sequential trainers in one process from
+//     double-residenting their workspaces.
+//
+// An Arena is safe for concurrent use: one instance serves all ranks of an
+// in-process world.
+package arena
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// numClasses covers buffer capacities up to 2^(numClasses-1) elements.
+const numClasses = 40
+
+// Arena is a size-classed free list of float32 buffers. The zero value is
+// ready to use.
+type Arena struct {
+	mu      sync.Mutex
+	classes [numClasses][][]float32
+
+	resident int64 // bytes currently pooled (free, reusable)
+	gets     int64 // total Get calls
+	misses   int64 // Get calls that had to allocate
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// class returns the size-class index for n elements: buffers are rounded up
+// to the next power of two so a handful of lists serve every request size.
+func class(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a buffer of length n (capacity rounded up to the size class).
+// Contents are undefined; see the package comment for ownership rules.
+// Get(0) returns nil.
+func (a *Arena) Get(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	cls := class(n)
+	a.mu.Lock()
+	a.gets++
+	list := a.classes[cls]
+	if len(list) > 0 {
+		b := list[len(list)-1]
+		a.classes[cls] = list[:len(list)-1]
+		a.resident -= int64(cap(b)) * 4
+		a.mu.Unlock()
+		return b[:n]
+	}
+	a.misses++
+	a.mu.Unlock()
+	return make([]float32, n, 1<<cls)
+}
+
+// Put returns a buffer to the arena for reuse. Buffers whose capacity is not
+// a size-class width (i.e. that did not come from Get) are dropped rather
+// than pooled, so a stray Put cannot poison a class with short buffers.
+// Put(nil) and Put of empty buffers are no-ops.
+func (a *Arena) Put(b []float32) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	a.mu.Lock()
+	a.classes[cls] = append(a.classes[cls], b[:0])
+	a.resident += int64(c) * 4
+	a.mu.Unlock()
+}
+
+// Release drops every pooled buffer, handing the memory back to the GC.
+func (a *Arena) Release() {
+	a.mu.Lock()
+	for i := range a.classes {
+		a.classes[i] = nil
+	}
+	a.resident = 0
+	a.mu.Unlock()
+}
+
+// Resident returns the bytes currently pooled (free buffers held for reuse).
+func (a *Arena) Resident() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resident
+}
+
+// Stats returns cumulative Get calls and the subset that had to allocate.
+// A warmed steady state shows gets rising with misses flat — the measurable
+// form of "the hot loop no longer allocates".
+func (a *Arena) Stats() (gets, misses int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets, a.misses
+}

@@ -87,6 +87,7 @@ func (c *Comm) Broadcast(x []float32, root int) {
 			parent := ((vr - mask) + root) % n
 			data := c.recv("broadcast", parent)
 			copy(x, data)
+			c.release(data)
 			break
 		}
 		mask <<= 1
@@ -111,7 +112,7 @@ func (c *Comm) Reduce(x []float32, root int) {
 		return
 	}
 	parts := Partition(len(x), n)
-	work := make([]float32, len(x))
+	work := c.w.wire.Get(len(x))
 	copy(work, x)
 	c.ringReduceScatter("reduce", work, parts)
 	mine := parts[c.pos]
@@ -124,10 +125,12 @@ func (c *Comm) Reduce(x []float32, root int) {
 			shard := c.recv("reduce", r)
 			p := parts[r]
 			copy(x[p.Lo:p.Hi], shard)
+			c.release(shard)
 		}
 	} else {
 		c.send("reduce", root, work[mine.Lo:mine.Hi])
 	}
+	c.release(work)
 }
 
 // Gather collects each member's shard to the root member. shard lengths may
@@ -144,7 +147,9 @@ func (c *Comm) Gather(shard []float32, root int, out [][]float32) {
 			if r == root {
 				continue
 			}
-			out[r] = c.recv("gather", r)
+			data := c.recv("gather", r)
+			out[r] = append([]float32(nil), data...)
+			c.release(data)
 		}
 		return
 	}
@@ -181,6 +186,7 @@ func (c *Comm) ringReduceScatter(op string, x []float32, parts []Range) {
 		for i, v := range data {
 			dst[i] += v
 		}
+		c.release(data)
 	}
 }
 
@@ -202,5 +208,6 @@ func (c *Comm) ringAllGather(op string, x []float32, parts []Range, ownIdx int) 
 			panic("comm: ring chunk length mismatch (buffers must be equal-length on all ranks)")
 		}
 		copy(dst, data)
+		c.release(data)
 	}
 }

@@ -28,6 +28,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/arena"
 )
 
 // DefaultStream is the Stats key under which traffic of the default
@@ -50,6 +52,15 @@ type World struct {
 	streamNames map[streamClaim]bool          // (rank, stream) pairs claimed by live Schedulers
 
 	stats []rankStats // per-rank counters, locked per rank
+
+	// wire pools the per-message copies every send makes: after a warm-up
+	// step, steady-state collectives move data through recycled buffers
+	// instead of allocating one per message. Internal receive paths (ring
+	// phases, broadcast, reduce, gather) recycle the buffer after their
+	// last read — Gather clones each shard into caller-owned memory first —
+	// while a buffer handed out by the public Recv escapes to the caller
+	// and simply falls back to the GC.
+	wire *arena.Arena
 }
 
 // streamLink keys one directed channel of a named ordering domain.
@@ -155,8 +166,13 @@ func NewWorld(n int) *World {
 		streamLinks: make(map[streamLink]chan []float32),
 		streamNames: make(map[streamClaim]bool),
 		stats:       make([]rankStats, n),
+		wire:        arena.New(),
 	}
 }
+
+// WirePool exposes the world's wire-buffer arena for instrumentation and
+// pool-hygiene tests (Resident/Stats/Release).
+func (w *World) WirePool() *arena.Arena { return w.wire }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
@@ -168,7 +184,7 @@ func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.n {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.n))
 	}
-	return &Comm{w: w, rank: rank, pos: rank}
+	return &Comm{w: w, rank: rank, pos: rank, topos: &topoCache{}}
 }
 
 // Run spawns one goroutine per rank, invokes fn with that rank's Comm, and
@@ -311,6 +327,17 @@ type Comm struct {
 	stream  string // "" = default ordering domain
 	dtype   DType  // wire width recorded by Stats; F32 unless derived
 	label   string // PerGroup accounting label ("" = unattributed)
+
+	// opCache maps collective names to their ":<label>"-suffixed form so
+	// labeled sends don't concatenate strings per message. Built once by
+	// Named and shared (read-only) by every derived view.
+	opCache map[string]string
+	// topos caches NodeTopology results per (nodeSize, dtype, label) so
+	// hierarchical collectives don't rebuild sub-communicators per op. The
+	// pointer is shared by same-group views (Named/WithDType) and reset by
+	// Subgroup/Split, whose member sets differ. Comm handles are
+	// single-goroutine, so the cache is unlocked.
+	topos *topoCache
 }
 
 // Rank returns this communicator's group-local rank: the index of this rank
@@ -366,7 +393,27 @@ func (c *Comm) Named(label string) *Comm {
 	}
 	cp := *c
 	cp.label = label
+	cp.opCache = buildOpCache(label)
 	return &cp
+}
+
+// knownOps lists every collective name a Comm records, so Named can
+// precompute the labeled forms instead of allocating a concatenation per
+// message on the hot path.
+var knownOps = []string{
+	"allreduce", "reducescatter", "allgather", "broadcast", "reduce",
+	"gather", "split", "p2p", "barrier",
+}
+
+func buildOpCache(label string) map[string]string {
+	if label == "" {
+		return nil
+	}
+	m := make(map[string]string, len(knownOps))
+	for _, op := range knownOps {
+		m[op] = op + ":" + label
+	}
+	return m
 }
 
 // Label returns the traffic-accounting label set by Named ("" if none).
@@ -401,21 +448,30 @@ func (c *Comm) opName(op string) string {
 	if c.label == "" {
 		return op
 	}
+	if s, ok := c.opCache[op]; ok {
+		return s
+	}
 	return op + ":" + c.label
 }
 
 // send transmits a copy of data to the group-local rank dst and accounts
-// for it under op.
+// for it under op. The copy draws from the world's wire pool; the receiver
+// recycles it after its last read (every internal path — Gather clones
+// before recycling) or lets it escape to the GC (the public Recv).
 func (c *Comm) send(op string, dst int, data []float32) {
 	gdst := c.global(dst)
 	if gdst == c.rank {
 		panic("comm: send to self")
 	}
-	cp := make([]float32, len(data))
+	cp := c.w.wire.Get(len(data))
 	copy(cp, data)
 	c.w.channel(c.rank, gdst, c.stream) <- cp
 	c.w.stats[c.rank].record(c.opName(op), c.stream, c.label, c.dtype.Bytes(), int64(len(data)), 0)
 }
+
+// release returns a received wire buffer to the pool. Call only after the
+// last read of the buffer.
+func (c *Comm) release(data []float32) { c.w.wire.Put(data) }
 
 // recv blocks for a message from the group-local rank src and accounts for
 // it.

@@ -132,6 +132,9 @@ func (c *Comm) Subgroup(members []int) (*Comm, error) {
 	cp := *c
 	cp.members = global
 	cp.pos = pos
+	// A subgroup's member set differs from its parent's, so it gets a fresh
+	// topology cache (the parent's cached node layouts do not apply).
+	cp.topos = &topoCache{}
 	return &cp, nil
 }
 

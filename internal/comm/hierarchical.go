@@ -48,6 +48,31 @@ type Topology struct {
 	// Inter is this rank's inter-node group (same node-local slot across
 	// nodes, stride NodeSize), with traffic attributed to "hier-inter".
 	Inter *Comm
+
+	// interScratch backs interParts so steady-state hierarchical ops don't
+	// allocate a partition per bucket. Safe because a Topology, like the
+	// Comm it came from, is used by one goroutine at a time and the slice
+	// is consumed synchronously by the inter-phase collective.
+	interScratch []Range
+}
+
+// topoKey identifies one cached topology: the node width plus the dtype and
+// label of the view that built it (sub-communicators inherit both, and the
+// byte accounting must match the buffers that flow through them).
+type topoKey struct {
+	nodeSize int
+	dtype    DType
+	label    string
+}
+
+// topoCache memoizes NodeTopology per communicator chain. Building a
+// topology means deriving two sub-communicators (member lists, label maps)
+// — cheap once, but not per collective: a bucketed hierarchical schedule
+// issues hundreds of ops per step. The cache pointer is shared by
+// same-group views (Named/WithDType) and dropped by Subgroup/Split, whose
+// member sets differ; Comm handles are single-goroutine, so no lock.
+type topoCache struct {
+	m map[topoKey]*Topology
 }
 
 // NodeTopology carves the communicator into nodes of nodeSize consecutive
@@ -58,6 +83,12 @@ type Topology struct {
 func (c *Comm) NodeTopology(nodeSize int) (*Topology, error) {
 	if err := CheckNodeSize(c.Size(), nodeSize); err != nil {
 		return nil, err
+	}
+	key := topoKey{nodeSize: nodeSize, dtype: c.dtype, label: c.label}
+	if c.topos != nil {
+		if t := c.topos.m[key]; t != nil {
+			return t, nil
+		}
 	}
 	node, slot := c.pos/nodeSize, c.pos%nodeSize
 	nodes := c.Size() / nodeSize
@@ -77,19 +108,30 @@ func (c *Comm) NodeTopology(nodeSize int) (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Topology{
+	topo := &Topology{
 		NodeSize: nodeSize,
 		Nodes:    nodes,
 		Intra:    intra.Named("hier-intra"),
 		Inter:    inter.Named("hier-inter"),
-	}, nil
+	}
+	if c.topos != nil {
+		if c.topos.m == nil {
+			c.topos.m = make(map[topoKey]*Topology)
+		}
+		c.topos.m[key] = topo
+	}
+	return topo, nil
 }
 
 // interParts extracts the ownership ranges of this rank's inter-node group:
-// the slices owned by the same node-local slot in every node.
+// the slices owned by the same node-local slot in every node. The returned
+// slice aliases the topology's scratch and is valid until the next call.
 func (t *Topology) interParts(parts []Range) []Range {
 	slot := t.Intra.Rank()
-	out := make([]Range, t.Nodes)
+	if cap(t.interScratch) < t.Nodes {
+		t.interScratch = make([]Range, t.Nodes)
+	}
+	out := t.interScratch[:t.Nodes]
 	for m := range out {
 		out[m] = parts[m*t.NodeSize+slot]
 	}

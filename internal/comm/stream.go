@@ -1,9 +1,6 @@
 package comm
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "sync"
 
 // Scheduler multiplexes named ordering domains ("streams") over one rank's
 // communicator — the stream abstraction NCCL and DeepSpeed use to let
@@ -91,15 +88,24 @@ func (s *Scheduler) StreamWithDepth(name string, depth int) *Stream {
 		depth = s.depth
 	}
 	s.c.w.claimStream(s.c.rank, name)
+	// Two persistent dtype views of the stream's communicator, so typed ops
+	// execute without deriving a per-op view: the worker picks the view
+	// whose dtype matches the buffer, and WithDType inside the collective
+	// becomes the identity. Both views share one topology cache.
 	view := *s.c
 	view.stream = name
 	view.dtype = F32
+	view.topos = &topoCache{}
+	view16 := view
+	view16.dtype = F16
 	st := &Stream{
 		name: name,
-		c:    &view,
+		c32:  &view,
+		c16:  &view16,
 		ops:  make(chan streamOp, depth),
 		done: make(chan struct{}),
 	}
+	st.cond = sync.NewCond(&st.mu)
 	go st.loop()
 	s.streams[name] = st
 	s.order = append(s.order, st)
@@ -139,38 +145,62 @@ func (s *Scheduler) Close() {
 	}
 }
 
-// Handle is the completion token of one submitted op. Wait blocks until the
-// op has executed on the stream's worker; waiting is per-op, so a caller
-// can synchronize exactly the dependency it has (e.g. "layer k's parameters
-// are resident") instead of draining the whole queue.
+// Handle is the completion token of one submitted op: the stream plus the
+// op's position in its FIFO. It is a small value — obtaining one allocates
+// nothing — and because streams execute strictly in submission order,
+// "op k is done" is exactly "the stream has completed ≥ k ops". The zero
+// Handle is valid and behaves as already-complete.
 type Handle struct {
-	done chan struct{}
+	st  *Stream
+	seq int64
 }
 
-// Wait blocks until the op completes. Waiting a nil handle is a no-op, and
-// Wait may be called from any goroutine, any number of times.
-func (h *Handle) Wait() {
-	if h != nil {
-		<-h.done
+// Wait blocks until the op completes. Waiting the zero Handle is a no-op,
+// and Wait may be called from any goroutine, any number of times.
+func (h Handle) Wait() {
+	if h.st != nil {
+		h.st.waitFor(h.seq)
 	}
 }
 
 // Done reports (without blocking) whether the op has completed.
-func (h *Handle) Done() bool {
-	if h == nil {
+func (h Handle) Done() bool {
+	if h.st == nil {
 		return true
 	}
-	select {
-	case <-h.done:
-		return true
-	default:
-		return false
-	}
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	return h.st.completed >= h.seq
 }
 
+// Valid reports whether the handle refers to a submitted op (false for the
+// zero Handle) — how pipelined schedulers mark "not launched yet" without
+// allocating sentinel objects.
+func (h Handle) Valid() bool { return h.st != nil }
+
+// opKind discriminates the precompiled collective ops a stream executes
+// without a closure allocation per submission.
+type opKind uint8
+
+const (
+	opFn opKind = iota
+	opReduceScatter
+	opAllGather
+	opAllReduce
+	opAllReduceAvg
+	opReduceScatterHier
+	opAllGatherHier
+	opAllReduceHier
+)
+
+// streamOp is one queued unit of work: either a typed collective (kind +
+// buffer + partition) or an arbitrary fn.
 type streamOp struct {
-	fn func(*Comm)
-	h  *Handle
+	kind     opKind
+	b        Buffer
+	parts    []Range
+	nodeSize int
+	fn       func(*Comm)
 }
 
 // Stream is one named ordering domain of one rank: a FIFO of collective ops
@@ -180,35 +210,100 @@ type streamOp struct {
 // disjoint, so no ordering is needed for correctness).
 type Stream struct {
 	name string
-	c    *Comm
+	c32  *Comm // stream view with F32 accounting (the default)
+	c16  *Comm // same domain, F16 accounting
 	ops  chan streamOp
 	done chan struct{}
 
-	submitted atomic.Int64
-	completed atomic.Int64
+	submitMu  sync.Mutex // serializes seq assignment with queue order
+	submitted int64
+
+	mu        sync.Mutex // guards completed; cond signals progress
+	cond      *sync.Cond
+	completed int64
 }
 
 func (st *Stream) loop() {
 	defer close(st.done)
 	for op := range st.ops {
+		st.exec(op)
+		st.mu.Lock()
+		st.completed++
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// commFor picks the persistent stream view matching the buffer's wire
+// dtype, so collectives run without deriving a per-op communicator.
+func (st *Stream) commFor(d DType) *Comm {
+	if d == F16 {
+		return st.c16
+	}
+	return st.c32
+}
+
+func (st *Stream) exec(op streamOp) {
+	c := st.commFor(op.b.DType)
+	switch op.kind {
+	case opFn:
 		if op.fn != nil {
-			op.fn(st.c)
-			st.completed.Add(1)
+			op.fn(st.c32)
 		}
-		if op.h != nil {
-			close(op.h.done)
+	case opReduceScatter:
+		c.ReduceScatter(op.b.Data, op.parts)
+	case opAllGather:
+		c.AllGather(op.b.Data, op.parts)
+	case opAllReduce:
+		c.AllReduce(op.b.Data)
+	case opAllReduceAvg:
+		c.AllReduceAvg(op.b.Data)
+	case opReduceScatterHier:
+		if err := c.ReduceScatterHierarchical(op.b, op.parts, op.nodeSize); err != nil {
+			panic(err)
+		}
+	case opAllGatherHier:
+		if err := c.AllGatherHierarchical(op.b, op.parts, op.nodeSize); err != nil {
+			panic(err)
+		}
+	case opAllReduceHier:
+		if err := c.AllReduceHierarchical(op.b, op.nodeSize); err != nil {
+			panic(err)
 		}
 	}
+}
+
+// waitFor blocks until the stream has completed at least seq ops.
+func (st *Stream) waitFor(seq int64) {
+	st.mu.Lock()
+	for st.completed < seq {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+}
+
+// enqueue assigns the op its FIFO position and queues it. Sequence
+// assignment and channel send happen under one lock so the queue order
+// always matches the sequence order, even with multiple submitters; the
+// worker never takes this lock, so backpressure (a full queue) cannot
+// deadlock completion.
+func (st *Stream) enqueue(op streamOp) Handle {
+	st.submitMu.Lock()
+	st.submitted++
+	seq := st.submitted
+	st.ops <- op
+	st.submitMu.Unlock()
+	return Handle{st: st, seq: seq}
 }
 
 // Name returns the stream's ordering-domain name.
 func (st *Stream) Name() string { return st.name }
 
 // Rank returns the rank the stream belongs to.
-func (st *Stream) Rank() int { return st.c.rank }
+func (st *Stream) Rank() int { return st.c32.rank }
 
 // Size returns the world size.
-func (st *Stream) Size() int { return st.c.w.n }
+func (st *Stream) Size() int { return st.c32.w.n }
 
 // Depth returns the submission-queue capacity.
 func (st *Stream) Depth() int { return cap(st.ops) }
@@ -216,32 +311,32 @@ func (st *Stream) Depth() int { return cap(st.ops) }
 // Submit enqueues an arbitrary op; fn runs on the worker goroutine with the
 // stream's communicator (use Comm.WithDType inside fn for non-F32
 // accounting). Blocks only when the queue is full (see WithQueueDepth).
-func (st *Stream) Submit(fn func(c *Comm)) *Handle {
-	h := &Handle{done: make(chan struct{})}
-	st.submitted.Add(1)
-	st.ops <- streamOp{fn: fn, h: h}
-	return h
+// The typed collective methods below are cheaper (no closure); prefer them
+// on hot paths.
+func (st *Stream) Submit(fn func(c *Comm)) Handle {
+	return st.enqueue(streamOp{kind: opFn, fn: fn})
 }
 
-// ReduceScatter enqueues a reduce-scatter of b under parts.
-func (st *Stream) ReduceScatter(b Buffer, parts []Range) *Handle {
-	return st.Submit(func(c *Comm) { c.WithDType(b.DType).ReduceScatter(b.Data, parts) })
+// ReduceScatter enqueues a reduce-scatter of b under parts. The parts slice
+// is owned by the op until its Handle is waited.
+func (st *Stream) ReduceScatter(b Buffer, parts []Range) Handle {
+	return st.enqueue(streamOp{kind: opReduceScatter, b: b, parts: parts})
 }
 
 // AllGather enqueues an all-gather of b under parts.
-func (st *Stream) AllGather(b Buffer, parts []Range) *Handle {
-	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllGather(b.Data, parts) })
+func (st *Stream) AllGather(b Buffer, parts []Range) Handle {
+	return st.enqueue(streamOp{kind: opAllGather, b: b, parts: parts})
 }
 
 // AllReduce enqueues an all-reduce (sum) of b.
-func (st *Stream) AllReduce(b Buffer) *Handle {
-	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduce(b.Data) })
+func (st *Stream) AllReduce(b Buffer) Handle {
+	return st.enqueue(streamOp{kind: opAllReduce, b: b})
 }
 
 // AllReduceAvg enqueues an all-reduce followed by division by the world
 // size — the gradient-averaging collective.
-func (st *Stream) AllReduceAvg(b Buffer) *Handle {
-	return st.Submit(func(c *Comm) { c.WithDType(b.DType).AllReduceAvg(b.Data) })
+func (st *Stream) AllReduceAvg(b Buffer) Handle {
+	return st.enqueue(streamOp{kind: opAllReduceAvg, b: b})
 }
 
 // checkNodeSize validates a hierarchical submission eagerly, before the op
@@ -260,48 +355,48 @@ func (st *Stream) checkNodeSize(nodeSize int) {
 // domains exactly like the flat collectives do, with the intra/inter split
 // recorded under the "hier-intra"/"hier-inter" group labels at b's wire
 // width.
-func (st *Stream) AllReduceHierarchical(b Buffer, nodeSize int) *Handle {
+func (st *Stream) AllReduceHierarchical(b Buffer, nodeSize int) Handle {
 	st.checkNodeSize(nodeSize)
-	return st.Submit(func(c *Comm) {
-		if err := c.AllReduceHierarchical(b, nodeSize); err != nil {
-			panic(err)
-		}
-	})
+	return st.enqueue(streamOp{kind: opAllReduceHier, b: b, nodeSize: nodeSize})
 }
 
 // ReduceScatterHierarchical enqueues a two-level reduce-scatter of b under
 // the ownership partition parts (member i ends up owning parts[i]).
-func (st *Stream) ReduceScatterHierarchical(b Buffer, parts []Range, nodeSize int) *Handle {
+func (st *Stream) ReduceScatterHierarchical(b Buffer, parts []Range, nodeSize int) Handle {
 	st.checkNodeSize(nodeSize)
-	return st.Submit(func(c *Comm) {
-		if err := c.ReduceScatterHierarchical(b, parts, nodeSize); err != nil {
-			panic(err)
-		}
-	})
+	return st.enqueue(streamOp{kind: opReduceScatterHier, b: b, parts: parts, nodeSize: nodeSize})
 }
 
 // AllGatherHierarchical enqueues a two-level all-gather of b under parts.
-func (st *Stream) AllGatherHierarchical(b Buffer, parts []Range, nodeSize int) *Handle {
+func (st *Stream) AllGatherHierarchical(b Buffer, parts []Range, nodeSize int) Handle {
 	st.checkNodeSize(nodeSize)
-	return st.Submit(func(c *Comm) {
-		if err := c.AllGatherHierarchical(b, parts, nodeSize); err != nil {
-			panic(err)
-		}
-	})
+	return st.enqueue(streamOp{kind: opAllGatherHier, b: b, parts: parts, nodeSize: nodeSize})
 }
 
 // Flush blocks until every previously submitted op has completed on this
 // rank's stream. It is a local barrier: pair it across ranks (every rank
 // submits the same schedule, every rank flushes).
 func (st *Stream) Flush() {
-	h := &Handle{done: make(chan struct{})}
-	st.ops <- streamOp{h: h}
-	<-h.done
+	st.submitMu.Lock()
+	seq := st.submitted
+	st.submitMu.Unlock()
+	st.waitFor(seq)
 }
 
 // Pending returns the number of submitted ops not yet completed. It is
 // advisory (racy by nature) and meant for tests and instrumentation.
-func (st *Stream) Pending() int64 { return st.submitted.Load() - st.completed.Load() }
+func (st *Stream) Pending() int64 {
+	st.submitMu.Lock()
+	sub := st.submitted
+	st.submitMu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return sub - st.completed
+}
 
 // Completed returns the number of ops the worker has finished executing.
-func (st *Stream) Completed() int64 { return st.completed.Load() }
+func (st *Stream) Completed() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.completed
+}

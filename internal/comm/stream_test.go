@@ -61,7 +61,7 @@ func TestStreamFIFOAndFlush(t *testing.T) {
 		defer s.Close()
 		st := s.Stream("grad")
 		var order []int
-		var handles []*Handle
+		var handles []Handle
 		for i := 0; i < ops; i++ {
 			i := i
 			handles = append(handles, st.Submit(func(c *Comm) {
@@ -158,7 +158,7 @@ func TestStreamsAreIndependentOrderingDomains(t *testing.T) {
 		// Even ranks submit grad first, odd ranks prefetch first: the
 		// cross-stream submission interleaving differs per rank, the
 		// per-stream order does not.
-		var h1, h2 *Handle
+		var h1, h2 Handle
 		if c.Rank()%2 == 0 {
 			h1 = grad.AllReduce(F32Buf(a[c.Rank()]))
 			h2 = pf.AllReduce(F32Buf(b[c.Rank()]))
@@ -223,7 +223,7 @@ func TestQueueDepthOptionAndBackpressure(t *testing.T) {
 			t.Errorf("rank %d: wide depth = %d, want 128", c.Rank(), wide.Depth())
 		}
 		x := []float32{1}
-		var last *Handle
+		var last Handle
 		for i := 0; i < ops; i++ {
 			last = st.AllReduce(F32Buf(x)) // blocks on the full queue, must not deadlock
 		}

@@ -11,9 +11,13 @@ import (
 const causalMask = -1e9
 
 // blockForward computes one transformer block given acts.x (the block
-// input, [M,h]) and fills the remaining activation fields. It returns the
-// block output.
-func (m *Model) blockForward(i int, acts *blockActs, batch, seqLen int) []float32 {
+// input, [M,h]), fills the remaining activation fields and writes the block
+// output into out (a workspace buffer owned by the caller), returning it.
+// All activation buffers are drawn from the persistent workspace and fully
+// overwritten — the forward kernels (matmul, layernorm, softmax, GELU)
+// write their destinations, so stale values from the previous step never
+// leak into the math.
+func (m *Model) blockForward(i int, acts *blockActs, out []float32, batch, seqLen int) []float32 {
 	h := m.Cfg.Hidden
 	heads := m.Cfg.Heads
 	dh := h / heads
@@ -21,27 +25,29 @@ func (m *Model) blockForward(i int, acts *blockActs, batch, seqLen int) []float3
 	mRows := batch * seqLen
 	off := m.Layout.blocks[i]
 	p := m.Params
+	ws := &m.ws
 
 	// LN1.
-	acts.a = make([]float32, mRows*h)
-	acts.xhat1 = make([]float32, mRows*h)
-	acts.invStd1 = make([]float32, mRows)
+	acts.a = grow(acts.a, mRows*h)
+	acts.xhat1 = grow(acts.xhat1, mRows*h)
+	acts.invStd1 = grow(acts.invStd1, mRows)
 	tensor.LayerNorm(acts.a, acts.xhat1, acts.invStd1, acts.x,
 		p[off.ln1Gamma:off.ln1Gamma+h], p[off.ln1Beta:off.ln1Beta+h], mRows, h, lnEps)
 
 	// QKV projection.
-	acts.qkv = make([]float32, mRows*3*h)
+	acts.qkv = grow(acts.qkv, mRows*3*h)
 	tensor.MatMul(acts.qkv, acts.a, p[off.wQKV:off.wQKV+h*3*h], mRows, h, 3*h)
 	tensor.AddBiasRows(acts.qkv, p[off.bQKV:off.bQKV+3*h], mRows, 3*h)
 
 	// Multi-head causal self-attention.
-	acts.probs = make([]float32, batch*heads*seqLen*seqLen)
-	acts.ctx = make([]float32, mRows*h)
+	acts.probs = grow(acts.probs, batch*heads*seqLen*seqLen)
+	acts.ctx = grow(acts.ctx, mRows*h)
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	qh := make([]float32, seqLen*dh)
-	kh := make([]float32, seqLen*dh)
-	vh := make([]float32, seqLen*dh)
-	ctxh := make([]float32, seqLen*dh)
+	ws.qh = grow(ws.qh, seqLen*dh)
+	ws.kh = grow(ws.kh, seqLen*dh)
+	ws.vh = grow(ws.vh, seqLen*dh)
+	ws.ctxh = grow(ws.ctxh, seqLen*dh)
+	qh, kh, vh, ctxh := ws.qh, ws.kh, ws.vh, ws.ctxh
 	for b := 0; b < batch; b++ {
 		for hd := 0; hd < heads; hd++ {
 			m.gatherHead(acts.qkv, qh, kh, vh, b, hd, batch, seqLen)
@@ -67,25 +73,24 @@ func (m *Model) blockForward(i int, acts *blockActs, batch, seqLen int) []float3
 	}
 
 	// Output projection + residual.
-	attnOut := make([]float32, mRows*h)
-	tensor.MatMul(attnOut, acts.ctx, p[off.wProj:off.wProj+h*h], mRows, h, h)
-	tensor.AddBiasRows(attnOut, p[off.bProj:off.bProj+h], mRows, h)
-	acts.x2 = make([]float32, mRows*h)
+	acts.attnOut = grow(acts.attnOut, mRows*h)
+	tensor.MatMul(acts.attnOut, acts.ctx, p[off.wProj:off.wProj+h*h], mRows, h, h)
+	tensor.AddBiasRows(acts.attnOut, p[off.bProj:off.bProj+h], mRows, h)
+	acts.x2 = grow(acts.x2, mRows*h)
 	copy(acts.x2, acts.x)
-	tensor.Add(acts.x2, attnOut)
+	tensor.Add(acts.x2, acts.attnOut)
 
 	// LN2 + MLP + residual.
-	acts.mlin = make([]float32, mRows*h)
-	acts.xhat2 = make([]float32, mRows*h)
-	acts.invStd2 = make([]float32, mRows)
+	acts.mlin = grow(acts.mlin, mRows*h)
+	acts.xhat2 = grow(acts.xhat2, mRows*h)
+	acts.invStd2 = grow(acts.invStd2, mRows)
 	tensor.LayerNorm(acts.mlin, acts.xhat2, acts.invStd2, acts.x2,
 		p[off.ln2Gamma:off.ln2Gamma+h], p[off.ln2Beta:off.ln2Beta+h], mRows, h, lnEps)
-	acts.h1 = make([]float32, mRows*ffn)
+	acts.h1 = grow(acts.h1, mRows*ffn)
 	tensor.MatMul(acts.h1, acts.mlin, p[off.wFC1:off.wFC1+h*ffn], mRows, h, ffn)
 	tensor.AddBiasRows(acts.h1, p[off.bFC1:off.bFC1+ffn], mRows, ffn)
-	acts.g = make([]float32, mRows*ffn)
+	acts.g = grow(acts.g, mRows*ffn)
 	tensor.GELU(acts.g, acts.h1)
-	out := make([]float32, mRows*h)
 	tensor.MatMul(out, acts.g, p[off.wFC2:off.wFC2+ffn*h], mRows, ffn, h)
 	tensor.AddBiasRows(out, p[off.bFC2:off.bFC2+h], mRows, h)
 	tensor.Add(out, acts.x2)
@@ -107,8 +112,13 @@ func (m *Model) gatherHead(qkv, qh, kh, vh []float32, b, hd, batch, seqLen int) 
 
 // blockBackward consumes dOut (gradient of the block output) and the
 // activations from blockForward, accumulates parameter gradients, and
-// returns the gradient with respect to the block input.
-func (m *Model) blockBackward(i int, acts *blockActs, dOut []float32, batch, seqLen int) []float32 {
+// writes the gradient with respect to the block input into dst (which must
+// not alias dOut; the caller double-buffers). Workspace scratch reused
+// across steps is either fully overwritten by the overwrite-kernels
+// (MatMul/MatMulBT, copies) or explicitly zeroed before an accumulating
+// kernel (GELUBackward, MatMulATAdd, SoftmaxRowsBackward) — matching the
+// zero state fresh allocations used to provide.
+func (m *Model) blockBackward(i int, acts *blockActs, dOut, dst []float32, batch, seqLen int) {
 	h := m.Cfg.Hidden
 	heads := m.Cfg.Heads
 	dh := h / heads
@@ -116,19 +126,25 @@ func (m *Model) blockBackward(i int, acts *blockActs, dOut []float32, batch, seq
 	mRows := batch * seqLen
 	off := m.Layout.blocks[i]
 	p, g := m.Params, m.Grads
+	ws := &m.ws
 
 	// Residual: out = x2 + MLP(LN2(x2)) ⇒ dx2 starts as dOut.
-	dX2 := make([]float32, mRows*h)
+	ws.dX2 = grow(ws.dX2, mRows*h)
+	dX2 := ws.dX2
 	copy(dX2, dOut)
 
 	// MLP backward.
-	dG := make([]float32, mRows*ffn)
+	ws.dG = grow(ws.dG, mRows*ffn)
+	dG := ws.dG
 	tensor.MatMulBT(dG, dOut, p[off.wFC2:off.wFC2+ffn*h], mRows, h, ffn)
 	tensor.MatMulATAdd(g[off.wFC2:off.wFC2+ffn*h], acts.g, dOut, mRows, ffn, h)
 	tensor.BiasGradRows(g[off.bFC2:off.bFC2+h], dOut, mRows, h)
-	dH1 := make([]float32, mRows*ffn)
+	ws.dH1 = grow(ws.dH1, mRows*ffn)
+	dH1 := ws.dH1
+	tensor.Zero(dH1) // GELUBackward accumulates
 	tensor.GELUBackward(dH1, dG, acts.h1)
-	dMlin := make([]float32, mRows*h)
+	ws.dMlin = grow(ws.dMlin, mRows*h)
+	dMlin := ws.dMlin
 	tensor.MatMulBT(dMlin, dH1, p[off.wFC1:off.wFC1+h*ffn], mRows, ffn, h)
 	tensor.MatMulATAdd(g[off.wFC1:off.wFC1+h*ffn], acts.mlin, dH1, mRows, h, ffn)
 	tensor.BiasGradRows(g[off.bFC1:off.bFC1+ffn], dH1, mRows, ffn)
@@ -136,23 +152,28 @@ func (m *Model) blockBackward(i int, acts *blockActs, dOut []float32, batch, seq
 		dMlin, acts.xhat2, acts.invStd2, p[off.ln2Gamma:off.ln2Gamma+h], mRows, h)
 
 	// Attention output projection backward (dAttnOut == dX2: x2 = x + attnOut).
-	dCtx := make([]float32, mRows*h)
+	ws.dCtx = grow(ws.dCtx, mRows*h)
+	dCtx := ws.dCtx
 	tensor.MatMulBT(dCtx, dX2, p[off.wProj:off.wProj+h*h], mRows, h, h)
 	tensor.MatMulATAdd(g[off.wProj:off.wProj+h*h], acts.ctx, dX2, mRows, h, h)
 	tensor.BiasGradRows(g[off.bProj:off.bProj+h], dX2, mRows, h)
 
 	// Attention core backward, per (sample, head).
-	dQKV := make([]float32, mRows*3*h)
+	ws.dQKV = grow(ws.dQKV, mRows*3*h)
+	dQKV := ws.dQKV
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	qh := make([]float32, seqLen*dh)
-	kh := make([]float32, seqLen*dh)
-	vh := make([]float32, seqLen*dh)
-	dctxh := make([]float32, seqLen*dh)
-	dP := make([]float32, seqLen*seqLen)
-	dS := make([]float32, seqLen*seqLen)
-	dqh := make([]float32, seqLen*dh)
-	dkh := make([]float32, seqLen*dh)
-	dvh := make([]float32, seqLen*dh)
+	ws.qh = grow(ws.qh, seqLen*dh)
+	ws.kh = grow(ws.kh, seqLen*dh)
+	ws.vh = grow(ws.vh, seqLen*dh)
+	ws.dctxh = grow(ws.dctxh, seqLen*dh)
+	ws.dP = grow(ws.dP, seqLen*seqLen)
+	ws.dS = grow(ws.dS, seqLen*seqLen)
+	ws.dqh = grow(ws.dqh, seqLen*dh)
+	ws.dkh = grow(ws.dkh, seqLen*dh)
+	ws.dvh = grow(ws.dvh, seqLen*dh)
+	qh, kh, vh := ws.qh, ws.kh, ws.vh
+	dctxh, dP, dS := ws.dctxh, ws.dP, ws.dS
+	dqh, dkh, dvh := ws.dqh, ws.dkh, ws.dvh
 	for b := 0; b < batch; b++ {
 		for hd := 0; hd < heads; hd++ {
 			m.gatherHead(acts.qkv, qh, kh, vh, b, hd, batch, seqLen)
@@ -184,15 +205,14 @@ func (m *Model) blockBackward(i int, acts *blockActs, dOut []float32, batch, seq
 	}
 
 	// QKV projection backward.
-	dA := make([]float32, mRows*h)
+	ws.dA = grow(ws.dA, mRows*h)
+	dA := ws.dA
 	tensor.MatMulBT(dA, dQKV, p[off.wQKV:off.wQKV+h*3*h], mRows, 3*h, h)
 	tensor.MatMulATAdd(g[off.wQKV:off.wQKV+h*3*h], acts.a, dQKV, mRows, h, 3*h)
 	tensor.BiasGradRows(g[off.bQKV:off.bQKV+3*h], dQKV, mRows, 3*h)
 
 	// LN1 + residual: dx = dx2 (residual) + LN1-backward(dA).
-	dX := make([]float32, mRows*h)
-	copy(dX, dX2)
-	tensor.LayerNormBackward(dX, g[off.ln1Gamma:off.ln1Gamma+h], g[off.ln1Beta:off.ln1Beta+h],
+	copy(dst, dX2)
+	tensor.LayerNormBackward(dst, g[off.ln1Gamma:off.ln1Gamma+h], g[off.ln1Beta:off.ln1Beta+h],
 		dA, acts.xhat1, acts.invStd1, p[off.ln1Gamma:off.ln1Gamma+h], mRows, h)
-	return dX
 }

@@ -66,26 +66,17 @@ type Model struct {
 	// slot for simplicity — they are 2h elements.)
 	BackwardHook func(layer int)
 
-	// saved forward state for backward
-	fwd *forwardState
+	// ws is the persistent step workspace (activations, gradients,
+	// attention scratch), reused across steps; fwd points at it between a
+	// Loss and its Backward. See workspace.go for the ownership rules.
+	ws  workspace
+	fwd *workspace
 }
 
-// forwardState holds the activations of one forward pass.
-type forwardState struct {
-	batch, seqLen int
-	ids           []int
-	targets       []int
-	x0            []float32 // embedding output
-	blocks        []blockActs
-	xL            []float32 // last block output
-	xhatF         []float32
-	invStdF       []float32
-	xf            []float32 // final layernorm output
-	probs         []float32 // softmax over vocab
-}
-
-// blockActs holds one block's intermediate activations. Under activation
-// checkpointing only x (the checkpoint) survives the forward pass.
+// blockActs holds one block's intermediate activations, drawn from the
+// model workspace and reused across steps. x (the block input / activation
+// checkpoint) aliases the previous block's output; under a checkpoint
+// Store it is nil between the forward Put and the backward Get.
 type blockActs struct {
 	x       []float32 // block input [M,h] — the activation checkpoint
 	xhat1   []float32
@@ -94,17 +85,13 @@ type blockActs struct {
 	qkv     []float32 // [M,3h]
 	probs   []float32 // attention softmax [B*heads, T, T]
 	ctx     []float32 // attention context before proj [M,h]
+	attnOut []float32 // attention projection output [M,h]
 	x2      []float32 // x + attnOut
 	xhat2   []float32
 	invStd2 []float32
 	mlin    []float32 // ln2 output
 	h1      []float32 // MLP pre-GELU [M,ffn]
 	g       []float32 // GELU output [M,ffn]
-}
-
-// drop releases everything but the checkpoint.
-func (b *blockActs) drop() {
-	*b = blockActs{x: b.x}
 }
 
 // New creates a model with Gaussian-initialized weights (std 0.02, GPT-2
@@ -162,11 +149,11 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	}
 	h := m.Cfg.Hidden
 	mRows := batch * seqLen
-	fs := &forwardState{
-		batch: batch, seqLen: seqLen,
-		ids: append([]int(nil), ids...), targets: append([]int(nil), targets...),
-		x0: make([]float32, mRows*h),
-	}
+	fs := &m.ws
+	fs.batch, fs.seqLen = batch, seqLen
+	fs.ids = append(fs.ids[:0], ids...)
+	fs.targets = append(fs.targets[:0], targets...)
+	fs.x0 = grow(fs.x0, mRows*h)
 
 	// Embedding: token + position.
 	if m.ForwardHook != nil {
@@ -187,7 +174,10 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	}
 
 	// Blocks.
-	fs.blocks = make([]blockActs, m.Cfg.Layers)
+	if len(fs.blocks) != m.Cfg.Layers {
+		fs.blocks = make([]blockActs, m.Cfg.Layers)
+		fs.outs = make([][]float32, m.Cfg.Layers)
+	}
 	x := fs.x0
 	for i := 0; i < m.Cfg.Layers; i++ {
 		if m.ForwardHook != nil {
@@ -195,13 +185,11 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 		}
 		acts := &fs.blocks[i]
 		acts.x = x
-		x = m.blockForward(i, acts, batch, seqLen)
-		if m.Checkpoint {
-			acts.drop()
-			if m.Store != nil {
-				m.Store.Put(i, acts.x)
-				acts.x = nil
-			}
+		fs.outs[i] = grow(fs.outs[i], mRows*h)
+		x = m.blockForward(i, acts, fs.outs[i], batch, seqLen)
+		if m.Checkpoint && m.Store != nil {
+			m.Store.Put(i, acts.x)
+			acts.x = nil
 		}
 	}
 	fs.xL = x
@@ -210,17 +198,17 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	if m.ForwardHook != nil {
 		m.ForwardHook(m.Cfg.Layers)
 	}
-	fs.xhatF = make([]float32, mRows*h)
-	fs.invStdF = make([]float32, mRows)
-	fs.xf = make([]float32, mRows*h)
+	fs.xhatF = grow(fs.xhatF, mRows*h)
+	fs.invStdF = grow(fs.invStdF, mRows)
+	fs.xf = grow(fs.xf, mRows*h)
 	gammaF := m.Params[m.Layout.lnF : m.Layout.lnF+h]
 	betaF := m.Params[m.Layout.lnF+h : m.Layout.lnF+2*h]
 	tensor.LayerNorm(fs.xf, fs.xhatF, fs.invStdF, x, gammaF, betaF, mRows, h, lnEps)
 
-	logits := make([]float32, mRows*m.Cfg.Vocab)
-	tensor.MatMulBT(logits, fs.xf, tok, mRows, h, m.Cfg.Vocab)
-	fs.probs = make([]float32, mRows*m.Cfg.Vocab)
-	loss := tensor.CrossEntropy(fs.probs, logits, targets, mRows, m.Cfg.Vocab)
+	fs.logits = grow(fs.logits, mRows*m.Cfg.Vocab)
+	tensor.MatMulBT(fs.logits, fs.xf, tok, mRows, h, m.Cfg.Vocab)
+	fs.probs = grow(fs.probs, mRows*m.Cfg.Vocab)
+	loss := tensor.CrossEntropy(fs.probs, fs.logits, fs.targets, mRows, m.Cfg.Vocab)
 
 	m.fwd = fs
 	return loss
@@ -248,21 +236,29 @@ func (m *Model) Backward() {
 	dPos := m.Grads[m.Layout.posEmb : m.Layout.posEmb+m.Cfg.Seq*h]
 
 	// Head: dLogits, then through the tied embedding.
-	dLogits := make([]float32, mRows*v)
+	fs.dLogits = grow(fs.dLogits, mRows*v)
+	dLogits := fs.dLogits
 	tensor.CrossEntropyBackward(dLogits, fs.probs, fs.targets, mRows, v)
-	dXf := make([]float32, mRows*h)
+	fs.dXf = grow(fs.dXf, mRows*h)
+	dXf := fs.dXf
 	tensor.MatMul(dXf, dLogits, tok, mRows, v, h)
 	tensor.MatMulATAdd(dTok, dLogits, fs.xf, mRows, v, h)
 
-	// Final layernorm.
-	dX := make([]float32, mRows*h)
+	// Final layernorm. LayerNormBackward accumulates into dX, so the reused
+	// buffer is zeroed first (fresh allocations used to guarantee this).
+	fs.dXa = grow(fs.dXa, mRows*h)
+	fs.dXb = grow(fs.dXb, mRows*h)
+	dX := fs.dXa
+	tensor.Zero(dX)
 	gammaF := m.Params[m.Layout.lnF : m.Layout.lnF+h]
 	dGammaF := m.Grads[m.Layout.lnF : m.Layout.lnF+h]
 	dBetaF := m.Grads[m.Layout.lnF+h : m.Layout.lnF+2*h]
 	tensor.LayerNormBackward(dX, dGammaF, dBetaF, dXf, fs.xhatF, fs.invStdF, gammaF, mRows, h)
 
-	// Blocks in reverse. Under checkpointing, recompute each block's
-	// internals from its saved input first.
+	// Blocks in reverse, double-buffering the input gradient (block i reads
+	// dX while writing the other buffer). Under checkpointing, recompute
+	// each block's internals from its saved input first.
+	next := fs.dXb
 	for i := m.Cfg.Layers - 1; i >= 0; i-- {
 		if m.BackwardPreHook != nil {
 			m.BackwardPreHook(i)
@@ -272,9 +268,11 @@ func (m *Model) Backward() {
 			if m.Store != nil {
 				acts.x = m.Store.Get(i)
 			}
-			m.blockForward(i, acts, fs.batch, fs.seqLen) // rebuild internals
+			out := fs.outs[i]
+			m.blockForward(i, acts, out, fs.batch, fs.seqLen) // rebuild internals
 		}
-		dX = m.blockBackward(i, acts, dX, fs.batch, fs.seqLen)
+		m.blockBackward(i, acts, dX, next, fs.batch, fs.seqLen)
+		dX, next = next, dX
 		if m.BackwardHook != nil {
 			m.BackwardHook(i)
 		}

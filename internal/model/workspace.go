@@ -1,0 +1,100 @@
+package model
+
+// The model's step workspace: every activation, gradient and attention
+// scratch buffer the forward/backward pass needs, retained across steps so
+// the steady-state training loop performs no heap allocation (the same
+// discipline ZeRO-R's constant buffers apply to real training runs, §6.3).
+// Buffers grow to the high-water mark of the shapes seen and are reused by
+// capacity; ReleaseWorkspace hands everything back to the GC at trainer
+// teardown so sequential trainers never double-resident their scratch.
+//
+// Ownership rule: a buffer returned by grow has UNDEFINED contents. Every
+// use below either fully overwrites it (matmul/layernorm/softmax forward
+// kernels, explicit copies) or zeroes it first when the consuming kernel
+// accumulates (see the tensor package's *Backward conventions).
+
+// workspace holds the per-model scratch. It doubles as the saved forward
+// state: Loss fills the activation fields and Backward consumes them.
+type workspace struct {
+	// saved forward state
+	batch, seqLen int
+	ids           []int
+	targets       []int
+	x0            []float32 // embedding output
+	blocks        []blockActs
+	outs          [][]float32 // per-block outputs (block i's out = block i+1's input)
+	xL            []float32   // last block output (alias into outs)
+	xhatF         []float32
+	invStdF       []float32
+	xf            []float32 // final layernorm output
+	logits        []float32
+	probs         []float32 // softmax over vocab
+
+	// backward scratch
+	dLogits []float32
+	dXf     []float32
+	dXa     []float32 // input-gradient double buffer (blocks alternate)
+	dXb     []float32
+	dX2     []float32
+	dG      []float32
+	dH1     []float32
+	dMlin   []float32
+	dCtx    []float32
+	dQKV    []float32
+	dA      []float32
+
+	// per-(sample, head) attention scratch, shared by forward and backward
+	qh, kh, vh, ctxh []float32
+	dctxh, dP, dS    []float32
+	dqh, dkh, dvh    []float32
+}
+
+// grow returns a slice of length n backed by buf when its capacity
+// suffices, or a fresh allocation that becomes the new high-water buffer.
+// Contents are undefined (see the ownership rule above).
+func grow(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
+}
+
+// ReleaseWorkspace drops every retained scratch buffer (and any pending
+// forward state), returning the memory to the GC — the teardown hook
+// zero.Trainer.Close uses so two sequential trainers in one process never
+// hold two workspaces at once.
+func (m *Model) ReleaseWorkspace() {
+	m.ws = workspace{}
+	m.fwd = nil
+}
+
+// WorkspaceBytes reports the bytes currently retained by the step
+// workspace — the measurable form of the pool-hygiene contract.
+func (m *Model) WorkspaceBytes() int64 {
+	ws := &m.ws
+	var n int
+	for _, b := range [][]float32{
+		ws.x0, ws.xhatF, ws.invStdF, ws.xf, ws.logits, ws.probs,
+		ws.dLogits, ws.dXf, ws.dXa, ws.dXb, ws.dX2, ws.dG, ws.dH1,
+		ws.dMlin, ws.dCtx, ws.dQKV, ws.dA,
+		ws.qh, ws.kh, ws.vh, ws.ctxh, ws.dctxh, ws.dP, ws.dS,
+		ws.dqh, ws.dkh, ws.dvh, ws.xL,
+	} {
+		n += cap(b)
+	}
+	// xL aliases the last outs entry; subtract the double count.
+	n -= cap(ws.xL)
+	for _, b := range ws.outs {
+		n += cap(b)
+	}
+	for i := range ws.blocks {
+		a := &ws.blocks[i]
+		for _, b := range [][]float32{
+			a.xhat1, a.invStd1, a.a, a.qkv, a.probs, a.ctx, a.attnOut,
+			a.x2, a.xhat2, a.invStd2, a.mlin, a.h1, a.g,
+		} {
+			n += cap(b)
+		}
+	}
+	return int64(n)*4 + int64(cap(ws.ids)+cap(ws.targets))*8
+}

@@ -126,10 +126,20 @@ func PartialSquaredSum(g []float32) float32 {
 // bitwise-equal across every ZeRO stage.
 func PartitionSquaredSums(g []float32, parts []comm.Range) []float32 {
 	partials := make([]float32, len(parts))
-	for i, p := range parts {
-		partials[i] = PartialSquaredSum(g[p.Lo:p.Hi])
-	}
+	PartitionSquaredSumsInto(partials, g, parts)
 	return partials
+}
+
+// PartitionSquaredSumsInto is PartitionSquaredSums into a caller-owned
+// buffer (len(parts) long) — the allocation-free form the trainer's
+// steady-state clipping path uses.
+func PartitionSquaredSumsInto(dst []float32, g []float32, parts []comm.Range) {
+	if len(dst) != len(parts) {
+		panic("optimizer: PartitionSquaredSumsInto length mismatch")
+	}
+	for i, p := range parts {
+		dst[i] = PartialSquaredSum(g[p.Lo:p.Hi])
+	}
 }
 
 // ClipScale returns the multiplier that caps the gradient norm at maxNorm

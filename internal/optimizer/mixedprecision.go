@@ -57,6 +57,8 @@ type MixedPrecision struct {
 	Half   tensor.HalfBuffer // fp16 working copy used by forward/backward
 	Opt    *Adam
 	Scaler *LossScaler
+
+	unscaled []float32 // per-step unscale scratch, reused across steps
 }
 
 // NewMixedPrecision wraps n parameters.
@@ -81,7 +83,10 @@ func (mp *MixedPrecision) SetMaster(w []float32) {
 // the step was applied.
 func (mp *MixedPrecision) Step(scaledGrads []float32) bool {
 	inv := float32(1 / mp.Scaler.Scale)
-	unscaled := make([]float32, len(scaledGrads))
+	if cap(mp.unscaled) < len(scaledGrads) {
+		mp.unscaled = make([]float32, len(scaledGrads))
+	}
+	unscaled := mp.unscaled[:len(scaledGrads)]
 	for i, g := range scaledGrads {
 		unscaled[i] = g * inv
 	}

@@ -21,14 +21,20 @@ import (
 // kernels stay single-threaded.
 const parallelThreshold = 1 << 16
 
+// splitRows reports whether an m-row kernel with the given total work
+// should fan out across goroutines. Kept separate from parallelRows so the
+// common single-threaded path calls the named range kernel directly — a
+// closure passed to parallelRows escapes to the heap, and one allocation
+// per matmul is exactly the per-step churn the workspace discipline exists
+// to eliminate.
+func splitRows(m, work int) bool {
+	return work >= parallelThreshold && runtime.GOMAXPROCS(0) > 1 && m > 1
+}
+
 // parallelRows runs fn over row ranges [lo,hi) of m rows, splitting across
-// available CPUs when work is at least parallelThreshold.
-func parallelRows(m, work int, fn func(lo, hi int)) {
+// available CPUs. Callers have already checked splitRows.
+func parallelRows(m int, fn func(lo, hi int)) {
 	procs := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || procs == 1 || m == 1 {
-		fn(0, m)
-		return
-	}
 	if procs > m {
 		procs = m
 	}
@@ -53,24 +59,30 @@ func MatMul(c, a, b []float32, m, k, n int) {
 	checkDims(len(a), m*k, "A")
 	checkDims(len(b), k*n, "B")
 	checkDims(len(c), m*n, "C")
-	parallelRows(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : i*n+n]
-			for x := range ci {
-				ci[x] = 0
+	if splitRows(m, m*k*n) {
+		parallelRows(m, func(lo, hi int) { matMulRange(c, a, b, k, n, lo, hi) })
+		return
+	}
+	matMulRange(c, a, b, k, n, 0, m)
+}
+
+func matMulRange(c, a, b []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : i*k+k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
 			}
-			ai := a[i*k : i*k+k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : p*n+n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulBT computes C[m×k] = A[m×n] · B[k×n]ᵀ, overwriting C.
@@ -79,20 +91,26 @@ func MatMulBT(c, a, b []float32, m, n, k int) {
 	checkDims(len(a), m*n, "A")
 	checkDims(len(b), k*n, "B")
 	checkDims(len(c), m*k, "C")
-	parallelRows(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a[i*n : i*n+n]
-			ci := c[i*k : i*k+k]
-			for j := 0; j < k; j++ {
-				bj := b[j*n : j*n+n]
-				var s float32
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				ci[j] = s
+	if splitRows(m, m*k*n) {
+		parallelRows(m, func(lo, hi int) { matMulBTRange(c, a, b, n, k, lo, hi) })
+		return
+	}
+	matMulBTRange(c, a, b, n, k, 0, m)
+}
+
+func matMulBTRange(c, a, b []float32, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*n : i*n+n]
+		ci := c[i*k : i*k+k]
+		for j := 0; j < k; j++ {
+			bj := b[j*n : j*n+n]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
 			}
+			ci[j] = s
 		}
-	})
+	}
 }
 
 // MatMulATAdd computes C[k×n] += A[m×k]ᵀ · B[m×n]. It accumulates rather
@@ -102,21 +120,27 @@ func MatMulATAdd(c, a, b []float32, m, k, n int) {
 	checkDims(len(b), m*n, "B")
 	checkDims(len(c), k*n, "C")
 	// Parallelize over the k rows of C so goroutines never share output rows.
-	parallelRows(k, m*k*n, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			cj := c[j*n : j*n+n]
-			for i := 0; i < m; i++ {
-				av := a[i*k+j]
-				if av == 0 {
-					continue
-				}
-				bi := b[i*n : i*n+n]
-				for x, bv := range bi {
-					cj[x] += av * bv
-				}
+	if splitRows(k, m*k*n) {
+		parallelRows(k, func(lo, hi int) { matMulATAddRange(c, a, b, m, k, n, lo, hi) })
+		return
+	}
+	matMulATAddRange(c, a, b, m, k, n, 0, k)
+}
+
+func matMulATAddRange(c, a, b []float32, m, k, n, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cj := c[j*n : j*n+n]
+		for i := 0; i < m; i++ {
+			av := a[i*k+j]
+			if av == 0 {
+				continue
+			}
+			bi := b[i*n : i*n+n]
+			for x, bv := range bi {
+				cj[x] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // AddBiasRows adds bias[n] to every row of x[m×n].

@@ -1,0 +1,103 @@
+package zero
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+)
+
+// The gradient-clip partial exchange rides the priority lane, not the grad
+// stream: its N floats must never queue behind megabyte gradient buckets.
+func TestClipPartialsRideThePriorityStream(t *testing.T) {
+	const ranks, batch, steps = 4, 4, 3
+	cfg := model.Config{Layers: 2, Hidden: 32, Heads: 2, Vocab: 32, Seq: 16}
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	w := comm.NewWorld(ranks)
+	w.Run(func(c *comm.Comm) {
+		tr := MustNew(c, cfg, Options{
+			Stage: StageOSGrad, LR: 1e-3, Seed: 1,
+			BucketElems: 256, Overlap: true, ClipNorm: 1,
+		})
+		defer tr.Close()
+		for i := 0; i < steps; i++ {
+			tr.Step(ids, targets, batch)
+		}
+		if tr.LastGradNorm <= 0 {
+			t.Errorf("rank %d: clipping did not run (norm %v)", c.Rank(), tr.LastGradNorm)
+		}
+	})
+	st := w.Stats(0)
+	// Each boundary all-gathers N floats over N ranks: N-1 elems sent per
+	// rank per step — and nothing else rides the lane at this config.
+	if want := int64(steps * (ranks - 1)); st.PerStream[StreamPriority] != want {
+		t.Errorf("priority-stream elems = %d, want %d", st.PerStream[StreamPriority], want)
+	}
+	if st.PerStream[StreamGrad] == 0 {
+		t.Error("grad stream idle — bucket traffic missing")
+	}
+}
+
+// LAMB's 2·#tensors trust-ratio norm exchange uses the same lane.
+func TestLAMBNormsRideThePriorityStream(t *testing.T) {
+	const ranks, batch = 4, 4
+	cfg := model.Config{Layers: 2, Hidden: 32, Heads: 2, Vocab: 32, Seq: 16}
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	w := comm.NewWorld(ranks)
+	w.Run(func(c *comm.Comm) {
+		tr := MustNew(c, cfg, Options{
+			Stage: StageOS, LR: 1e-3, Seed: 1,
+			Optimizer: optimizer.Spec{Kind: optimizer.KindLAMB, LR: 1e-3},
+		})
+		defer tr.Close()
+		tr.Step(ids, targets, batch)
+	})
+	if got := w.Stats(0).PerStream[StreamPriority]; got == 0 {
+		t.Error("LAMB norm partials did not use the priority stream")
+	}
+}
+
+// The point of the lane, under -race: small latency-bound gathers complete
+// while bucket-sized reduce-scatters are still in flight on the grad
+// stream. Every rank leaves a deep pipeline of big ops unwaited, runs the
+// clip-style gather on the priority stream, and only then drains the grad
+// stream — with a single shared FIFO this schedule would serialize the
+// small op behind ~all the big ones; with the lane it pairs independently.
+func TestPrioritySmallOpsBypassBucketTraffic(t *testing.T) {
+	const ranks, big, rounds = 4, 1 << 15, 8
+	w := comm.NewWorld(ranks)
+	results := make([][]float32, ranks)
+	w.Run(func(c *comm.Comm) {
+		s := comm.NewScheduler(c)
+		defer s.Close()
+		grad := s.Stream(StreamGrad)
+		prio := s.Stream(StreamPriority)
+		bigBuf := make([]float32, big)
+		for i := range bigBuf {
+			bigBuf[i] = 1
+		}
+		bigParts := comm.Partition(big, ranks)
+		for r := 0; r < rounds; r++ {
+			grad.ReduceScatter(comm.F32Buf(bigBuf), bigParts) // unwaited: stays in flight
+		}
+		// The "clip partial": one float per rank, gathered while the grad
+		// stream is saturated.
+		partials := make([]float32, ranks)
+		partials[c.Rank()] = float32(c.Rank() + 1)
+		prio.AllGather(comm.F32Buf(partials), comm.Partition(ranks, ranks)).Wait()
+		results[c.Rank()] = partials
+		grad.Flush()
+	})
+	for r := 0; r < ranks; r++ {
+		for i, v := range results[r] {
+			if v != float32(i+1) {
+				t.Fatalf("rank %d: priority gather slot %d = %v, want %v", r, i, v, float32(i+1))
+			}
+		}
+	}
+	st := w.Stats(0)
+	if st.PerStream[StreamPriority] == 0 || st.PerStream[StreamGrad] == 0 {
+		t.Fatal("expected concurrent traffic on both the grad and priority streams")
+	}
+}

@@ -24,6 +24,13 @@ const (
 	// stores (NewPartitionedStore), so activation gathers never share an
 	// ordering domain with gradient or prefetch traffic.
 	StreamCheckpoint = "checkpoint"
+	// StreamPriority is the high-priority lane for small latency-bound
+	// collectives — the N-element gradient-clip partial all-gather and
+	// LAMB's 2·#tensors trust-ratio norm all-gather. On its own ordering
+	// domain these messages never queue behind megabyte gradient buckets
+	// on the grad stream's FIFO worker, the in-process analogue of NCCL's
+	// priority streams.
+	StreamPriority = "priority"
 )
 
 // Topology describes the simulated cluster's node layout for the trainer's
@@ -184,6 +191,41 @@ type Trainer struct {
 	ownSched bool         // whether Close should close sched
 	grad     *comm.Stream // lazily created gradient ordering domain
 	prefetch *comm.Stream // lazily created stage-3 gather ordering domain
+	priority *comm.Stream // lazily created small-message priority lane
+
+	// Steady-state scratch, preallocated at construction (or on first use
+	// for the lazily sized pieces) so step k≥2 of a warmed trainer
+	// allocates nothing: the bucket plan caches the gradient schedule and
+	// its per-bucket ownership partitions; the prefetchers and hook
+	// closures persist across steps; the clip and LAMB buffers hold the
+	// small collective payloads.
+	plan           bucketPlan      // gradient bucket schedule, keyed off BucketElems
+	groupsParts    [][]comm.Range  // per t.groups entry: partition clipped to the group
+	fwdPf          paramPrefetcher // stage-3 forward gather pipeline
+	bwdPf          paramPrefetcher // stage-3 backward gather pipeline
+	fwdHook        func(int)       // persistent Model.ForwardHook body
+	bwdPreHook     func(int)       // persistent Model.BackwardPreHook body
+	bwdHook        func(int)       // persistent Model.BackwardHook body (overlap)
+	gradHandles    []comm.Handle   // overlapped-bucket handles, reused per step
+	clipPartials   []float32       // N-element clip partial buffer
+	clipParts      []comm.Range    // its one-element-per-rank partition
+	lambUpdate     []float32       // LAMB raw update over the optimizer domain
+	lambPartials   []float32       // partition-ordered 2·#tensors·N norm partials
+	lambParts      []comm.Range    // their all-gather partition
+	lambWP, lambUP []float32       // per-rank partial folds of one segment
+}
+
+// bucketPlan is the cached gradient communication schedule: the bucket
+// windows in reduction order, each with its ownership partition clipped to
+// the window, plus the submission indices per layer group for the
+// overlapped path. Rebuilt only when BucketElems changes (internal/ddp
+// tunes it between steps).
+type bucketPlan struct {
+	built       bool
+	bucketElems int
+	ranges      []comm.Range
+	parts       [][]comm.Range
+	byLayer     map[int][]int
 }
 
 // New constructs a rank's trainer. Every rank must use identical cfg and
@@ -259,6 +301,45 @@ func New(c *comm.Comm, cfg model.Config, opts Options) (*Trainer, error) {
 	if opts.Stage == StageFull {
 		t.dropUnowned()
 	}
+
+	// Preallocate the steady-state scratch: per-group gather partitions,
+	// the small-collective payloads, the stage-3 prefetch pipelines and the
+	// persistent hook closures. After this, a warmed step allocates nothing.
+	t.groupsParts = make([][]comm.Range, len(t.groups))
+	for i, g := range t.groups {
+		t.groupsParts[i] = intersect(parts, g.Lo, g.Hi)
+	}
+	t.clipPartials = make([]float32, c.Size())
+	t.clipParts = comm.Partition(c.Size(), c.Size())
+	if opts.Stage == StageFull {
+		layers := cfg.Layers
+		fwdOrder := make([]model.Segment, 0, layers+2)
+		fwdOrder = append(fwdOrder, t.layerGroup(-1))
+		for l := 0; l < layers; l++ {
+			fwdOrder = append(fwdOrder, t.layerGroup(l))
+		}
+		fwdOrder = append(fwdOrder, t.layerGroup(layers))
+		t.fwdPf.init(t, fwdOrder)
+		bwdOrder := make([]model.Segment, 0, layers+2)
+		bwdOrder = append(bwdOrder, t.layerGroup(-1))
+		bwdOrder = append(bwdOrder, t.layerGroup(layers))
+		for l := layers - 1; l >= 0; l-- {
+			bwdOrder = append(bwdOrder, t.layerGroup(l))
+		}
+		t.bwdPf.init(t, bwdOrder)
+		t.fwdHook = func(layer int) { t.fwdPf.arrive(layer + 1) }
+		t.bwdPreHook = func(layer int) {
+			if layer == layers {
+				// The head reads the embeddings and the final layernorm
+				// (positions 0 and 1) at once.
+				t.bwdPf.arrive(0)
+				t.bwdPf.arrive(1)
+				return
+			}
+			t.bwdPf.arrive(layers + 1 - layer)
+		}
+	}
+	t.bwdHook = func(layer int) { t.submitLayerBuckets(layer) }
 	return t, nil
 }
 
@@ -295,8 +376,9 @@ func (t *Trainer) optimizerDomain() comm.Range {
 }
 
 // Close releases the trainer's stream workers (if the scheduler is trainer
-// owned). Safe to call on trainers that never communicated asynchronously,
-// and more than once.
+// owned) and its model workspace, so two sequential trainers in one process
+// never double-resident their scratch. Safe to call on trainers that never
+// communicated asynchronously, and more than once.
 func (t *Trainer) Close() {
 	if t.sched != nil && t.ownSched {
 		t.sched.Close()
@@ -304,6 +386,10 @@ func (t *Trainer) Close() {
 	t.sched = nil
 	t.grad = nil
 	t.prefetch = nil
+	t.priority = nil
+	if t.Model != nil {
+		t.Model.ReleaseWorkspace()
+	}
 }
 
 // gradStream lazily creates the gradient ordering domain. QueueDepth is
@@ -322,6 +408,17 @@ func (t *Trainer) prefetchStream() *comm.Stream {
 		t.prefetch = t.sched.StreamWithDepth(StreamPrefetch, t.opts.QueueDepth)
 	}
 	return t.prefetch
+}
+
+// priorityStream lazily creates the small-message priority lane. Every rank
+// reaches it under the same configuration (gradient clipping or LAMB), so
+// the stream-name set stays identical across ranks — the determinism
+// contract of the scheduler.
+func (t *Trainer) priorityStream() *comm.Stream {
+	if t.priority == nil {
+		t.priority = t.sched.StreamWithDepth(StreamPriority, t.opts.QueueDepth)
+	}
+	return t.priority
 }
 
 // wireDType is the dtype collectives are accounted at: F16 under
@@ -347,7 +444,7 @@ func (t *Trainer) NodeSize() int { return t.nodeSize }
 // reduceScatter submits one bucket's reduce-scatter to st, routed through
 // the two-level hierarchical algorithm when a topology is configured. The
 // ownership layout (parts) is identical either way.
-func (t *Trainer) reduceScatter(st *comm.Stream, b comm.Buffer, parts []comm.Range) *comm.Handle {
+func (t *Trainer) reduceScatter(st *comm.Stream, b comm.Buffer, parts []comm.Range) comm.Handle {
 	if t.nodeSize > 0 {
 		return st.ReduceScatterHierarchical(b, parts, t.nodeSize)
 	}
@@ -357,7 +454,7 @@ func (t *Trainer) reduceScatter(st *comm.Stream, b comm.Buffer, parts []comm.Ran
 // allGather submits one parameter/gradient all-gather to st, routed like
 // reduceScatter. The small N-element clip-partial gather stays flat: it is
 // latency-bound, and gathers are bitwise identical however they are routed.
-func (t *Trainer) allGather(st *comm.Stream, b comm.Buffer, parts []comm.Range) *comm.Handle {
+func (t *Trainer) allGather(st *comm.Stream, b comm.Buffer, parts []comm.Range) comm.Handle {
 	if t.nodeSize > 0 {
 		return st.AllGatherHierarchical(b, parts, t.nodeSize)
 	}
@@ -379,9 +476,8 @@ func (t *Trainer) dropUnowned() {
 // pipelined schedule of §7.2.2; the group order and ring arithmetic are
 // identical either way, which is why the two are bitwise equal.
 func (t *Trainer) gatherParams() {
-	for _, g := range t.groups {
-		groupParts := intersect(t.parts, g.Lo, g.Hi)
-		t.allGather(t.prefetchStream(), t.wireBuf(t.Model.Params), groupParts).Wait()
+	for i := range t.groups {
+		t.allGather(t.prefetchStream(), t.wireBuf(t.Model.Params), t.groupsParts[i]).Wait()
 	}
 }
 
@@ -393,18 +489,36 @@ func (t *Trainer) gatherParams() {
 // overlap). Every rank walks the same order with the same depth, so the
 // per-stream submission order is identical across ranks (the determinism
 // contract), and gathers only move bits, so results are depth-invariant.
+//
+// A prefetcher is constructed once per trainer (forward and backward each
+// own one) and reset per pass: the gather order, the per-group ownership
+// partitions and the handle slots all persist, so a steady-state pass
+// submits its whole pipeline without allocating.
 type paramPrefetcher struct {
-	t       *Trainer
-	order   []model.Segment
-	handles []*comm.Handle
-	depth   int
+	t          *Trainer
+	order      []model.Segment
+	orderParts [][]comm.Range
+	handles    []comm.Handle
+	depth      int
 }
 
-func (t *Trainer) newPrefetcher(order []model.Segment) *paramPrefetcher {
-	return &paramPrefetcher{
-		t: t, order: order,
-		handles: make([]*comm.Handle, len(order)),
-		depth:   t.prefetchWindow(),
+// init precomputes the gather order's partitions and handle slots.
+func (p *paramPrefetcher) init(t *Trainer, order []model.Segment) {
+	p.t = t
+	p.order = order
+	p.orderParts = make([][]comm.Range, len(order))
+	for i, g := range order {
+		p.orderParts[i] = intersect(t.parts, g.Lo, g.Hi)
+	}
+	p.handles = make([]comm.Handle, len(order))
+}
+
+// reset clears the launch state for a new pass and re-reads the depth knob
+// (PrefetchDepth is mutable between steps).
+func (p *paramPrefetcher) reset() {
+	p.depth = p.t.prefetchWindow()
+	for i := range p.handles {
+		p.handles[i] = comm.Handle{}
 	}
 }
 
@@ -420,12 +534,10 @@ func (t *Trainer) prefetchWindow() int {
 // submit launches the all-gather for order[k] if it exists and has not been
 // launched yet.
 func (p *paramPrefetcher) submit(k int) {
-	if k < 0 || k >= len(p.order) || p.handles[k] != nil {
+	if k < 0 || k >= len(p.order) || p.handles[k].Valid() {
 		return
 	}
-	g := p.order[k]
-	groupParts := intersect(p.t.parts, g.Lo, g.Hi)
-	p.handles[k] = p.t.allGather(p.t.prefetchStream(), p.t.wireBuf(p.t.Model.Params), groupParts)
+	p.handles[k] = p.t.allGather(p.t.prefetchStream(), p.t.wireBuf(p.t.Model.Params), p.orderParts[k])
 }
 
 // arrive blocks until order[k]'s parameters are resident and tops the
@@ -452,45 +564,23 @@ func (p *paramPrefetcher) prime(n int) {
 // 0 — gathered groups are only dropped after the pass, exactly like the
 // synchronous schedule.
 func (t *Trainer) forwardPrefetched(ids, targets []int, per int) float64 {
-	layers := t.Model.Cfg.Layers
-	order := make([]model.Segment, 0, layers+2)
-	order = append(order, t.layerGroup(-1))
-	for l := 0; l < layers; l++ {
-		order = append(order, t.layerGroup(l))
-	}
-	order = append(order, t.layerGroup(layers))
-	pf := t.newPrefetcher(order)
-	pf.prime(pf.depth)
-	t.Model.ForwardHook = func(layer int) { pf.arrive(layer + 1) }
+	t.fwdPf.reset()
+	t.fwdPf.prime(t.fwdPf.depth)
+	t.Model.ForwardHook = t.fwdHook
 	loss := t.Model.Loss(ids, targets, per)
 	t.Model.ForwardHook = nil
 	return loss
 }
 
-// installBackwardPrefetch arms the pipelined parameter gathers for the
-// backward pass: the head needs the embeddings and the final layernorm
-// first (positions 0 and 1), then blocks L-1..0 (position L+1-layer). The
-// returned func disarms the hook; all handles have been waited by then
-// because every group's BackwardPreHook fires.
-func (t *Trainer) installBackwardPrefetch() func() {
-	layers := t.Model.Cfg.Layers
-	order := make([]model.Segment, 0, layers+2)
-	order = append(order, t.layerGroup(-1))
-	order = append(order, t.layerGroup(layers))
-	for l := layers - 1; l >= 0; l-- {
-		order = append(order, t.layerGroup(l))
-	}
-	pf := t.newPrefetcher(order)
-	pf.prime(pf.depth + 1) // the head reads two groups (embeddings + ln_f) at once
-	t.Model.BackwardPreHook = func(layer int) {
-		if layer == layers {
-			pf.arrive(0)
-			pf.arrive(1)
-			return
-		}
-		pf.arrive(layers + 1 - layer)
-	}
-	return func() { t.Model.BackwardPreHook = nil }
+// armBackwardPrefetch arms the pipelined parameter gathers for the backward
+// pass: the head needs the embeddings and the final layernorm first
+// (positions 0 and 1), then blocks L-1..0 (position L+1-layer). The caller
+// clears Model.BackwardPreHook after Backward; all handles have been waited
+// by then because every group's BackwardPreHook fires.
+func (t *Trainer) armBackwardPrefetch() {
+	t.bwdPf.reset()
+	t.bwdPf.prime(t.bwdPf.depth + 1) // the head reads two groups (embeddings + ln_f) at once
+	t.Model.BackwardPreHook = t.bwdPreHook
 }
 
 // intersect clips the global partition to [lo,hi), producing a per-rank
@@ -567,9 +657,8 @@ func (t *Trainer) Backward() {
 			t.gatherParams()
 		}
 	}
-	var disarmPrefetch func()
 	if prefetching {
-		disarmPrefetch = t.installBackwardPrefetch()
+		t.armBackwardPrefetch()
 	}
 
 	// Backward pass plus the gradient collective schedule: synchronous
@@ -583,12 +672,13 @@ func (t *Trainer) Backward() {
 		if t.opts.FP16 {
 			quantizeFP16(t.Model.Grads)
 		}
-		for _, g := range t.commSchedule() {
-			t.reduceBucket(g.Lo, g.Hi).Wait()
+		p := t.ensurePlan()
+		for i := range p.ranges {
+			t.reduceBucketAt(p, i).Wait()
 		}
 	}
-	if disarmPrefetch != nil {
-		disarmPrefetch()
+	if prefetching {
+		t.Model.BackwardPreHook = nil
 	}
 
 	// Stage ≥ 2: micro-gradients outside the owned partition are released
@@ -627,14 +717,17 @@ func (t *Trainer) Update() {
 	// Stage 0 computes every partial locally (the full accumulator is
 	// resident); the partitioned stages contribute their shard's partial
 	// and all-gather the rest — same arithmetic, same bits.
+	// The N-float partial exchange rides the priority lane: it is latency
+	// bound, and on its own ordering domain it never queues behind bucket
+	// traffic still draining on the grad stream. Gathers move bits, so the
+	// result is bitwise identical to the grad-stream schedule.
 	if t.ClipNorm > 0 {
-		var partials []float32
+		partials := t.clipPartials
 		if t.stage == StageDDP {
-			partials = optimizer.PartitionSquaredSums(t.accum, t.parts)
+			optimizer.PartitionSquaredSumsInto(partials, t.accum, t.parts)
 		} else {
-			partials = make([]float32, t.c.Size())
 			partials[t.c.Rank()] = optimizer.PartialSquaredSum(t.accum)
-			t.gradStream().AllGather(comm.F32Buf(partials), comm.Partition(len(partials), t.c.Size())).Wait()
+			t.priorityStream().AllGather(comm.F32Buf(partials), t.clipParts).Wait()
 		}
 		norm := optimizer.GlobalGradNorm(partials)
 		t.LastGradNorm = norm
@@ -691,14 +784,18 @@ func (t *Trainer) stepOptimizer(params, grads []float32) {
 // boundaries.
 func (t *Trainer) stepLAMB(l *optimizer.LAMB, params, grads []float32) {
 	dom := t.optimizerDomain()
-	update := make([]float32, len(params))
-	l.PrepareUpdate(params, grads, update)
-
 	segs := t.Model.Layout.Segments
 	nseg := len(segs)
 	n := t.c.Size()
 	stride := 2 * nseg
-	partials := make([]float32, stride*n)
+	t.ensureLAMBScratch(len(params), stride*n, n)
+	update := t.lambUpdate[:len(params)]
+	l.PrepareUpdate(params, grads, update)
+
+	// fill only writes the segments overlapping a partition; every other
+	// slot must be zero for the partition-ordered norm folds.
+	partials := t.lambPartials[:stride*n]
+	tensor.Zero(partials)
 	// clip returns the overlap of segment s with partition p, rebased to
 	// the local buffer (which covers dom).
 	clip := func(s model.Segment, p comm.Range) (lo, hi int) {
@@ -732,12 +829,14 @@ func (t *Trainer) stepLAMB(l *optimizer.LAMB, params, grads []float32) {
 			fill(r, p)
 		}
 	} else {
+		// Like the clip partials, the 2·#tensors-float norm exchange is
+		// latency bound and rides the priority lane.
 		fill(t.c.Rank(), t.parts[t.c.Rank()])
-		t.gradStream().AllGather(comm.F32Buf(partials), comm.Partition(len(partials), n)).Wait()
+		t.priorityStream().AllGather(comm.F32Buf(partials), t.lambParts).Wait()
 	}
 
-	wp := make([]float32, n)
-	up := make([]float32, n)
+	wp := t.lambWP[:n]
+	up := t.lambUP[:n]
 	for s, seg := range segs {
 		for r := 0; r < n; r++ {
 			wp[r] = partials[r*stride+2*s]
@@ -751,6 +850,22 @@ func (t *Trainer) stepLAMB(l *optimizer.LAMB, params, grads []float32) {
 	}
 }
 
+// ensureLAMBScratch sizes the LAMB update/partial buffers once (first
+// boundary); subsequent steps reuse them.
+func (t *Trainer) ensureLAMBScratch(updateLen, partialLen, n int) {
+	if cap(t.lambUpdate) < updateLen {
+		t.lambUpdate = make([]float32, updateLen)
+	}
+	if cap(t.lambPartials) < partialLen {
+		t.lambPartials = make([]float32, partialLen)
+		t.lambParts = comm.Partition(partialLen, n)
+	}
+	if cap(t.lambWP) < n {
+		t.lambWP = make([]float32, n)
+		t.lambUP = make([]float32, n)
+	}
+}
+
 // AccumulatedMicros reports how many micro-batch gradients are currently
 // folded into the accumulator (0 right after an Update).
 func (t *Trainer) AccumulatedMicros() int { return t.accumMicros }
@@ -761,20 +876,40 @@ func (t *Trainer) AccumulatedMicros() int { return t.accumMicros }
 // only at stage 0 where every state is replicated anyway.
 func (t *Trainer) GradAccumElems() int { return len(t.accum) }
 
-// commSchedule returns the deterministic gradient-bucket order shared by
-// the synchronous and overlapped paths: transformer blocks in backward
-// order (block L-1 first), then the final layernorm, then the embeddings —
-// the order in which gradient segments finalize during Backward. Each layer
-// group is split into BucketElems-sized windows, also in reverse.
-func (t *Trainer) commSchedule() []comm.Range {
-	var sched []comm.Range
+// ensurePlan returns the cached gradient bucket plan, rebuilding it when
+// BucketElems has changed since the last step. The plan holds the
+// deterministic bucket order shared by the synchronous and overlapped
+// paths — transformer blocks in backward order (block L-1 first), then the
+// final layernorm, then the embeddings, each group split into
+// BucketElems-sized windows in reverse — plus each bucket's ownership
+// partition and the per-layer submission indices, so steady-state steps
+// replay the schedule without rebuilding it.
+func (t *Trainer) ensurePlan() *bucketPlan {
+	if t.plan.built && t.plan.bucketElems == t.BucketElems {
+		return &t.plan
+	}
+	p := bucketPlan{built: true, bucketElems: t.BucketElems, byLayer: make(map[int][]int)}
+	add := func(layer int) {
+		for _, b := range t.groupBuckets(t.layerGroup(layer)) {
+			p.byLayer[layer] = append(p.byLayer[layer], len(p.ranges))
+			p.ranges = append(p.ranges, b)
+			p.parts = append(p.parts, intersect(t.parts, b.Lo, b.Hi))
+		}
+	}
 	layers := t.Model.Cfg.Layers
 	for l := layers - 1; l >= 0; l-- {
-		sched = append(sched, t.groupBuckets(t.layerGroup(l))...)
+		add(l)
 	}
-	sched = append(sched, t.groupBuckets(t.layerGroup(layers))...) // ln_f
-	sched = append(sched, t.groupBuckets(t.layerGroup(-1))...)     // embeddings
-	return sched
+	add(layers) // ln_f
+	add(-1)     // embeddings
+	t.plan = p
+	return &t.plan
+}
+
+// commSchedule returns the gradient-bucket order of the current plan (for
+// tests and instrumentation).
+func (t *Trainer) commSchedule() []comm.Range {
+	return t.ensurePlan().ranges
 }
 
 // layerGroup returns the flat-buffer segment for a block index, the final
@@ -806,22 +941,34 @@ func (t *Trainer) groupBuckets(g model.Segment) []comm.Range {
 	return out
 }
 
-// reduceBucket submits one gradient window's collectives to the grad stream
+// reduceBucketAt submits plan bucket i's collectives to the grad stream
 // and returns the handle of the final op: a reduce-scatter across the
 // global partition, completed into an all-reduce by a gradient all-gather
-// at stage 0. The window's per-rank ownership comes from intersecting the
+// at stage 0. The bucket's per-rank ownership comes from intersecting the
 // global partition, so the elementwise reduction order — and therefore the
 // bits — is independent of bucket framing; under a Topology both ops route
 // hierarchically with the same ownership layout.
-func (t *Trainer) reduceBucket(lo, hi int) *comm.Handle {
-	wparts := intersect(t.parts, lo, hi)
+func (t *Trainer) reduceBucketAt(p *bucketPlan, i int) comm.Handle {
 	buf := t.wireBuf(t.Model.Grads)
 	st := t.gradStream()
-	h := t.reduceScatter(st, buf, wparts)
+	h := t.reduceScatter(st, buf, p.parts[i])
 	if t.stage == StageDDP {
-		h = t.allGather(st, buf, wparts) // FIFO after the reduce-scatter
+		h = t.allGather(st, buf, p.parts[i]) // FIFO after the reduce-scatter
 	}
 	return h
+}
+
+// submitLayerBuckets quantizes (FP16) and submits one layer group's buckets
+// in plan order, collecting the handles for the end-of-backward wait.
+func (t *Trainer) submitLayerBuckets(layer int) {
+	p := t.ensurePlan()
+	if t.opts.FP16 {
+		g := t.layerGroup(layer)
+		quantizeFP16(t.Model.Grads[g.Lo:g.Hi])
+	}
+	for _, i := range p.byLayer[layer] {
+		t.gradHandles = append(t.gradHandles, t.reduceBucketAt(p, i))
+	}
 }
 
 // backwardOverlapped runs Backward with the bucket schedule submitted to
@@ -829,25 +976,17 @@ func (t *Trainer) reduceBucket(lo, hi int) *comm.Handle {
 // bucket handle before returning — reduce-scatter of layer k rides under
 // the compute of layers k-1..0 (§7.2's communication/computation overlap).
 func (t *Trainer) backwardOverlapped() {
-	var handles []*comm.Handle
-	submitGroup := func(g model.Segment) {
-		if t.opts.FP16 {
-			quantizeFP16(t.Model.Grads[g.Lo:g.Hi])
-		}
-		for _, b := range t.groupBuckets(g) {
-			handles = append(handles, t.reduceBucket(b.Lo, b.Hi))
-		}
-	}
-	t.Model.BackwardHook = func(layer int) { submitGroup(t.layerGroup(layer)) }
+	t.gradHandles = t.gradHandles[:0]
+	t.Model.BackwardHook = t.bwdHook
 	t.Model.Backward()
 	t.Model.BackwardHook = nil
 	// The embedding gradients keep accumulating until Backward returns
 	// (tied head at the start + embedding lookup at the end), so their
 	// buckets — and the small ln_f group that shares this slot — go
-	// last, exactly as in commSchedule.
-	submitGroup(t.layerGroup(t.Model.Cfg.Layers))
-	submitGroup(t.layerGroup(-1))
-	for _, h := range handles {
+	// last, exactly as in the plan order.
+	t.submitLayerBuckets(t.Model.Cfg.Layers)
+	t.submitLayerBuckets(-1)
+	for _, h := range t.gradHandles {
 		h.Wait()
 	}
 }

@@ -40,14 +40,19 @@ func NewInlineStore() *InlineStore {
 	return &InlineStore{ckpts: make(map[int][]float32)}
 }
 
-// Put stores a copy of the checkpoint.
+// Put stores a copy of the checkpoint, reusing the previous step's buffer
+// when the shape is unchanged (the steady-state case).
 func (s *InlineStore) Put(layer int, x []float32) {
-	cp := append([]float32(nil), x...)
-	if old, ok := s.ckpts[layer]; ok {
+	old, ok := s.ckpts[layer]
+	if ok && len(old) == len(x) {
+		copy(old, x)
+		return
+	}
+	if ok {
 		s.bytes -= int64(len(old)) * 2
 	}
-	s.ckpts[layer] = cp
-	s.bytes += int64(len(cp)) * 2
+	s.ckpts[layer] = append([]float32(nil), x...)
+	s.bytes += int64(len(x)) * 2
 }
 
 // Get returns the stored checkpoint.
@@ -74,6 +79,7 @@ type PartitionedStore struct {
 	shards map[int][]float32
 	sizes  map[int]int
 	parts  map[int][]comm.Range
+	full   map[int][]float32 // per-layer gather buffers, reused across steps
 
 	deviceBytes int64
 	hostBytes   int64
@@ -91,16 +97,27 @@ func NewPartitionedStore(st *comm.Stream, offloadCPU bool) *PartitionedStore {
 		shards:  make(map[int][]float32),
 		sizes:   make(map[int]int),
 		parts:   make(map[int][]comm.Range),
+		full:    make(map[int][]float32),
 	}
 }
 
 // Put partitions the checkpoint across the group and keeps this rank's
-// slice (on host under Pa+cpu).
+// slice (on host under Pa+cpu). On the steady-state path (same layer, same
+// shape as the previous step) the shard buffer and partition are reused.
 func (s *PartitionedStore) Put(layer int, x []float32) {
-	parts := comm.Partition(len(x), s.st.Size())
+	parts := s.parts[layer]
+	if s.sizes[layer] != len(x) || parts == nil {
+		parts = comm.Partition(len(x), s.st.Size())
+	}
 	own := parts[s.st.Rank()]
+	old, ok := s.shards[layer]
+	if ok && len(old) == own.Len() && s.sizes[layer] == len(x) {
+		copy(old, x[own.Lo:own.Hi])
+		s.pcieAccount(int64(len(old)) * 2)
+		return
+	}
 	shard := append([]float32(nil), x[own.Lo:own.Hi]...)
-	if old, ok := s.shards[layer]; ok {
+	if ok {
 		if s.offload {
 			s.hostBytes -= int64(len(old)) * 2
 		} else {
@@ -113,9 +130,16 @@ func (s *PartitionedStore) Put(layer int, x []float32) {
 	bytes := int64(len(shard)) * 2
 	if s.offload {
 		s.hostBytes += bytes
-		s.pcieBytes += bytes // device → host copy
 	} else {
 		s.deviceBytes += bytes
+	}
+	s.pcieAccount(bytes)
+}
+
+// pcieAccount records the device → host copy of one Put under Pa+cpu.
+func (s *PartitionedStore) pcieAccount(bytes int64) {
+	if s.offload {
+		s.pcieBytes += bytes
 	}
 }
 
@@ -132,7 +156,11 @@ func (s *PartitionedStore) Get(layer int) []float32 {
 	if s.offload {
 		s.pcieBytes += int64(len(shard)) * 2 // host → device before gather
 	}
-	full := make([]float32, s.sizes[layer])
+	full := s.full[layer]
+	if len(full) != s.sizes[layer] {
+		full = make([]float32, s.sizes[layer])
+		s.full[layer] = full
+	}
 	parts := s.parts[layer]
 	own := parts[s.st.Rank()]
 	copy(full[own.Lo:own.Hi], shard)

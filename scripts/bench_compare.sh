@@ -10,6 +10,14 @@
 # file and diffs ns/op per benchmark. A benchmark present in the baseline
 # but missing from the run fails (renames must update the baseline); new
 # benchmarks only warn.
+#
+# Two gates per benchmark:
+#   - ns/op: soft, > threshold-pct slower fails (wall clock is noisy on a
+#     shared box; min-of-N keeps it honest).
+#   - allocs/op: hard. Allocation counts are deterministic, so any growth
+#     beyond 1% + 2 allocs over the committed baseline fails — the
+#     regression gate behind the zero-allocation steady-state contract.
+#     Baselines without the field (pre-allocs era) skip this gate.
 set -eu
 cd "$(dirname "$0")/.."
 BASE="${1:-BENCH_STAGE_API.json}"
@@ -31,16 +39,34 @@ trap 'rm -f "$TMP"' EXIT
 BENCH_COUNT="${BENCH_COUNT:-5}" ./scripts/bench.sh "$BENCHTIME" "$PATTERN" "$TMP" >/dev/null
 
 awk -v threshold="$THRESHOLD" -v basefile="$BASE" '
-	# Extract name + ns_per_op from the one-object-per-line results arrays.
+	# Extract name + ns_per_op (+ allocs_per_op when present) from the
+	# one-object-per-line results arrays.
 	function parse(line) {
 		if (match(line, /"name": "[^"]*"/) == 0) return 0
 		name = substr(line, RSTART + 9, RLENGTH - 10)
 		if (match(line, /"ns_per_op": [0-9.eE+-]+/) == 0) return 0
 		ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+		hasAllocs = 0
+		allocs = 0
+		if (match(line, /"allocs_per_op": [0-9.eE+-]+/)) {
+			allocs = substr(line, RSTART + 17, RLENGTH - 17) + 0
+			hasAllocs = 1
+		}
 		return 1
 	}
-	FNR == NR { if (parse($0)) base[name] = ns; next }
-	{ if (parse($0)) cur[name] = ns }
+	FNR == NR {
+		if (parse($0)) {
+			base[name] = ns
+			if (hasAllocs) { baseAllocs[name] = allocs; baseHasAllocs[name] = 1 }
+		}
+		next
+	}
+	{
+		if (parse($0)) {
+			cur[name] = ns
+			if (hasAllocs) { curAllocs[name] = allocs; curHasAllocs[name] = 1 }
+		}
+	}
 	END {
 		status = 0
 		for (name in base) {
@@ -53,8 +79,20 @@ awk -v threshold="$THRESHOLD" -v basefile="$BASE" '
 			verdict = "ok  "
 			if (delta > threshold) { verdict = "FAIL"; status = 1 }
 			printf "%s %-55s %12.0f -> %12.0f ns/op  (%+6.1f%%)\n", verdict, name, base[name], cur[name], delta
+			if (baseHasAllocs[name] && !curHasAllocs[name]) {
+				# The hard gate must not silently vanish: a baseline with
+				# the field and a run without it means the alloc-reporting
+				# path rotted (ReportAllocs dropped, emitter broken).
+				printf "FAIL %-55s allocs/op missing from current run (alloc reporting rotted?)\n", name
+				status = 1
+			} else if (baseHasAllocs[name] && curHasAllocs[name]) {
+				limit = baseAllocs[name] * 1.01 + 2
+				averdict = "ok  "
+				if (curAllocs[name] > limit) { averdict = "FAIL"; status = 1 }
+				printf "%s %-55s %12.0f -> %12.0f allocs/op (hard gate)\n", averdict, name, baseAllocs[name], curAllocs[name]
+			}
 		}
 		for (name in cur) if (!(name in base)) printf "note %-55s new benchmark, no baseline\n", name
-		if (status) printf "bench_compare: regression beyond %s%% vs %s\n", threshold, basefile
+		if (status) printf "bench_compare: regression beyond %s%% ns/op or allocs/op growth vs %s\n", threshold, basefile
 		exit status
 	}' "$BASE" "$TMP"

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Capture CPU and heap profiles of the stage-API step benchmark — the
+# companion to the allocs/op gate: when `make bench-compare` flags an
+# allocation regression, these profiles name the line that introduced it.
+#
+# Usage: scripts/profile.sh [benchtime] [pattern] [outdir]
+#   default: 10x, BenchmarkStageStep, ./profiles
+#
+# Writes <outdir>/cpu.pprof, <outdir>/mem.pprof and the test binary
+# <outdir>/repro.test (pprof needs it to symbolize). Read them with e.g.
+#
+#   go tool pprof -top                          profiles/repro.test profiles/cpu.pprof
+#   go tool pprof -sample_index=alloc_objects -top profiles/repro.test profiles/mem.pprof
+#   go tool pprof -sample_index=alloc_objects -lines -top profiles/repro.test profiles/mem.pprof
+#
+# (alloc_objects counts every allocation over the run, not just live heap —
+# the steady-state discipline is about allocation *rate*, so that is the
+# index to read. See README "Profiling & allocation discipline".)
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+PATTERN="${2:-BenchmarkStageStep}"
+OUTDIR="${3:-profiles}"
+mkdir -p "$OUTDIR"
+
+go test -run=NONE -bench="$PATTERN" -benchtime="$BENCHTIME" \
+	-cpuprofile "$OUTDIR/cpu.pprof" -memprofile "$OUTDIR/mem.pprof" \
+	-o "$OUTDIR/repro.test" .
+
+echo ""
+echo "wrote $OUTDIR/cpu.pprof $OUTDIR/mem.pprof (binary: $OUTDIR/repro.test)"
+echo "allocation hot spots:"
+go tool pprof -sample_index=alloc_objects -top -nodecount=10 "$OUTDIR/repro.test" "$OUTDIR/mem.pprof" | sed -n '5,20p'
