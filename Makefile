@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race configcheck bench bench-prefetch bench-hier bench-accum bench-compare bench-smoke pprof sweep all
+.PHONY: check fmt vet build test race configcheck bench bench-prefetch bench-hier bench-accum bench-kernels bench-compare bench-smoke pprof sweep all
 
 check: fmt vet build test race configcheck
 
@@ -46,6 +46,10 @@ bench-hier:
 bench-accum:
 	./scripts/bench_accum.sh
 
+# Regenerate the dense-kernel baseline (BENCH_KERNELS.json).
+bench-kernels:
+	./scripts/bench_kernels.sh
+
 # Re-run every baseline suite and fail on >10% ns/op regression — or any
 # allocs/op growth (hard gate; allocation counts are deterministic) —
 # against the committed JSONs.
@@ -54,11 +58,12 @@ bench-compare:
 	./scripts/bench_compare.sh BENCH_PREFETCH.json
 	./scripts/bench_compare.sh BENCH_HIER.json
 	./scripts/bench_compare.sh BENCH_ACCUM.json
+	./scripts/bench_compare.sh BENCH_KERNELS.json
 
 # One-iteration benchmark smoke: proves the alloc-reporting path itself
 # still runs (CI uses this; it makes no timing claims).
 bench-smoke:
-	$(GO) test -run=NONE -bench='StageStep|AccumStep' -benchtime=1x .
+	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$' -benchtime=1x .
 
 # Capture CPU + heap profiles of BenchmarkStageStep into ./profiles (see
 # README "Profiling & allocation discipline" for how to read them).

@@ -62,7 +62,5 @@ func (b Buffer) Quantize() {
 	if b.DType != F16 {
 		return
 	}
-	for i, v := range b.Data {
-		b.Data[i] = tensor.FromFloat32(v).Float32()
-	}
+	tensor.RoundHalf(b.Data)
 }

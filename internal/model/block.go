@@ -183,8 +183,7 @@ func (m *Model) blockBackward(i int, acts *blockActs, dOut, dst []float32, batch
 			}
 			// ctx = P·V.
 			tensor.MatMulBT(dP, dctxh, vh, seqLen, dh, seqLen)
-			tensor.Zero(dvh)
-			tensor.MatMulATAdd(dvh, probs, dctxh, seqLen, seqLen, dh)
+			tensor.MatMulAT(dvh, probs, dctxh, seqLen, seqLen, dh)
 			// Softmax.
 			tensor.Zero(dS)
 			tensor.SoftmaxRowsBackward(dS, dP, probs, seqLen, seqLen)
@@ -192,8 +191,7 @@ func (m *Model) blockBackward(i int, acts *blockActs, dOut, dst []float32, batch
 			tensor.Scale(dS, scale)
 			// scores = scale·Q·Kᵀ.
 			tensor.MatMul(dqh, dS, kh, seqLen, seqLen, dh)
-			tensor.Zero(dkh)
-			tensor.MatMulATAdd(dkh, dS, qh, seqLen, seqLen, dh)
+			tensor.MatMulAT(dkh, dS, qh, seqLen, seqLen, dh)
 			// Scatter head gradients into packed dQKV.
 			for t := 0; t < seqLen; t++ {
 				base := (b*seqLen + t) * 3 * h

@@ -174,14 +174,12 @@ func (a *ParallelAttention) Backward(dy []float32) []float32 {
 				copy(dctxh[t*a.dh:(t+1)*a.dh], dCtx[(b*seq+t)*ow+hd*a.dh:(b*seq+t)*ow+(hd+1)*a.dh])
 			}
 			tensor.MatMulBT(dP, dctxh, vh, seq, a.dh, seq)
-			tensor.Zero(dvh)
-			tensor.MatMulATAdd(dvh, probs, dctxh, seq, seq, a.dh)
+			tensor.MatMulAT(dvh, probs, dctxh, seq, seq, a.dh)
 			tensor.Zero(dS)
 			tensor.SoftmaxRowsBackward(dS, dP, probs, seq, seq)
 			tensor.Scale(dS, scale)
 			tensor.MatMul(dqh, dS, kh, seq, seq, a.dh)
-			tensor.Zero(dkh)
-			tensor.MatMulATAdd(dkh, dS, qh, seq, seq, a.dh)
+			tensor.MatMulAT(dkh, dS, qh, seq, seq, a.dh)
 			for t := 0; t < seq; t++ {
 				base := (b*seq + t) * 3 * ow
 				copy(dQKV[base+hd*a.dh:base+(hd+1)*a.dh], dqh[t*a.dh:(t+1)*a.dh])

@@ -1,0 +1,33 @@
+//go:build amd64
+
+package tensor
+
+// SSE implementations of the axpy inner loops (axpy_amd64.s). The vector
+// lanes map to distinct output elements, so every element folds its
+// products in exactly the scalar order — the assembly is bitwise
+// interchangeable with the fallbacks in axpy_generic.go, and kernels built
+// on these helpers produce identical results on every architecture.
+//
+// Callers guarantee len(b*) >= len(c); the loops run over len(c).
+
+// axpy1 computes c[j] += a*b[j].
+//
+//go:noescape
+func axpy1(c, b []float32, a float32)
+
+// ov1 computes c[j] = a*b[j].
+//
+//go:noescape
+func ov1(c, b []float32, a float32)
+
+// axpy4 computes c[j] = c[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j],
+// folding left to right per element.
+//
+//go:noescape
+func axpy4(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32)
+
+// ov4 computes c[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j], folding
+// left to right per element.
+//
+//go:noescape
+func ov4(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32)

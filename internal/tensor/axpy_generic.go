@@ -1,0 +1,41 @@
+//go:build !amd64
+
+package tensor
+
+// Portable axpy inner loops. These fold each output element's products in
+// the same left-to-right order as the SSE versions in axpy_amd64.s, so the
+// kernels produce bitwise-identical results on every architecture.
+
+func axpy1(c, b []float32, a float32) {
+	b = b[:len(c)]
+	for j := range c {
+		c[j] += a * b[j]
+	}
+}
+
+func ov1(c, b []float32, a float32) {
+	b = b[:len(c)]
+	for j := range c {
+		c[j] = a * b[j]
+	}
+}
+
+func axpy4(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	b0 = b0[:len(c)]
+	b1 = b1[:len(c)]
+	b2 = b2[:len(c)]
+	b3 = b3[:len(c)]
+	for j := range c {
+		c[j] = c[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+func ov4(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	b0 = b0[:len(c)]
+	b1 = b1[:len(c)]
+	b2 = b2[:len(c)]
+	b3 = b3[:len(c)]
+	for j := range c {
+		c[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}

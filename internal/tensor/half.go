@@ -129,22 +129,92 @@ func (b HalfBuffer) Bytes() int64 { return int64(len(b)) * BytesPerHalf }
 
 // FromFloats overwrites b with the rounded fp16 images of src.
 // The two slices must have equal length.
+//
+// The loop is a branch-light restatement of FromFloat32 (bit-for-bit
+// identical, pinned by TestHalfFastPathsMatchReference): normal values
+// round via integer arithmetic on the fp32 bits — adding 0xfff plus the
+// round-to-odd bit implements round-to-nearest-even, with a carry that
+// correctly rolls into the exponent — and the subnormal range rides the
+// FP adder: adding 0.5 (whose ulp is exactly the fp16 subnormal spacing,
+// 2⁻²⁴) makes the hardware's own RNE do the rounding.
 func (b HalfBuffer) FromFloats(src []float32) {
 	if len(b) != len(src) {
 		panic("tensor: HalfBuffer.FromFloats length mismatch")
 	}
 	for i, f := range src {
-		b[i] = FromFloat32(f)
+		u := math.Float32bits(f)
+		sign := uint16(u>>16) & halfSignMask
+		em := u & 0x7fffffff
+		switch {
+		case em >= 0x47800000: // rounds past MaxHalf, Inf, or NaN
+			if em > 0x7f800000 {
+				b[i] = Half(sign | halfNaN)
+			} else {
+				b[i] = Half(sign | halfPosInf)
+			}
+		case em >= 0x38800000: // fp16 normal: rebias exponent, round, pack
+			em += 0xfff + (em >> 13 & 1)
+			b[i] = Half(sign | uint16((em-0x38000000)>>13))
+		default: // fp16 subnormal or zero
+			// s = 0x3f000000 + n where n counts fp16 subnormal ulps (RNE by
+			// the FP adder); n = 1024 lands exactly on the smallest normal.
+			s := math.Float32frombits(em) + 0.5
+			b[i] = Half(sign | uint16(math.Float32bits(s)-0x3f000000))
+		}
 	}
 }
 
 // ToFloats expands b into dst as fp32. The two slices must have equal length.
+//
+// Finite values decode with the scaling trick: placing the fp16 exponent
+// and mantissa bits in the fp32 fields yields the value times 2⁻¹¹²; one
+// exact power-of-two multiply rescales it, and the FP multiplier's own
+// normalization handles fp16 subnormals with no bit-twiddling branch.
 func (b HalfBuffer) ToFloats(dst []float32) {
 	if len(b) != len(dst) {
 		panic("tensor: HalfBuffer.ToFloats length mismatch")
 	}
 	for i, h := range b {
-		dst[i] = h.Float32()
+		em := uint32(h) & 0x7fff
+		if em >= halfPosInf { // Inf or NaN
+			dst[i] = h.Float32()
+			continue
+		}
+		f := math.Float32frombits(em<<13) * 0x1p112
+		dst[i] = math.Float32frombits(math.Float32bits(f) | uint32(h&halfSignMask)<<16)
+	}
+}
+
+// RoundHalf rounds every element of x through binary16 in place — the
+// quantization applied when an fp32-computed value is stored or shipped as
+// fp16. Equivalent to FromFloat32(v).Float32() per element (pinned
+// bit-for-bit by TestHalfFastPathsMatchReference) in a single fused pass:
+// normals round on the fp32 bits directly and never leave fp32, so no
+// decode step is needed.
+func RoundHalf(x []float32) {
+	for i, f := range x {
+		u := math.Float32bits(f)
+		sign := u & 0x80000000
+		em := u & 0x7fffffff
+		switch {
+		case em >= 0x47800000: // rounds past MaxHalf, Inf, or NaN
+			if em > 0x7f800000 {
+				x[i] = math.Float32frombits(sign | 0x7fc00000)
+			} else {
+				x[i] = math.Float32frombits(sign | 0x7f800000)
+			}
+		case em >= 0x38800000: // fp16 normal: mask the rounded bits in place
+			em += 0xfff + (em >> 13 & 1)
+			if em >= 0x47800000 { // carry rounded up to 2¹⁶ → fp16 Inf
+				x[i] = math.Float32frombits(sign | 0x7f800000)
+				continue
+			}
+			x[i] = math.Float32frombits(sign | em&^0x1fff)
+		default: // fp16 subnormal or zero: round on the FP adder…
+			s := math.Float32frombits(em) + 0.5
+			// …and strip the 0.5 again; Sterbenz makes the subtraction exact.
+			x[i] = math.Float32frombits(math.Float32bits(s-0.5) | sign)
+		}
 	}
 }
 

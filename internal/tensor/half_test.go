@@ -154,3 +154,72 @@ func TestHalfBufferLengthMismatchPanics(t *testing.T) {
 	}()
 	NewHalfBuffer(3).FromFloats(make([]float32, 4))
 }
+
+// halfProbeValues enumerates the inputs that exercise every branch and
+// boundary of the fp16 conversion: each fp16 bit pattern's exact fp32
+// image, both neighbors of that image, halfway (tie) points, the
+// subnormal/normal and finite/Inf borders, and specials.
+func halfProbeValues() []float32 {
+	var vs []float32
+	add := func(f float32) {
+		u := math.Float32bits(f)
+		vs = append(vs, f,
+			math.Float32frombits(u+1),
+			math.Float32frombits(u-1))
+	}
+	for i := 0; i <= 0xffff; i++ {
+		f := Half(i).Float32()
+		add(f)
+		// Tie point halfway to the next representable fp16 magnitude.
+		next := Half(i + 1)
+		if !Half(i).IsInf() && !Half(i).IsNaN() && !next.IsNaN() && !next.IsInf() && (i&0x7fff) != 0x7fff {
+			add((f + next.Float32()) / 2)
+		}
+	}
+	vs = append(vs,
+		0, float32(math.Copysign(0, -1)),
+		65504, 65519.999, 65520, 65536, 1e38,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		6.103515625e-05, 5.960464477539063e-08, 2.9802322387695312e-08, 1e-10, -1e-10,
+	)
+	return vs
+}
+
+// The batch fast paths (FromFloats, ToFloats, RoundHalf) must match the
+// scalar reference conversions bit for bit — the goldens and the wire
+// quantization depend on it.
+func TestHalfFastPathsMatchReference(t *testing.T) {
+	probe := halfProbeValues()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200000; i++ {
+		probe = append(probe, float32(math.Ldexp(r.Float64()*2-1, r.Intn(60)-30)))
+	}
+	enc := NewHalfBuffer(len(probe))
+	enc.FromFloats(probe)
+	rounded := make([]float32, len(probe))
+	copy(rounded, probe)
+	RoundHalf(rounded)
+	for i, f := range probe {
+		want := FromFloat32(f)
+		if enc[i] != want {
+			t.Fatalf("FromFloats(%v = %#08x) = %#04x, want %#04x",
+				f, math.Float32bits(f), enc[i], want)
+		}
+		if got, w := math.Float32bits(rounded[i]), math.Float32bits(want.Float32()); got != w {
+			t.Fatalf("RoundHalf(%v = %#08x) = %#08x, want %#08x",
+				f, math.Float32bits(f), got, w)
+		}
+	}
+	// ToFloats over every fp16 bit pattern vs the scalar decode.
+	all := NewHalfBuffer(0x10000)
+	for i := range all {
+		all[i] = Half(i)
+	}
+	dec := make([]float32, len(all))
+	all.ToFloats(dec)
+	for i, h := range all {
+		if got, want := math.Float32bits(dec[i]), math.Float32bits(h.Float32()); got != want {
+			t.Fatalf("ToFloats(%#04x) = %#08x, want %#08x", i, got, want)
+		}
+	}
+}

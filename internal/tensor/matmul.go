@@ -1,116 +1,269 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
-
-// Dense matrix multiplication kernels with the three orientations required
-// by backpropagation through a linear layer:
+// Dense matrix multiplication kernels with the orientations required by
+// backpropagation through a linear layer:
 //
 //	forward:     Y  = X·W      (MatMul)
 //	grad input:  dX = dY·Wᵀ    (MatMulBT)
-//	grad weight: dW = Xᵀ·dY    (MatMulAT)
+//	grad weight: dW = Xᵀ·dY    (MatMulAT / MatMulATAdd)
 //
-// All matrices are row-major flat slices. The kernels block over rows and
-// fan out across GOMAXPROCS goroutines when the problem is large enough to
-// amortize the spawn cost — the same compute/communication granularity
-// argument the ZeRO paper makes for data parallelism applies inside a rank.
+// All matrices are row-major flat slices. The kernels are built on blocked
+// axpy inner loops (axpy_amd64.s / axpy_generic.go): each output row is
+// swept as a contiguous vector while up to four input rows fold into it
+// per pass. Blocking and vectorization only span output elements — every
+// element still folds its products left to right in the same operand order
+// as the naive triple loop (ascending p for MatMul/MatMulBT, ascending i
+// for the Aᵀ orientations), and neither the SSE path nor the Go compiler
+// contracts a*b+c into an FMA — so results are bitwise identical to the
+// scalar reference on every architecture and the stage-equivalence goldens
+// hold exactly.
+//
+// Kernels fan out over a persistent worker pool (pool.go) when the problem
+// is large enough to amortize the handoff — the same compute/communication
+// granularity argument the ZeRO paper makes for data parallelism applies
+// inside a rank. Row kernels split output rows; the matvec case (one
+// output row, e.g. single-token generate) splits output columns instead.
 
 // parallelThreshold is the number of fused multiply-adds below which the
-// kernels stay single-threaded.
+// kernels stay single-threaded. It doubles as the floor above which
+// MatMulBT buys a transposed copy of B to run in the row-sweep form.
 const parallelThreshold = 1 << 16
-
-// splitRows reports whether an m-row kernel with the given total work
-// should fan out across goroutines. Kept separate from parallelRows so the
-// common single-threaded path calls the named range kernel directly — a
-// closure passed to parallelRows escapes to the heap, and one allocation
-// per matmul is exactly the per-step churn the workspace discipline exists
-// to eliminate.
-func splitRows(m, work int) bool {
-	return work >= parallelThreshold && runtime.GOMAXPROCS(0) > 1 && m > 1
-}
-
-// parallelRows runs fn over row ranges [lo,hi) of m rows, splitting across
-// available CPUs. Callers have already checked splitRows.
-func parallelRows(m int, fn func(lo, hi int)) {
-	procs := runtime.GOMAXPROCS(0)
-	if procs > m {
-		procs = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + procs - 1) / procs
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
 
 // MatMul computes C[m×n] = A[m×k] · B[k×n], overwriting C.
 func MatMul(c, a, b []float32, m, k, n int) {
 	checkDims(len(a), m*k, "A")
 	checkDims(len(b), k*n, "B")
 	checkDims(len(c), m*n, "C")
-	if splitRows(m, m*k*n) {
-		parallelRows(m, func(lo, hi int) { matMulRange(c, a, b, k, n, lo, hi) })
-		return
+	work := m * k * n
+	switch {
+	case fanOut(m, work):
+		runParallel(opMM, c, a, b, k, n, 0, m)
+	case m == 1 && fanOut(n, work):
+		runParallel(opMMCols, c, a, b, k, n, 0, n)
+	default:
+		matMulRange(c, a, b, k, n, 0, m)
 	}
-	matMulRange(c, a, b, k, n, 0, m)
 }
 
+// matMulRange computes rows [lo,hi) of C = A·B in the row-major "axpy"
+// orientation: C's row i is a linear combination of B's rows with
+// coefficients from A's row i, folded four B rows per pass. The first
+// block overwrites, saving a zeroing pass.
 func matMulRange(c, a, b []float32, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		ci := c[i*n : i*n+n]
-		for x := range ci {
-			ci[x] = 0
-		}
 		ai := a[i*k : i*k+k]
-		for p, av := range ai {
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : p*n+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
+		var p int
+		switch {
+		case k >= 4:
+			ov4(ci, b[:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n], ai[0], ai[1], ai[2], ai[3])
+			p = 4
+		case k >= 1:
+			ov1(ci, b[:n], ai[0])
+			p = 1
+		default:
+			Zero(ci)
 		}
+		for ; p+4 <= k; p += 4 {
+			axpy4(ci, b[p*n:p*n+n], b[(p+1)*n:(p+2)*n], b[(p+2)*n:(p+3)*n], b[(p+3)*n:(p+4)*n],
+				ai[p], ai[p+1], ai[p+2], ai[p+3])
+		}
+		for ; p < k; p++ {
+			axpy1(ci, b[p*n:p*n+n], ai[p])
+		}
+	}
+}
+
+// matMulColsRange computes columns [lo,hi) of the single-row product
+// C[1×n] = A[1×k]·B — the matvec orientation. Row splitting cannot
+// parallelize m == 1 however large k·n grows, so the fan-out goes over
+// output columns; the accumulation order per element (ascending p) matches
+// matMulRange, keeping both paths bitwise interchangeable.
+func matMulColsRange(c, a, b []float32, k, n, lo, hi int) {
+	ci := c[lo:hi]
+	var p int
+	switch {
+	case k >= 4:
+		ov4(ci, b[lo:hi], b[n+lo:n+hi], b[2*n+lo:2*n+hi], b[3*n+lo:3*n+hi], a[0], a[1], a[2], a[3])
+		p = 4
+	case k >= 1:
+		ov1(ci, b[lo:hi], a[0])
+		p = 1
+	default:
+		Zero(ci)
+	}
+	for ; p+4 <= k; p += 4 {
+		axpy4(ci, b[p*n+lo:p*n+hi], b[(p+1)*n+lo:(p+1)*n+hi], b[(p+2)*n+lo:(p+2)*n+hi], b[(p+3)*n+lo:(p+3)*n+hi],
+			a[p], a[p+1], a[p+2], a[p+3])
+	}
+	for ; p < k; p++ {
+		axpy1(ci, b[p*n+lo:p*n+hi], a[p])
 	}
 }
 
 // MatMulBT computes C[m×k] = A[m×n] · B[k×n]ᵀ, overwriting C.
 // This is the dX = dY·Wᵀ orientation when W is stored [k×n].
+//
+// Each output element is a dot product of two rows — a shape the axpy sweep
+// cannot vectorize directly. Above parallelThreshold the kernel buys a
+// transposed copy of B from a pooled scratch (an O(k·n) pass against the
+// O(m·n·k) multiply) and runs the row-sweep MatMul form on it; the dot and
+// the transposed sweep fold every element in ascending-p order, so the two
+// paths are bitwise identical and the cutover is invisible.
 func MatMulBT(c, a, b []float32, m, n, k int) {
 	checkDims(len(a), m*n, "A")
 	checkDims(len(b), k*n, "B")
 	checkDims(len(c), m*k, "C")
-	if splitRows(m, m*k*n) {
-		parallelRows(m, func(lo, hi int) { matMulBTRange(c, a, b, n, k, lo, hi) })
+	work := m * k * n
+	if work >= parallelThreshold {
+		bt := getScratch(n * k)
+		transposeInto(bt, b, k, n)
+		switch {
+		case fanOut(m, work):
+			runParallel(opMM, c, a, bt, n, k, 0, m)
+		case m == 1 && fanOut(k, work):
+			runParallel(opMMCols, c, a, bt, n, k, 0, k)
+		default:
+			matMulRange(c, a, bt, n, k, 0, m)
+		}
+		putScratch(bt)
 		return
 	}
 	matMulBTRange(c, a, b, n, k, 0, m)
 }
 
+// matMulBTRange computes rows [lo,hi) of C = A·Bᵀ in dot form, for
+// problems too small to pay for a B transpose. Each output element is a
+// single loop-carried add chain — latency-bound naively — so the kernel
+// blocks 2 A-rows × 4 B-rows into eight independent accumulators. Every
+// accumulator still sums in ascending p order.
 func matMulBTRange(c, a, b []float32, n, k, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ai := a[i*n : i*n+n]
-		ci := c[i*k : i*k+k]
-		for j := 0; j < k; j++ {
-			bj := b[j*n : j*n+n]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		a0 := a[i*n : i*n+n]
+		a1 := a[(i+1)*n : (i+1)*n+n][:n]
+		c0 := c[i*k : i*k+k]
+		c1 := c[(i+1)*k : (i+1)*k+k]
+		j := 0
+		for ; j+4 <= k; j += 4 {
+			b0 := b[j*n : j*n+n][:n]
+			b1 := b[(j+1)*n : (j+1)*n+n][:n]
+			b2 := b[(j+2)*n : (j+2)*n+n][:n]
+			b3 := b[(j+3)*n : (j+3)*n+n][:n]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float32
+			for p, av0 := range a0 {
+				av1 := a1[p]
+				v0, v1, v2, v3 := b0[p], b1[p], b2[p], b3[p]
+				s00 += av0 * v0
+				s01 += av0 * v1
+				s02 += av0 * v2
+				s03 += av0 * v3
+				s10 += av1 * v0
+				s11 += av1 * v1
+				s12 += av1 * v2
+				s13 += av1 * v3
 			}
-			ci[j] = s
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < k; j++ {
+			bj := b[j*n : j*n+n][:n]
+			var s0, s1 float32
+			for p, av0 := range a0 {
+				bv := bj[p]
+				s0 += av0 * bv
+				s1 += a1[p] * bv
+			}
+			c0[j], c1[j] = s0, s1
 		}
 	}
+	for ; i < hi; i++ {
+		matMulBTColsRange(c[i*k:i*k+k], a[i*n:i*n+n], b, n, k, 0, k)
+	}
+}
+
+// matMulBTColsRange computes output columns [lo,hi) of the single-row
+// product C[1×k] = A[1×n]·Bᵀ (dot products of a against rows of B), with
+// 4-wide independent accumulators. It is the odd-row tail of
+// matMulBTRange.
+func matMulBTColsRange(c, a, b []float32, n, k, lo, hi int) {
+	ai := a[:n]
+	j := lo
+	for ; j+4 <= hi; j += 4 {
+		b0 := b[j*n : j*n+n][:n]
+		b1 := b[(j+1)*n : (j+1)*n+n][:n]
+		b2 := b[(j+2)*n : (j+2)*n+n][:n]
+		b3 := b[(j+3)*n : (j+3)*n+n][:n]
+		var s0, s1, s2, s3 float32
+		for p, av := range ai {
+			s0 += av * b0[p]
+			s1 += av * b1[p]
+			s2 += av * b2[p]
+			s3 += av * b3[p]
+		}
+		c[j], c[j+1], c[j+2], c[j+3] = s0, s1, s2, s3
+	}
+	for ; j < hi; j++ {
+		bj := b[j*n : j*n+n][:n]
+		var s float32
+		for p, av := range ai {
+			s += av * bj[p]
+		}
+		c[j] = s
+	}
+}
+
+// MatMulAT computes C[k×n] = A[m×k]ᵀ · B[m×n], overwriting C — the fused
+// transpose-multiply. Callers that need a fresh Aᵀ·B (per-head attention
+// gradients) previously paid a Zero pass plus MatMulATAdd; here the first
+// input row overwrites the output instead.
+func MatMulAT(c, a, b []float32, m, k, n int) {
+	checkDims(len(a), m*k, "A")
+	checkDims(len(b), m*n, "B")
+	checkDims(len(c), k*n, "C")
+	work := m * k * n
+	switch {
+	case fanOut(k, work):
+		runParallel(opAT, c, a, b, m, k, n, k)
+	case k == 1 && fanOut(n, work):
+		runParallel(opATCols, c, a, b, m, n, 0, n)
+	default:
+		matMulATRange(c, a, b, m, k, n, 0, k)
+	}
+}
+
+// matMulATRange computes rows [lo,hi) of C = Aᵀ·B. Output row j sweeps B's
+// rows scaled by A's column j — the transpose happens in the coefficient
+// indexing (a[i*k+j]), never as a data movement — with the first input row
+// overwriting so no zero pass is needed. Fold order is ascending i,
+// matching matMulATAddRange exactly.
+func matMulATRange(c, a, b []float32, m, k, n, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cj := c[j*n : j*n+n]
+		var i int
+		switch {
+		case m >= 4:
+			ov4(cj, b[:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n], a[j], a[k+j], a[2*k+j], a[3*k+j])
+			i = 4
+		case m >= 1:
+			ov1(cj, b[:n], a[j])
+			i = 1
+		default:
+			Zero(cj)
+		}
+		for ; i+4 <= m; i += 4 {
+			axpy4(cj, b[i*n:i*n+n], b[(i+1)*n:(i+2)*n], b[(i+2)*n:(i+3)*n], b[(i+3)*n:(i+4)*n],
+				a[i*k+j], a[(i+1)*k+j], a[(i+2)*k+j], a[(i+3)*k+j])
+		}
+		for ; i < m; i++ {
+			axpy1(cj, b[i*n:i*n+n], a[i*k+j])
+		}
+	}
+}
+
+func matMulATColsRange(c, a, b []float32, m, n, lo, hi int) {
+	Zero(c[lo:hi])
+	matMulATAddColsRange(c, a, b, m, n, lo, hi)
 }
 
 // MatMulATAdd computes C[k×n] += A[m×k]ᵀ · B[m×n]. It accumulates rather
@@ -119,25 +272,63 @@ func MatMulATAdd(c, a, b []float32, m, k, n int) {
 	checkDims(len(a), m*k, "A")
 	checkDims(len(b), m*n, "B")
 	checkDims(len(c), k*n, "C")
+	work := m * k * n
+	switch {
 	// Parallelize over the k rows of C so goroutines never share output rows.
-	if splitRows(k, m*k*n) {
-		parallelRows(k, func(lo, hi int) { matMulATAddRange(c, a, b, m, k, n, lo, hi) })
-		return
+	case fanOut(k, work):
+		runParallel(opATAdd, c, a, b, m, k, n, k)
+	case k == 1 && fanOut(n, work):
+		runParallel(opATAddCols, c, a, b, m, n, 0, n)
+	default:
+		matMulATAddRange(c, a, b, m, k, n, 0, k)
 	}
-	matMulATAddRange(c, a, b, m, k, n, 0, k)
 }
 
+// matMulATAddRange accumulates rows [lo,hi) of C += Aᵀ·B: the same sweep
+// as matMulATRange but folding into C's existing contents. Ascending i
+// order per element, bitwise-matching the naive loop.
 func matMulATAddRange(c, a, b []float32, m, k, n, lo, hi int) {
 	for j := lo; j < hi; j++ {
 		cj := c[j*n : j*n+n]
-		for i := 0; i < m; i++ {
-			av := a[i*k+j]
-			if av == 0 {
-				continue
-			}
-			bi := b[i*n : i*n+n]
-			for x, bv := range bi {
-				cj[x] += av * bv
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			axpy4(cj, b[i*n:i*n+n], b[(i+1)*n:(i+2)*n], b[(i+2)*n:(i+3)*n], b[(i+3)*n:(i+4)*n],
+				a[i*k+j], a[(i+1)*k+j], a[(i+2)*k+j], a[(i+3)*k+j])
+		}
+		for ; i < m; i++ {
+			axpy1(cj, b[i*n:i*n+n], a[i*k+j])
+		}
+	}
+}
+
+// matMulATAddColsRange accumulates columns [lo,hi) of the single-row
+// result C[1×n] += A[m×1]ᵀ·B — the k == 1 orientation (a column vector
+// against a matrix), which row splitting cannot parallelize.
+func matMulATAddColsRange(c, a, b []float32, m, n, lo, hi int) {
+	cw := c[lo:hi]
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		axpy4(cw, b[i*n+lo:i*n+hi], b[(i+1)*n+lo:(i+1)*n+hi], b[(i+2)*n+lo:(i+2)*n+hi], b[(i+3)*n+lo:(i+3)*n+hi],
+			a[i], a[i+1], a[i+2], a[i+3])
+	}
+	for ; i < m; i++ {
+		axpy1(cw, b[i*n+lo:i*n+hi], a[i])
+	}
+}
+
+// transposeInto writes src[rows×cols]ᵀ into dst[cols×rows], tiled so both
+// sides stay within a few cache lines per pass.
+func transposeInto(dst, src []float32, rows, cols int) {
+	const tile = 16
+	for r0 := 0; r0 < rows; r0 += tile {
+		rMax := min(r0+tile, rows)
+		for c0 := 0; c0 < cols; c0 += tile {
+			cMax := min(c0+tile, cols)
+			for r := r0; r < rMax; r++ {
+				row := src[r*cols+c0 : r*cols+cMax]
+				for ci, v := range row {
+					dst[(c0+ci)*rows+r] = v
+				}
 			}
 		}
 	}
@@ -163,17 +354,6 @@ func BiasGradRows(dBias, dy []float32, m, n int) {
 		row := dy[i*n : i*n+n]
 		for j, v := range row {
 			dBias[j] += v
-		}
-	}
-}
-
-// Transpose writes B[n×m] = A[m×n]ᵀ.
-func Transpose(b, a []float32, m, n int) {
-	checkDims(len(a), m*n, "A")
-	checkDims(len(b), m*n, "B")
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			b[j*m+i] = a[i*n+j]
 		}
 	}
 }

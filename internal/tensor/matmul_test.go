@@ -29,6 +29,18 @@ func randSlice(r *rand.Rand, n int) []float32 {
 	return s
 }
 
+// refTranspose returns Aᵀ for A[rows×cols] (test-local; the library's fused
+// Aᵀ·B kernels made a standalone Transpose unnecessary).
+func refTranspose(a []float32, rows, cols int) []float32 {
+	t := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			t[j*rows+i] = a[i*cols+j]
+		}
+	}
+	return t
+}
+
 func TestMatMulAgainstReference(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {16, 16, 16}, {33, 17, 65}, {64, 128, 32}} {
@@ -52,8 +64,7 @@ func TestMatMulBTAgainstReference(t *testing.T) {
 		c := make([]float32, m*k)
 		MatMulBT(c, a, b, m, n, k)
 		// reference: C = A · Bᵀ
-		bt := make([]float32, n*k)
-		Transpose(bt, b, k, n)
+		bt := refTranspose(b, k, n)
 		want := refMatMul(a, bt, m, n, k)
 		if d := MaxDiff(c, want); d > 1e-4 {
 			t.Errorf("MatMulBT %v: max diff %g", dims, d)
@@ -71,8 +82,7 @@ func TestMatMulATAddAgainstReference(t *testing.T) {
 		initial := randSlice(r, k*n)
 		copy(c, initial)
 		MatMulATAdd(c, a, b, m, k, n)
-		at := make([]float32, k*m)
-		Transpose(at, a, m, k)
+		at := refTranspose(a, m, k)
 		want := refMatMul(at, b, k, m, n)
 		Add(want, initial)
 		if d := MaxDiff(c, want); d > 1e-4 {

@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Persistent worker pool for the parallel kernels.
+//
+// The previous fan-out spawned GOMAXPROCS goroutines per matmul call — a
+// closure, an escaping WaitGroup and one goroutine handoff per chunk, per
+// call. A steady-state training step runs hundreds of parallel kernels, so
+// that per-call churn was the last allocation source standing after the
+// workspace/arena discipline (and why the alloc tests had to pin
+// GOMAXPROCS to 1). The pool starts its workers once, on the first
+// parallel kernel, and every later dispatch is allocation-free: tasks are
+// small value structs copied into a buffered channel, and the per-call
+// bookkeeping (kernel arguments + completion WaitGroup) lives in a job
+// object recycled through a free list.
+//
+// Dispatch width adapts to runtime.GOMAXPROCS at every call (the pool
+// keeps enough parked workers to cover a GOMAXPROCS raised above the
+// physical core count, as tests on small containers do), the work is split
+// into ranges whose sizes differ by at most one unit, and the caller
+// executes the final range itself — so a split that resolves to a single
+// chunk runs inline on the calling goroutine with no handoff at all.
+
+// op selects the range kernel a task runs; see runKernel.
+type op int8
+
+const (
+	opMM op = iota
+	opMMCols
+	opATAdd
+	opATAddCols
+	opAT
+	opATCols
+)
+
+// job carries one parallel kernel invocation's arguments and its
+// completion counter. Jobs are recycled through jobFree so steady-state
+// dispatch does not allocate.
+type job struct {
+	kind       op
+	c, a, b    []float32
+	d0, d1, d2 int
+	wg         sync.WaitGroup
+}
+
+// task is one worker's share of a job: rows (or columns) [lo,hi).
+type task struct {
+	j      *job
+	lo, hi int
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan task
+	jobFree  chan *job
+	poolSize int
+)
+
+// startPool launches the per-process workers: one per real core, with a
+// small floor so a GOMAXPROCS raised above the detected count still
+// exercises real fan-out. Parked workers cost one stack each and no CPU.
+func startPool() {
+	poolSize = runtime.NumCPU()
+	if poolSize < 8 {
+		poolSize = 8
+	}
+	poolCh = make(chan task, 4*poolSize)
+	jobFree = make(chan *job, 4*poolSize)
+	for i := 0; i < cap(jobFree); i++ {
+		jobFree <- new(job)
+	}
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for t := range poolCh {
+				runKernel(t.j.kind, t.j.c, t.j.a, t.j.b, t.j.d0, t.j.d1, t.j.d2, t.lo, t.hi)
+				t.j.wg.Done()
+			}
+		}()
+	}
+}
+
+func runKernel(kind op, c, a, b []float32, d0, d1, d2, lo, hi int) {
+	switch kind {
+	case opMM:
+		matMulRange(c, a, b, d0, d1, lo, hi)
+	case opMMCols:
+		matMulColsRange(c, a, b, d0, d1, lo, hi)
+	case opATAdd:
+		matMulATAddRange(c, a, b, d0, d1, d2, lo, hi)
+	case opATAddCols:
+		matMulATAddColsRange(c, a, b, d0, d1, lo, hi)
+	case opAT:
+		matMulATRange(c, a, b, d0, d1, d2, lo, hi)
+	case opATCols:
+		matMulATColsRange(c, a, b, d0, d1, lo, hi)
+	}
+}
+
+// fanOut reports whether a kernel with the given number of splittable
+// units and total fused multiply-adds should use the pool.
+func fanOut(units, work int) bool {
+	return work >= parallelThreshold && units > 1 && runtime.GOMAXPROCS(0) > 1
+}
+
+// chunk returns the i-th of width balanced ranges over units: every range
+// gets units/width, and the first units%width ranges take one extra unit —
+// ranges differ by at most one, so no core idles behind an uneven tail
+// (the old ceil-division split could leave width-1 cores a full chunk
+// short: 9 rows on 8 procs made five 2-row chunks and three idle cores).
+func chunk(units, width, i int) (lo, hi int) {
+	q, r := units/width, units%width
+	lo = i*q + min(i, r)
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// runParallel splits units across the pool and the calling goroutine.
+// Callers have already checked fanOut.
+func runParallel(kind op, c, a, b []float32, d0, d1, d2, units int) {
+	poolOnce.Do(startPool)
+	width := runtime.GOMAXPROCS(0)
+	if width > poolSize+1 {
+		width = poolSize + 1 // parked workers plus the caller itself
+	}
+	if width > units {
+		width = units
+	}
+	if width <= 1 {
+		runKernel(kind, c, a, b, d0, d1, d2, 0, units)
+		return
+	}
+	var jb *job
+	select {
+	case jb = <-jobFree:
+	default:
+		jb = new(job) // free list drained by concurrent ranks; rare
+	}
+	jb.kind, jb.c, jb.a, jb.b, jb.d0, jb.d1, jb.d2 = kind, c, a, b, d0, d1, d2
+	jb.wg.Add(width - 1)
+	for i := 0; i < width-1; i++ {
+		lo, hi := chunk(units, width, i)
+		poolCh <- task{j: jb, lo: lo, hi: hi}
+	}
+	lo, _ := chunk(units, width, width-1)
+	runKernel(kind, c, a, b, d0, d1, d2, lo, units) // caller takes the last range
+	jb.wg.Wait()
+	jb.c, jb.a, jb.b = nil, nil, nil
+	select {
+	case jobFree <- jb:
+	default:
+	}
+}
+
+// scratchFree recycles the B-transpose buffers MatMulBT uses above the
+// threshold. A channel free list (not sync.Pool) so the steady state is
+// deterministically allocation-free: buffers are never dropped by GC, and
+// the capacity bounds how many concurrent ranks can park one.
+var scratchFree = make(chan []float32, 16)
+
+func getScratch(n int) []float32 {
+	select {
+	case s := <-scratchFree:
+		if cap(s) >= n {
+			return s[:n]
+		}
+	default:
+	}
+	return make([]float32, n)
+}
+
+func putScratch(s []float32) {
+	select {
+	case scratchFree <- s:
+	default:
+	}
+}

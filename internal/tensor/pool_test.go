@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The blocked kernels fold every output element's products in the naive
+// reference order, so these tests demand exact bit equality, not tolerance
+// — on the serial path, the SSE path, and every pool fan-out split.
+// Inputs are nonzero normals (NormFloat64 never returns exactly zero), so
+// the one licensed divergence — the sign of an exactly-zero sum, which the
+// overwrite-first blocks may produce as -0 where a zero-initialized fold
+// gives +0 — cannot occur.
+
+func refBT(a, b []float32, m, n, k int) []float32 {
+	return refMatMul(a, refTranspose(b, k, n), m, n, k)
+}
+
+// refATAdd folds the products into the initial contents in ascending-i
+// order — the accumulate semantics of MatMulATAdd. (Summing the products
+// first and adding initial at the end is a different association and
+// diverges by an ulp.)
+func refATAdd(initial, a, b []float32, m, k, n int) []float32 {
+	w := make([]float32, k*n)
+	copy(w, initial)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			av := a[i*k+j]
+			for x := 0; x < n; x++ {
+				w[j*n+x] += av * b[i*n+x]
+			}
+		}
+	}
+	return w
+}
+
+func bitsEqual(t *testing.T, label string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d = %v (%#08x), want %v (%#08x)",
+				label, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// kernelShapes spans the dispatch matrix: zero-size edges, odd/prime dims,
+// fewer rows than workers, the m==1 (and k==1 for Aᵀ) column splits, and
+// shapes that cross parallelThreshold in each orientation.
+var kernelShapes = [][3]int{
+	{0, 3, 2}, {3, 0, 2}, {3, 2, 0}, {0, 0, 0},
+	{1, 1, 1}, {1, 2, 3}, {2, 3, 4}, {3, 1, 5}, {5, 7, 3},
+	{7, 13, 11}, {13, 1, 7}, {31, 17, 29}, {67, 31, 37},
+	{9, 64, 128},   // work ≥ threshold, rows < workers
+	{1, 256, 257},  // matvec: column split must engage
+	{257, 256, 1},  // n == 1
+	{256, 1, 257},  // k == 1: Aᵀ column split
+	{64, 128, 512}, // the bench FC1 shape
+}
+
+// runShapeMatrix validates all four kernel orientations against the naive
+// references for every shape, at the current GOMAXPROCS.
+func runShapeMatrix(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for _, dims := range kernelShapes {
+		m, k, n := dims[0], dims[1], dims[2]
+
+		a, b := randSlice(r, m*k), randSlice(r, k*n)
+		c := make([]float32, m*n)
+		MatMul(c, a, b, m, k, n)
+		bitsEqual(t, "MatMul", c, refMatMul(a, b, m, k, n))
+
+		// BT reads the triple as (m, n, k): A[m×n]·B[k×n]ᵀ.
+		bm, bn, bk := m, k, n
+		a, b = randSlice(r, bm*bn), randSlice(r, bk*bn)
+		c = make([]float32, bm*bk)
+		MatMulBT(c, a, b, bm, bn, bk)
+		bitsEqual(t, "MatMulBT", c, refBT(a, b, bm, bn, bk))
+
+		a, b = randSlice(r, m*k), randSlice(r, m*n)
+		c = make([]float32, k*n)
+		initial := randSlice(r, k*n)
+		copy(c, initial)
+		MatMulATAdd(c, a, b, m, k, n)
+		bitsEqual(t, "MatMulATAdd", c, refATAdd(initial, a, b, m, k, n))
+
+		c2 := make([]float32, k*n)
+		MatMulAT(c2, a, b, m, k, n)
+		bitsEqual(t, "MatMulAT", c2, refMatMul(refTranspose(a, m, k), b, k, m, n))
+	}
+}
+
+func TestKernelShapeMatrixSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runShapeMatrix(t, 21)
+}
+
+// The same matrix with the worker pool engaged: GOMAXPROCS is raised so
+// fanOut fires and the threshold-crossing shapes run split across the pool
+// (including on the single-core CI box, where the pool keeps a floor of
+// parked workers for exactly this).
+func TestKernelShapeMatrixParallel(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	runShapeMatrix(t, 22)
+}
+
+// Serial and fanned-out runs of the same problem must agree bit for bit —
+// the balanced split changes which goroutine folds which output row, never
+// what any element folds.
+func TestParallelMatchesSerialBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	m, k, n := 37, 64, 128 // work ≥ threshold, odd row count
+	a, b := randSlice(r, m*k), randSlice(r, k*n)
+
+	serial := make([]float32, m*n)
+	prev := runtime.GOMAXPROCS(1)
+	MatMul(serial, a, b, m, k, n)
+	runtime.GOMAXPROCS(4)
+	par := make([]float32, m*n)
+	MatMul(par, a, b, m, k, n)
+	runtime.GOMAXPROCS(prev)
+
+	bitsEqual(t, "parallel MatMul", par, serial)
+}
+
+// chunk must cover [0,units) exactly once with ranges differing by at most
+// one unit — the load-balance fix over the old ceil-division split, which
+// could idle width-1 workers behind an uneven tail.
+func TestChunkBalanced(t *testing.T) {
+	for units := 1; units <= 67; units++ {
+		for width := 1; width <= 16 && width <= units; width++ {
+			next, minSz, maxSz := 0, units, 0
+			for i := 0; i < width; i++ {
+				lo, hi := chunk(units, width, i)
+				if lo != next {
+					t.Fatalf("units=%d width=%d: range %d starts at %d, want %d", units, width, i, lo, next)
+				}
+				if hi <= lo {
+					t.Fatalf("units=%d width=%d: range %d is empty [%d,%d)", units, width, i, lo, hi)
+				}
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				next = hi
+			}
+			if next != units {
+				t.Fatalf("units=%d width=%d: ranges cover [0,%d), want [0,%d)", units, width, next, units)
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("units=%d width=%d: range sizes span %d..%d, want max spread 1", units, width, minSz, maxSz)
+			}
+		}
+	}
+}
+
+// Parallel kernels are allocation-free once the pool and the transpose
+// scratch are warm: tasks are value structs over a buffered channel, jobs
+// and scratches recycle through free lists. Measured with a Mallocs window
+// (testing.AllocsPerRun pins GOMAXPROCS to 1, which would disable the very
+// fan-out under test).
+func TestParallelKernelAllocsZero(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	r := rand.New(rand.NewSource(24))
+	m, k, n := 64, 128, 512
+	a, b := randSlice(r, m*k), randSlice(r, k*n)
+	c := make([]float32, m*n)
+	cbt := make([]float32, m*k)
+	cat := make([]float32, k*n)
+
+	step := func() {
+		MatMul(c, a, b, m, k, n)
+		MatMulBT(cbt, c, b, m, n, k)
+		MatMulATAdd(cat, a, c, m, k, n)
+		MatMulAT(cat, a, c, m, k, n)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the pool, job free list, and transpose scratch
+	}
+
+	const rounds = 10
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < rounds; i++ {
+		step()
+	}
+	runtime.ReadMemStats(&m1)
+	perRound := float64(m1.Mallocs-m0.Mallocs) / rounds
+	// Budget 0; 1 absorbs a stray background-goroutine allocation.
+	if perRound > 1 {
+		t.Errorf("parallel kernels allocate %.1f objects per round, want 0", perRound)
+	}
+}

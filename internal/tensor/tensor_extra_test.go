@@ -7,24 +7,6 @@ import (
 	"testing/quick"
 )
 
-func TestTranspose(t *testing.T) {
-	a := []float32{1, 2, 3, 4, 5, 6} // 2x3
-	b := make([]float32, 6)
-	Transpose(b, a, 2, 3)
-	want := []float32{1, 4, 2, 5, 3, 6}
-	for i := range want {
-		if b[i] != want[i] {
-			t.Fatalf("Transpose = %v, want %v", b, want)
-		}
-	}
-	// Double transpose is identity.
-	c := make([]float32, 6)
-	Transpose(c, b, 3, 2)
-	if d := MaxDiff(a, c); d != 0 {
-		t.Errorf("double transpose differs by %g", d)
-	}
-}
-
 func TestGELUKnownValues(t *testing.T) {
 	// GELU(0)=0, GELU is ≈x for large positive x, ≈0 for large negative x,
 	// and GELU(1) ≈ 0.8412.

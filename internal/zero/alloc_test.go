@@ -16,10 +16,9 @@ import (
 // and the model reuses its activation/gradient workspace. These tests pin
 // it with a direct Mallocs count around a measured window of steps.
 //
-// GOMAXPROCS is pinned to 1: the matmul kernels' multi-core fan-out spawns
-// goroutines (an intentional allocation) and the measurement counts every
-// goroutine in the process. Concurrency (ranks, stream workers) is
-// unaffected — only parallel execution of the kernels is.
+// GOMAXPROCS is left alone: the matmul kernels fan out over the tensor
+// package's persistent worker pool, which dispatches without allocating,
+// so the zero-allocation contract holds with parallel kernels engaged.
 
 // allocCfg is small so the sweep stays fast; every code path (buckets,
 // overlap, prefetch, hierarchy) still executes.
@@ -69,7 +68,6 @@ func measureStepAllocs(t *testing.T, ranks int, opts Options) float64 {
 }
 
 func TestSteadyStateStepAllocations(t *testing.T) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	for _, stage := range AllStages {
 		for _, mode := range []struct {
 			name              string
@@ -99,7 +97,6 @@ func TestSteadyStateStepAllocations(t *testing.T) {
 // FP16, clipping (priority lane), hierarchy and accumulation compose into
 // the same zero-allocation steady state.
 func TestSteadyStateStepAllocationsComposed(t *testing.T) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	for _, tc := range []struct {
 		name string
 		opts Options

@@ -740,9 +740,9 @@ func (t *Trainer) Update() {
 	dom := t.optimizerDomain()
 	if t.opts.FP16 {
 		t.stepOptimizer(t.master, t.accum)
-		for i := range t.master {
-			t.Model.Params[dom.Lo+i] = tensor.FromFloat32(t.master[i]).Float32()
-		}
+		p := t.Model.Params[dom.Lo:dom.Hi]
+		copy(p, t.master)
+		tensor.RoundHalf(p)
 	} else {
 		t.stepOptimizer(t.Model.Params[dom.Lo:dom.Hi], t.accum)
 	}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the dense-kernel benchmark baseline (BENCH_KERNELS.json):
+# BenchmarkKernels measures the three matmul orientations (forward,
+# grad-input, grad-weight) at the bench FC1 shape.
+# Usage: scripts/bench_kernels.sh [benchtime]   (default 100x)
+set -eu
+cd "$(dirname "$0")/.."
+exec ./scripts/bench.sh "${1:-100x}" '^BenchmarkKernels$' BENCH_KERNELS.json
