@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race configcheck bench bench-prefetch bench-hier bench-accum bench-kernels bench-compare bench-smoke pprof sweep all
+.PHONY: check fmt vet build test race configcheck fuzz-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-compare bench-smoke pprof sweep all
 
-check: fmt vet build test race configcheck
+check: fmt vet build test race configcheck fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,6 +30,11 @@ race:
 configcheck:
 	$(GO) test ./internal/engine -run TestCommittedConfigsValidate
 
+# Short native-fuzzer smoke on the BPE encode/decode round-trip: a few
+# seconds of coverage-guided input generation on every `make check`.
+fuzz-smoke:
+	$(GO) test ./internal/data -run=NONE -fuzz=FuzzBPERoundTrip -fuzztime=3s
+
 # Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
 bench:
 	./scripts/bench.sh
@@ -50,6 +55,10 @@ bench-accum:
 bench-kernels:
 	./scripts/bench_kernels.sh
 
+# Regenerate the data-pipeline baseline (BENCH_DATA.json).
+bench-data:
+	./scripts/bench_data.sh
+
 # Re-run every baseline suite and fail on >10% ns/op regression — or any
 # allocs/op growth (hard gate; allocation counts are deterministic) —
 # against the committed JSONs.
@@ -59,11 +68,12 @@ bench-compare:
 	./scripts/bench_compare.sh BENCH_HIER.json
 	./scripts/bench_compare.sh BENCH_ACCUM.json
 	./scripts/bench_compare.sh BENCH_KERNELS.json
+	./scripts/bench_compare.sh BENCH_DATA.json
 
 # One-iteration benchmark smoke: proves the alloc-reporting path itself
 # still runs (CI uses this; it makes no timing claims).
 bench-smoke:
-	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$' -benchtime=1x .
+	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$' -benchtime=1x .
 
 # Capture CPU + heap profiles of BenchmarkStageStep into ./profiles (see
 # README "Profiling & allocation discipline" for how to read them).

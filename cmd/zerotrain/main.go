@@ -57,6 +57,7 @@ func main() {
 		depth      = flag.Int("depth", def.PrefetchDepth, "prefetch window in layer groups (1 = one group ahead)")
 		nodeSize   = flag.Int("nodesize", def.NodeSize, "ranks per simulated node: route collectives hierarchically (0 = flat)")
 		seed       = flag.Int64("seed", def.Seed, "init and data seed")
+		dataPath   = flag.String("data", "", "corpus text file: stream real data (overrides the config's data.path)")
 		savePath   = flag.String("save", "", "write a consolidated checkpoint here after training")
 		loadPath   = flag.String("load", "", "resume from a checkpoint written by -save")
 	)
@@ -117,6 +118,11 @@ func main() {
 			cfg.NodeSize = *nodeSize
 		case "seed":
 			cfg.Seed = *seed
+		case "data":
+			if cfg.Data == nil {
+				cfg.Data = &engine.DataConfig{}
+			}
+			cfg.Data.Path = *dataPath
 		}
 	})
 	if (batchSet || accumSet) && !microSet {
@@ -156,17 +162,42 @@ func main() {
 		zero.ModelStateBytes(int64(psi), st, cfg.Ranks)/1e6,
 		zero.ModelStateBytes(int64(psi), zero.StageDP, cfg.Ranks)/1e6)
 
-	ids, targets := model.SyntheticBatch(cfg.Seed, cfg.GlobalBatch, cfg.Model.Seq, cfg.Model.Vocab)
+	seqLen := cfg.Model.Seq
+	if cfg.Data != nil {
+		seqLen = cfg.Data.SeqLen
+		fmt.Printf("data: %s | tokenizer: %s | seq_len: %d | shuffle: %d docs/shard × %d shards\n\n",
+			cfg.Data.Path, cfg.Data.Tokenizer, cfg.Data.SeqLen, cfg.Data.ShuffleBuffer, cfg.Ranks)
+	}
 	start := time.Now()
 	var snapBlob []byte
+	var corpusTokens int64
+	var corpusEpochs, corpusVocab int
 	w, err := engine.Run(cfg, func(e *engine.Engine) {
+		// Each rank drains its own batcher; the streams are deterministic,
+		// so every rank sees the same global micro-batch sequence.
+		var batcher engine.Batcher
+		if cfg.Data != nil {
+			ld, err := engine.OpenData(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer ld.Close()
+			if e.Rank() == 0 {
+				defer func() {
+					corpusTokens, corpusEpochs, corpusVocab = ld.Tokens(), ld.Epochs(), ld.VocabSize()
+				}()
+			}
+			batcher = ld
+		} else {
+			batcher = model.NewSyntheticStream(cfg.Seed, cfg.GlobalBatch, cfg.MicroBatch, cfg.Model.Seq, cfg.Model.Vocab)
+		}
 		if resume != nil {
 			if err := e.Load(resume); err != nil {
 				log.Fatal(err)
 			}
 		}
 		for s := 0; s < *steps; s++ {
-			loss := e.TrainBatch(ids, targets)
+			loss := e.TrainStream(batcher)
 			if e.Rank() == 0 && (s == 0 || (s+1)%10 == 0) {
 				clipNote := ""
 				if cfg.GradClip > 0 {
@@ -195,10 +226,14 @@ func main() {
 		}
 		fmt.Printf("\ncheckpoint written to %s (%d bytes)\n", *savePath, len(snapBlob))
 	}
-	tokens := int64(*steps) * int64(cfg.GlobalBatch) * int64(cfg.Model.Seq)
+	tokens := int64(*steps) * int64(cfg.GlobalBatch) * int64(seqLen)
 	st0 := w.Stats(0)
 	fmt.Printf("\n%d steps in %v (%.0f tokens/s simulated)\n",
 		*steps, elapsed.Round(time.Millisecond), float64(tokens)/elapsed.Seconds())
+	if cfg.Data != nil {
+		fmt.Printf("corpus: %d tokens streamed over %d epoch(s), tokenizer vocab %d\n",
+			corpusTokens, corpusEpochs, corpusVocab)
+	}
 	fmt.Printf("wire (rank 0): %d elems, %d bytes (native dtype accounting)\n",
 		st0.ElemsSent, st0.BytesSent)
 	for _, name := range []string{comm.DefaultStream, zero.StreamGrad, zero.StreamPrefetch, zero.StreamCheckpoint, zero.StreamPriority} {

@@ -122,3 +122,82 @@ func (a *Arena) Stats() (gets, misses int64) {
 	defer a.mu.Unlock()
 	return a.gets, a.misses
 }
+
+// Ints is the []int counterpart of Arena: size-classed free lists of token
+// buffers. The data pipeline (internal/data) draws every per-document token
+// slice and batch buffer from an Ints pool so steady-state micro-batch
+// production allocates nothing — the same discipline, and the same
+// deterministic-allocation contract, as the float32 wire pools. The zero
+// value is ready to use; the ownership rules of the package comment apply
+// unchanged (Get contents are undefined, Put transfers ownership back).
+type Ints struct {
+	mu      sync.Mutex
+	classes [numClasses][][]int
+
+	resident int64
+	gets     int64
+	misses   int64
+}
+
+// NewInts returns an empty int-buffer arena.
+func NewInts() *Ints { return &Ints{} }
+
+// Get returns an int buffer of length n (capacity rounded up to the size
+// class). Contents are undefined. Get(0) returns nil.
+func (a *Ints) Get(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	cls := class(n)
+	a.mu.Lock()
+	a.gets++
+	list := a.classes[cls]
+	if len(list) > 0 {
+		b := list[len(list)-1]
+		a.classes[cls] = list[:len(list)-1]
+		a.resident -= int64(cap(b)) * 8
+		a.mu.Unlock()
+		return b[:n]
+	}
+	a.misses++
+	a.mu.Unlock()
+	return make([]int, n, 1<<cls)
+}
+
+// Put returns a buffer to the pool; buffers whose capacity is not a
+// size-class width are dropped, mirroring Arena.Put.
+func (a *Ints) Put(b []int) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	a.mu.Lock()
+	a.classes[cls] = append(a.classes[cls], b[:0])
+	a.resident += int64(c) * 8
+	a.mu.Unlock()
+}
+
+// Release drops every pooled buffer, handing the memory back to the GC.
+func (a *Ints) Release() {
+	a.mu.Lock()
+	for i := range a.classes {
+		a.classes[i] = nil
+	}
+	a.resident = 0
+	a.mu.Unlock()
+}
+
+// Resident returns the bytes currently pooled.
+func (a *Ints) Resident() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resident
+}
+
+// Stats returns cumulative Get calls and the subset that had to allocate.
+func (a *Ints) Stats() (gets, misses int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets, a.misses
+}

@@ -74,6 +74,53 @@ func TestSteadyStateNoMisses(t *testing.T) {
 	}
 }
 
+// The int pool mirrors the float32 arena's contract: size-classed reuse,
+// stray-Put rejection, Release, and a miss-free warm steady state.
+func TestIntsGetPutReuse(t *testing.T) {
+	a := NewInts()
+	b := a.Get(1000)
+	if len(b) != 1000 || cap(b) != 1024 {
+		t.Fatalf("Get(1000): len=%d cap=%d, want 1000/1024", len(b), cap(b))
+	}
+	a.Put(b)
+	if got := a.Resident(); got != 1024*8 {
+		t.Fatalf("Resident after Put = %d, want %d", got, 1024*8)
+	}
+	c := a.Get(700)
+	if cap(c) != 1024 {
+		t.Fatalf("reused cap = %d, want 1024", cap(c))
+	}
+	if gets, misses := a.Stats(); gets != 2 || misses != 1 {
+		t.Fatalf("Stats = (%d,%d), want (2,1)", gets, misses)
+	}
+	if b := a.Get(0); b != nil {
+		t.Fatalf("Get(0) = %v, want nil", b)
+	}
+	a.Put(nil)
+	a.Put(make([]int, 0, 3)) // non-power-of-two cap: dropped
+	a.Release()
+	if got := a.Resident(); got != 0 {
+		t.Fatalf("Resident after Release = %d, want 0", got)
+	}
+}
+
+func TestIntsSteadyStateNoMisses(t *testing.T) {
+	a := NewInts()
+	sizes := []int{3, 64, 1000, 4096, 100000}
+	for _, n := range sizes {
+		a.Put(a.Get(n))
+	}
+	_, missesWarm := a.Stats()
+	for i := 0; i < 100; i++ {
+		for _, n := range sizes {
+			a.Put(a.Get(n))
+		}
+	}
+	if _, misses := a.Stats(); misses != missesWarm {
+		t.Fatalf("steady state missed %d times", misses-missesWarm)
+	}
+}
+
 // The arena serves every rank goroutine of a world concurrently.
 func TestConcurrentAccess(t *testing.T) {
 	a := New()

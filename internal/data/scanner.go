@@ -1,0 +1,132 @@
+package data
+
+import (
+	"fmt"
+	"io"
+)
+
+// Default sizing for the streaming reader. Exposed through Config so tests
+// can shrink them; the defaults keep per-stream memory under ~200 KiB no
+// matter how large the corpus is.
+const (
+	// DefaultChunkBytes is the fixed read size of the corpus reader.
+	DefaultChunkBytes = 64 << 10
+	// DefaultMaxDocBytes caps a single document; longer documents are
+	// split at the cap so one pathological document cannot grow the
+	// resident set.
+	DefaultMaxDocBytes = 64 << 10
+)
+
+// docScanner frames a byte stream into documents with bounded memory: the
+// reader advances in fixed-size chunks, blank lines separate documents,
+// and any document reaching maxDoc bytes is emitted immediately (split).
+// The returned document slice is valid until the next call.
+//
+// Framing rules: a document is a maximal run of non-blank lines, joined
+// with the newlines they arrived with; blank lines (possibly with \r) are
+// separators and never appear inside a document. The final document needs
+// no trailing separator.
+type docScanner struct {
+	r      io.Reader
+	chunk  []byte // fixed read buffer
+	avail  []byte // unconsumed tail of chunk
+	doc    []byte // document under construction (cap ≤ maxDoc+line slack)
+	line   []byte // current partial line (no newline seen yet)
+	maxDoc int
+	eof    bool
+}
+
+// newDocScanner frames r into documents using chunkBytes reads and a
+// maxDocBytes document cap.
+func newDocScanner(r io.Reader, chunkBytes, maxDocBytes int) *docScanner {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if maxDocBytes <= 0 {
+		maxDocBytes = DefaultMaxDocBytes
+	}
+	return &docScanner{r: r, chunk: make([]byte, chunkBytes), maxDoc: maxDocBytes}
+}
+
+// reset points the scanner at a new stream (typically the same file seeked
+// back to the start), keeping its buffers.
+func (s *docScanner) reset(r io.Reader) {
+	s.r = r
+	s.avail = nil
+	s.doc = s.doc[:0]
+	s.line = s.line[:0]
+	s.eof = false
+}
+
+// blank reports whether a line is a document separator: empty or
+// whitespace-only.
+func blank(line []byte) bool {
+	for _, b := range line {
+		if b != ' ' && b != '\t' && b != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// endLine folds the completed line (without its newline) into the current
+// document and reports whether a full document is now ready.
+func (s *docScanner) endLine() bool {
+	if blank(s.line) {
+		s.line = s.line[:0]
+		return len(s.doc) > 0
+	}
+	if len(s.doc) > 0 {
+		s.doc = append(s.doc, '\n')
+	}
+	s.doc = append(s.doc, s.line...)
+	s.line = s.line[:0]
+	return len(s.doc) >= s.maxDoc
+}
+
+// next returns the next document, or io.EOF when the stream is exhausted.
+// Any other read error is returned verbatim.
+func (s *docScanner) next() ([]byte, error) {
+	s.doc = s.doc[:0]
+	for {
+		for len(s.avail) > 0 {
+			i := 0
+			for i < len(s.avail) && s.avail[i] != '\n' {
+				i++
+			}
+			s.line = append(s.line, s.avail[:i]...)
+			if i < len(s.avail) {
+				s.avail = s.avail[i+1:]
+				if s.endLine() {
+					return s.doc, nil
+				}
+			} else {
+				s.avail = nil
+			}
+			// A single line with no newline in sight still cannot grow
+			// past the cap: force a split at the document limit.
+			if len(s.line) >= s.maxDoc {
+				if s.endLine() {
+					return s.doc, nil
+				}
+			}
+		}
+		if s.eof {
+			if len(s.line) > 0 || len(s.doc) > 0 {
+				s.endLine()
+				if len(s.doc) > 0 {
+					return s.doc, nil
+				}
+			}
+			return nil, io.EOF
+		}
+		n, err := s.r.Read(s.chunk)
+		s.avail = s.chunk[:n]
+		switch {
+		case err == io.EOF:
+			s.eof = true
+		case err != nil:
+			return nil, fmt.Errorf("data: corpus read: %w", err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package data
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// scanAll drains a scanner, copying each document (the returned slice is
+// only valid until the next call).
+func scanAll(t *testing.T, s *docScanner) []string {
+	t.Helper()
+	var out []string
+	for {
+		doc, err := s.next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(doc))
+	}
+}
+
+// Blank lines frame documents; internal newlines survive; leading,
+// trailing and repeated separators collapse.
+func TestDocScannerFraming(t *testing.T) {
+	in := "\n\nfirst doc line one\nline two\n\nsecond doc\n\n\n  \t\nthird\ndoc\n"
+	want := []string{"first doc line one\nline two", "second doc", "third\ndoc"}
+	got := scanAll(t, newDocScanner(strings.NewReader(in), 0, 0))
+	if len(got) != len(want) {
+		t.Fatalf("got %d docs %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("doc %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// Framing is invariant under chunk size — boundaries may fall anywhere,
+// including inside separators.
+func TestDocScannerChunkInvariance(t *testing.T) {
+	in := "alpha beta\ngamma\n\ndelta\n\nepsilon zeta eta theta iota kappa\n\nlast"
+	want := scanAll(t, newDocScanner(strings.NewReader(in), 1<<20, 0))
+	for _, chunk := range []int{1, 2, 3, 7, 16, len(in) - 1} {
+		got := scanAll(t, newDocScanner(strings.NewReader(in), chunk, 0))
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d docs, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d doc %d = %q, want %q", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Documents (and even single lines) larger than the cap are split, so the
+// resident set stays bounded; no byte of a non-blank line is lost.
+func TestDocScannerDocCap(t *testing.T) {
+	long := strings.Repeat("x", 1000) // one 1000-byte line, no newline
+	s := newDocScanner(strings.NewReader(long), 64, 100)
+	docs := scanAll(t, s)
+	total := 0
+	for _, d := range docs {
+		if len(d) > 200 { // cap plus one-line slack
+			t.Fatalf("doc of %d bytes escaped the 100-byte cap", len(d))
+		}
+		total += len(d)
+	}
+	if total != 1000 {
+		t.Fatalf("cap split lost bytes: %d of 1000", total)
+	}
+
+	// Multi-line doc crossing the cap splits at a line boundary.
+	in := strings.Repeat("abcdefghij\n", 30) // 330 bytes, one doc
+	docs = scanAll(t, newDocScanner(strings.NewReader(in), 32, 100))
+	if len(docs) < 2 {
+		t.Fatalf("expected a split, got %d docs", len(docs))
+	}
+	joined := strings.Join(docs, "\n") + "\n"
+	if joined != in {
+		t.Fatalf("split lost content: %d bytes vs %d", len(joined), len(in))
+	}
+}
+
+// reset rewinds cleanly: a second pass produces identical documents.
+func TestDocScannerReset(t *testing.T) {
+	in := "one\n\ntwo\n\nthree"
+	s := newDocScanner(strings.NewReader(in), 4, 0)
+	first := scanAll(t, s)
+	s.reset(strings.NewReader(in))
+	second := scanAll(t, s)
+	if len(first) != 3 || len(second) != 3 {
+		t.Fatalf("passes saw %d / %d docs, want 3", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("doc %d differs after reset: %q vs %q", i, first[i], second[i])
+		}
+	}
+}
+
+// An empty or all-blank stream yields no documents, just EOF.
+func TestDocScannerEmpty(t *testing.T) {
+	for _, in := range []string{"", "\n", "\n\n \t\n"} {
+		if docs := scanAll(t, newDocScanner(strings.NewReader(in), 8, 0)); len(docs) != 0 {
+			t.Errorf("input %q: got %d docs, want 0", in, len(docs))
+		}
+	}
+}

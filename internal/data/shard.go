@@ -1,0 +1,158 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/arena"
+)
+
+// ShardOf is the per-rank document assignment: document d of an epoch
+// belongs to rank d mod world. It is a pure function, so for any world
+// size the rank shards are disjoint, cover the corpus exactly, and are
+// identical on every run — the property that keeps simulated data
+// parallelism reproducible (each rank derives the same global batch from
+// the same file and seed, and rank r's rows really are shard r's
+// documents).
+func ShardOf(doc, world int) int {
+	if world <= 0 {
+		panic("data: world must be positive")
+	}
+	return doc % world
+}
+
+// ErrCorpus marks an unusable corpus file (empty, or fewer documents than
+// ranks, so some shard would starve).
+var ErrCorpus = errors.New("data: unusable corpus")
+
+// shardStream produces rank r's token stream: it scans the corpus
+// documents in order, keeps only those ShardOf assigns to r, tokenizes
+// them, runs them through a seeded shuffle buffer, and packs the result
+// into a flat token queue with an EOT separator after every document. At
+// the end of the file it seeks back to the start (the stream is infinite;
+// epochs are counted). All per-document buffers come from the loader's
+// arena pool, so a warmed stream refills without allocating.
+type shardStream struct {
+	rank, world int
+	f           *os.File
+	sc          *docScanner
+	tok         *Tokenizer
+	rng         *rand.Rand
+	ints        *arena.Ints
+
+	shuffle [][]int // shuffle buffer of tokenized documents
+	ring    []int   // packed token queue
+	head    int     // consumed prefix of ring
+
+	docIndex   int // position in the current epoch's document sequence
+	epochs     int
+	primed     bool
+	encScratch []int // EncodeInto append target, reused across documents
+}
+
+// newShardStream opens one rank's view of the corpus. Streams sharing a
+// loader share its arena but nothing else; two streams with equal
+// (rank, world, seed) over the same file are bitwise-identical.
+func newShardStream(path string, rank, world int, tok *Tokenizer, seed int64, chunkBytes, maxDocBytes int, ints *arena.Ints) (*shardStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: opening corpus: %w", err)
+	}
+	return &shardStream{
+		rank:  rank,
+		world: world,
+		f:     f,
+		sc:    newDocScanner(f, chunkBytes, maxDocBytes),
+		tok:   tok,
+		// Decorrelate the per-shard shuffle orders while keeping each a
+		// pure function of (seed, rank).
+		rng:  rand.New(rand.NewSource(seed*0x9E3779B9 + int64(rank))),
+		ints: ints,
+	}, nil
+}
+
+func (s *shardStream) close() error { return s.f.Close() }
+
+// nextShardDoc returns this rank's next tokenized document (epoch-looping,
+// never EOF). The returned buffer belongs to the stream's arena; the
+// caller must Put it back once consumed.
+func (s *shardStream) nextShardDoc() ([]int, error) {
+	for rewinds := 0; ; {
+		doc, err := s.sc.next()
+		if err == io.EOF {
+			// One rewind per call is the normal end-of-epoch case; a
+			// second means a full scan found no document for this rank
+			// (empty file, or fewer documents than ranks).
+			rewinds++
+			if rewinds >= 2 {
+				return nil, fmt.Errorf("%w: no documents for rank %d of %d in %s",
+					ErrCorpus, s.rank, s.world, s.f.Name())
+			}
+			if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+				return nil, fmt.Errorf("data: rewinding corpus: %w", err)
+			}
+			s.sc.reset(s.f)
+			s.docIndex = 0
+			s.epochs++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		d := s.docIndex
+		s.docIndex++
+		if ShardOf(d, s.world) != s.rank {
+			continue
+		}
+		s.encScratch = s.tok.EncodeInto(s.encScratch[:0], doc)
+		buf := s.ints.Get(len(s.encScratch) + 1)
+		copy(buf, s.encScratch)
+		buf[len(s.encScratch)] = EOT
+		return buf, nil
+	}
+}
+
+// fill tops the ring up to at least n unconsumed tokens, compacting the
+// consumed prefix first and drawing documents through the shuffle buffer.
+func (s *shardStream) fill(n, shuffleDocs int) error {
+	if !s.primed {
+		s.shuffle = make([][]int, 0, shuffleDocs)
+		for len(s.shuffle) < shuffleDocs {
+			d, err := s.nextShardDoc()
+			if err != nil {
+				return err
+			}
+			s.shuffle = append(s.shuffle, d)
+		}
+		s.primed = true
+	}
+	if s.head > 0 {
+		s.ring = s.ring[:copy(s.ring, s.ring[s.head:])]
+		s.head = 0
+	}
+	for len(s.ring) < n {
+		i := s.rng.Intn(len(s.shuffle))
+		doc := s.shuffle[i]
+		repl, err := s.nextShardDoc()
+		if err != nil {
+			return err
+		}
+		s.shuffle[i] = repl
+		s.ring = append(s.ring, doc...)
+		s.ints.Put(doc)
+	}
+	return nil
+}
+
+// release returns every buffered token slice to the arena.
+func (s *shardStream) release() {
+	for _, d := range s.shuffle {
+		s.ints.Put(d)
+	}
+	s.shuffle = nil
+	s.ring = nil
+	s.primed = false
+}

@@ -1,0 +1,174 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arena"
+)
+
+// Property: for every world size, ShardOf partitions any document range —
+// per-rank sets are pairwise disjoint, their union covers the corpus
+// exactly, and the assignment is a pure function (stable across calls and
+// across world sizes in the sense that changing N never drops or
+// duplicates a document).
+func TestShardAssignmentPartition(t *testing.T) {
+	f := func(docsRaw uint8, worldRaw uint8) bool {
+		docs := int(docsRaw)%200 + 1
+		world := int(worldRaw)%12 + 1
+		seen := make([]int, docs) // how many ranks claimed each doc
+		for r := 0; r < world; r++ {
+			for d := 0; d < docs; d++ {
+				if ShardOf(d, world) == r {
+					seen[d]++
+				}
+			}
+		}
+		for d, n := range seen {
+			if n != 1 {
+				t.Logf("doc %d claimed by %d ranks (world %d)", d, n, world)
+				return false
+			}
+		}
+		// Stability: the assignment is deterministic.
+		for d := 0; d < docs; d++ {
+			if ShardOf(d, world) != ShardOf(d, world) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeCorpus materializes numbered blank-line-separated documents and
+// returns the path plus the document texts.
+func writeCorpus(t testing.TB, docs int) (string, []string) {
+	t.Helper()
+	var sb strings.Builder
+	texts := make([]string, docs)
+	for d := 0; d < docs; d++ {
+		texts[d] = fmt.Sprintf("document %03d body text", d)
+		sb.WriteString(texts[d])
+		sb.WriteString("\n\n")
+	}
+	path := filepath.Join(t.TempDir(), "corpus.txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, texts
+}
+
+// The stream level honors the assignment: rank r's stream yields exactly
+// the documents ShardOf maps to r, in epoch order, for every world size.
+func TestShardStreamsPartitionTheCorpus(t *testing.T) {
+	const docs = 23
+	path, texts := writeCorpus(t, docs)
+	tok := NewByteTokenizer()
+	for world := 1; world <= 6; world++ {
+		claimed := make([]int, docs)
+		for r := 0; r < world; r++ {
+			ints := arena.NewInts()
+			s, err := newShardStream(path, r, world, tok.clone(), 1, 16, 0, ints)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One full epoch of this rank's documents.
+			perRank := docs / world
+			if r < docs%world {
+				perRank++
+			}
+			for i := 0; i < perRank; i++ {
+				buf, err := s.nextShardDoc()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if buf[len(buf)-1] != EOT {
+					t.Fatalf("world %d rank %d: doc missing EOT terminator", world, r)
+				}
+				body, err := tok.Decode(buf[:len(buf)-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := -1
+				for d, text := range texts {
+					if string(body) == text {
+						found = d
+						break
+					}
+				}
+				if found == -1 {
+					t.Fatalf("world %d rank %d: unknown document %q", world, r, body)
+				}
+				if ShardOf(found, world) != r {
+					t.Fatalf("world %d: doc %d surfaced on rank %d, want %d",
+						world, found, r, ShardOf(found, world))
+				}
+				claimed[found]++
+			}
+			s.close()
+		}
+		for d, n := range claimed {
+			if n != 1 {
+				t.Fatalf("world %d: doc %d claimed %d times, want exactly once", world, d, n)
+			}
+		}
+	}
+}
+
+// A rank whose shard is empty (fewer documents than ranks) fails with
+// ErrCorpus instead of spinning on the file forever.
+func TestShardStreamStarvedRank(t *testing.T) {
+	path, _ := writeCorpus(t, 2)
+	s, err := newShardStream(path, 3, 4, NewByteTokenizer(), 1, 0, 0, arena.NewInts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	if _, err := s.nextShardDoc(); !errors.Is(err, ErrCorpus) {
+		t.Fatalf("starved rank error = %v, want ErrCorpus", err)
+	}
+}
+
+// Epoch looping: draining past the end of the corpus rewinds and replays
+// the same shard in the same order.
+func TestShardStreamEpochLoop(t *testing.T) {
+	path, _ := writeCorpus(t, 5)
+	tok := NewByteTokenizer()
+	s, err := newShardStream(path, 1, 2, tok, 1, 32, 0, arena.NewInts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	var first []string
+	for i := 0; i < 2; i++ { // docs 1, 3
+		buf, err := s.nextShardDoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := tok.Decode(buf[:len(buf)-1])
+		first = append(first, string(body))
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 2; i++ {
+			buf, err := s.nextShardDoc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := tok.Decode(buf[:len(buf)-1])
+			if string(body) != first[i] {
+				t.Fatalf("epoch %d doc %d = %q, want %q", epoch+1, i, body, first[i])
+			}
+		}
+	}
+	if s.epochs < 3 {
+		t.Fatalf("epochs = %d, want ≥ 3", s.epochs)
+	}
+}

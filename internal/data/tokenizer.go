@@ -1,0 +1,273 @@
+// Package data is the real-corpus streaming pipeline of the reproduction:
+// a trainable byte-level BPE tokenizer, a sharded corpus reader that never
+// slurps the file, a seeded shuffle buffer, and a sequence packer emitting
+// fixed-length micro-batches behind the same TrainBatch contract the
+// synthetic path uses (internal/engine.Batcher).
+//
+// The design follows the corpus → tokenize → shuffle → pack → micro-batch
+// shape of GPT-style data loaders. Determinism is a hard requirement
+// throughout — the same (file, config, seed) triple yields the same batch
+// stream on every rank of any world, which is what keeps simulated data
+// parallelism bitwise-reproducible:
+//
+//   - BPE merges are selected by (count desc, pair asc) — no map-iteration
+//     order leaks into the vocabulary.
+//   - Documents are assigned to ranks by a pure function of (document
+//     index, world size); see ShardOf.
+//   - Shuffling is a bounded, seeded reservoir per shard stream.
+//
+// Memory stays bounded regardless of corpus size: the reader works in
+// fixed-size chunks, documents are capped at MaxDocBytes, and the shuffle
+// buffer holds a fixed number of tokenized documents. Steady-state batch
+// production draws every token buffer from an internal/arena pool and
+// performs no heap allocation.
+package data
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// EOT is the end-of-text token id, emitted between documents by the
+// packer. It sits immediately after the 256 byte tokens, so BPE merge ids
+// start at 257 and a tokenizer's id space is stable across vocab sizes.
+const EOT = 256
+
+// byteVocab is the number of reserved ids below the first merge: 256 raw
+// bytes plus EOT.
+const byteVocab = 257
+
+// Sentinel errors for the distinct tokenizer failure classes.
+var (
+	// ErrVocab marks an unusable vocab size (below the byte+EOT floor).
+	ErrVocab = errors.New("data: vocab size below byte floor")
+	// ErrTokenizerJSON marks a malformed or inconsistent vocab file.
+	ErrTokenizerJSON = errors.New("data: invalid tokenizer JSON")
+	// ErrToken marks a token id outside the tokenizer's vocabulary.
+	ErrToken = errors.New("data: token id out of range")
+)
+
+// merge is one learned BPE rule: the adjacent pair (L,R) rewrites to id
+// 257+index. Earlier merges have priority during encoding.
+type merge struct {
+	L, R int
+}
+
+// Tokenizer is a byte-level BPE tokenizer. Ids 0-255 are raw bytes, 256 is
+// EOT, and 257+i is the product of the i-th merge. A Tokenizer with no
+// merges is the plain byte tokenizer. Encode/Decode round-trip any byte
+// sequence exactly (byte-level BPE has no unknown-token case).
+//
+// EncodeInto reuses an internal scratch buffer, so a Tokenizer must not be
+// shared across goroutines; each Loader (and each rank) owns its own.
+type Tokenizer struct {
+	merges []merge
+	rank   map[uint64]int // pair key → merge index (encode priority)
+	vocab  [][]byte       // id → bytes; vocab[EOT] is empty
+	buf    []int          // encode scratch
+}
+
+// pairKey packs an adjacent id pair into one map key.
+func pairKey(l, r int) uint64 { return uint64(l)<<32 | uint64(uint32(r)) }
+
+// NewByteTokenizer returns the merge-free byte tokenizer (vocab 257: every
+// byte plus EOT). It needs no training and handles any input.
+func NewByteTokenizer() *Tokenizer {
+	t := &Tokenizer{rank: map[uint64]int{}}
+	t.buildVocab()
+	return t
+}
+
+// buildVocab materializes the id → bytes table from the merge list.
+func (t *Tokenizer) buildVocab() {
+	t.vocab = make([][]byte, byteVocab+len(t.merges))
+	for b := 0; b < 256; b++ {
+		t.vocab[b] = []byte{byte(b)}
+	}
+	t.vocab[EOT] = nil
+	for i, m := range t.merges {
+		t.vocab[byteVocab+i] = append(append([]byte{}, t.vocab[m.L]...), t.vocab[m.R]...)
+	}
+}
+
+// VocabSize returns the number of token ids the tokenizer emits (257 byte
+// ids plus one per learned merge). Model vocabularies must be at least
+// this large.
+func (t *Tokenizer) VocabSize() int { return byteVocab + len(t.merges) }
+
+// Merges returns the number of learned merge rules.
+func (t *Tokenizer) Merges() int { return len(t.merges) }
+
+// TrainBPE learns up to vocabSize-257 merges from sample, most-frequent
+// pair first. Ties break toward the numerically smallest pair, so the
+// merge list — and therefore every downstream token stream — is a pure
+// function of the sample bytes. Training stops early when no pair repeats;
+// the resulting vocab may be smaller than the budget on tiny corpora.
+// vocabSize must be ≥ 257 (257 means zero merges, the byte tokenizer).
+func TrainBPE(sample []byte, vocabSize int) (*Tokenizer, error) {
+	if vocabSize < byteVocab {
+		return nil, fmt.Errorf("%w: %d (want ≥ %d)", ErrVocab, vocabSize, byteVocab)
+	}
+	seq := make([]int, len(sample))
+	for i, b := range sample {
+		seq[i] = int(b)
+	}
+	t := &Tokenizer{rank: map[uint64]int{}}
+	counts := map[uint64]int{}
+	for id := byteVocab; id < vocabSize; id++ {
+		clear(counts)
+		for i := 0; i+1 < len(seq); i++ {
+			counts[pairKey(seq[i], seq[i+1])]++
+		}
+		bestKey, bestCount := uint64(0), 0
+		for k, c := range counts {
+			if c > bestCount || (c == bestCount && k < bestKey) {
+				bestKey, bestCount = k, c
+			}
+		}
+		if bestCount < 2 {
+			break // nothing left worth merging
+		}
+		m := merge{L: int(bestKey >> 32), R: int(uint32(bestKey))}
+		t.rank[bestKey] = len(t.merges)
+		t.merges = append(t.merges, m)
+		seq = mergePair(seq, m.L, m.R, id)
+	}
+	t.buildVocab()
+	return t, nil
+}
+
+// mergePair rewrites every non-overlapping (l,r) occurrence in seq to id,
+// left to right, in place.
+func mergePair(seq []int, l, r, id int) []int {
+	w := 0
+	for i := 0; i < len(seq); {
+		if i+1 < len(seq) && seq[i] == l && seq[i+1] == r {
+			seq[w] = id
+			i += 2
+		} else {
+			seq[w] = seq[i]
+			i++
+		}
+		w++
+	}
+	return seq[:w]
+}
+
+// EncodeInto tokenizes text and appends the ids to dst, returning the
+// extended slice. Merges apply in training order (lowest merge index
+// first), each rewriting every occurrence left to right — the standard
+// greedy BPE encode. It never emits EOT; document separators are the
+// packer's job.
+func (t *Tokenizer) EncodeInto(dst []int, text []byte) []int {
+	if len(text) == 0 {
+		return dst
+	}
+	if cap(t.buf) < len(text) {
+		t.buf = make([]int, len(text))
+	}
+	buf := t.buf[:len(text)]
+	for i, b := range text {
+		buf[i] = int(b)
+	}
+	for len(t.merges) > 0 {
+		best := -1
+		for i := 0; i+1 < len(buf); i++ {
+			if m, ok := t.rank[pairKey(buf[i], buf[i+1])]; ok && (best == -1 || m < best) {
+				best = m
+			}
+		}
+		if best == -1 {
+			break
+		}
+		m := t.merges[best]
+		buf = mergePair(buf, m.L, m.R, byteVocab+best)
+	}
+	return append(dst, buf...)
+}
+
+// Encode is the allocating convenience form of EncodeInto.
+func (t *Tokenizer) Encode(text []byte) []int { return t.EncodeInto(nil, text) }
+
+// DecodeInto appends the bytes of ids to dst. EOT decodes to nothing.
+// Unknown ids are ErrToken.
+func (t *Tokenizer) DecodeInto(dst []byte, ids []int) ([]byte, error) {
+	for _, id := range ids {
+		if id < 0 || id >= len(t.vocab) {
+			return dst, fmt.Errorf("%w: %d (vocab %d)", ErrToken, id, len(t.vocab))
+		}
+		dst = append(dst, t.vocab[id]...)
+	}
+	return dst, nil
+}
+
+// Decode is the allocating convenience form of DecodeInto.
+func (t *Tokenizer) Decode(ids []int) ([]byte, error) { return t.DecodeInto(nil, ids) }
+
+// tokenizerJSON is the on-disk vocab format: the ordered merge list fully
+// determines the vocabulary, so nothing else is stored.
+type tokenizerJSON struct {
+	Kind   string   `json:"kind"` // always "bpe"
+	Merges [][2]int `json:"merges"`
+}
+
+// SaveJSON serializes the tokenizer's merge list.
+func (t *Tokenizer) SaveJSON() ([]byte, error) {
+	out := tokenizerJSON{Kind: "bpe", Merges: make([][2]int, len(t.merges))}
+	for i, m := range t.merges {
+		out.Merges[i] = [2]int{m.L, m.R}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// LoadTokenizerJSON rebuilds a tokenizer from SaveJSON output, validating
+// that every merge references only previously defined ids.
+func LoadTokenizerJSON(blob []byte) (*Tokenizer, error) {
+	var in tokenizerJSON
+	if err := json.Unmarshal(blob, &in); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTokenizerJSON, err)
+	}
+	if in.Kind != "bpe" {
+		return nil, fmt.Errorf("%w: kind %q (want \"bpe\")", ErrTokenizerJSON, in.Kind)
+	}
+	t := &Tokenizer{rank: map[uint64]int{}}
+	for i, p := range in.Merges {
+		l, r := p[0], p[1]
+		limit := byteVocab + i // ids defined so far
+		if l < 0 || r < 0 || l >= limit || r >= limit || l == EOT || r == EOT {
+			return nil, fmt.Errorf("%w: merge %d references id out of range (%d,%d)", ErrTokenizerJSON, i, l, r)
+		}
+		key := pairKey(l, r)
+		if _, dup := t.rank[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate merge (%d,%d)", ErrTokenizerJSON, l, r)
+		}
+		t.rank[key] = i
+		t.merges = append(t.merges, merge{L: l, R: r})
+	}
+	t.buildVocab()
+	return t, nil
+}
+
+// SaveTokenizerFile writes the vocab JSON to path.
+func SaveTokenizerFile(t *Tokenizer, path string) error {
+	blob, err := t.SaveJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadTokenizerFile reads a vocab JSON written by SaveTokenizerFile.
+func LoadTokenizerFile(path string) (*Tokenizer, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: reading tokenizer: %w", err)
+	}
+	t, err := LoadTokenizerJSON(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

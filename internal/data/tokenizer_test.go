@@ -1,0 +1,188 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// A trained tokenizer must compress its own training sample, apply merges
+// deterministically, and round-trip exactly.
+func TestTrainBPECompressesAndRoundTrips(t *testing.T) {
+	sample := bytes.Repeat([]byte("the cat sat on the mat. the dog ate the log.\n"), 50)
+	tok, err := TrainBPE(sample, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Merges() == 0 {
+		t.Fatal("trained tokenizer learned no merges")
+	}
+	if tok.VocabSize() != 257+tok.Merges() {
+		t.Fatalf("VocabSize %d, want %d", tok.VocabSize(), 257+tok.Merges())
+	}
+	ids := tok.Encode(sample)
+	if len(ids) >= len(sample) {
+		t.Fatalf("BPE did not compress: %d tokens for %d bytes", len(ids), len(sample))
+	}
+	for _, id := range ids {
+		if id < 0 || id >= tok.VocabSize() || id == EOT {
+			t.Fatalf("Encode emitted invalid id %d", id)
+		}
+	}
+	back, err := tok.Decode(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, sample) {
+		t.Fatal("Decode(Encode(sample)) != sample")
+	}
+}
+
+// Training is deterministic: same sample, same merges — twice.
+func TestTrainBPEDeterministic(t *testing.T) {
+	sample := bytes.Repeat([]byte("abcabd abcabd xyz xyz "), 40)
+	a, err := TrainBPE(sample, 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainBPE(sample, 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Merges() != b.Merges() {
+		t.Fatalf("merge counts differ: %d vs %d", a.Merges(), b.Merges())
+	}
+	for i := range a.merges {
+		if a.merges[i] != b.merges[i] {
+			t.Fatalf("merge %d differs: %v vs %v", i, a.merges[i], b.merges[i])
+		}
+	}
+}
+
+// The byte tokenizer is the identity mapping plus EOT headroom.
+func TestByteTokenizer(t *testing.T) {
+	tok := NewByteTokenizer()
+	if tok.VocabSize() != 257 {
+		t.Fatalf("byte vocab %d, want 257", tok.VocabSize())
+	}
+	in := []byte("hello, \x00\xff world")
+	ids := tok.Encode(in)
+	if len(ids) != len(in) {
+		t.Fatalf("byte encode length %d, want %d", len(ids), len(in))
+	}
+	back, err := tok.Decode(ids)
+	if err != nil || !bytes.Equal(back, in) {
+		t.Fatalf("byte round trip failed: %q err %v", back, err)
+	}
+	// EOT decodes to nothing; out-of-range ids are ErrToken.
+	if out, err := tok.Decode([]int{EOT, 'a'}); err != nil || string(out) != "a" {
+		t.Fatalf("EOT decode: %q, %v", out, err)
+	}
+	if _, err := tok.Decode([]int{300}); !errors.Is(err, ErrToken) {
+		t.Fatalf("decode of unknown id: %v, want ErrToken", err)
+	}
+}
+
+// Vocab JSON save/load reproduces the exact tokenizer; corrupt files are
+// structured errors.
+func TestTokenizerJSONRoundTrip(t *testing.T) {
+	sample := bytes.Repeat([]byte("zero redundancy optimizer. "), 60)
+	tok, err := TrainBPE(sample, 290)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vocab.json")
+	if err := SaveTokenizerFile(tok, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTokenizerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.VocabSize() != tok.VocabSize() {
+		t.Fatalf("loaded vocab %d, want %d", back.VocabSize(), tok.VocabSize())
+	}
+	in := []byte("an optimizer with zero redundancy")
+	a, b := tok.Encode(in), back.Encode(in)
+	if len(a) != len(b) {
+		t.Fatalf("encode lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("token %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+
+	for name, blob := range map[string]string{
+		"not json":        `{{{`,
+		"wrong kind":      `{"kind":"wordpiece","merges":[]}`,
+		"forward ref":     `{"kind":"bpe","merges":[[300,301]]}`,
+		"eot in merge":    `{"kind":"bpe","merges":[[256,97]]}`,
+		"duplicate merge": `{"kind":"bpe","merges":[[97,98],[97,98]]}`,
+		"negative id":     `{"kind":"bpe","merges":[[-1,97]]}`,
+	} {
+		if _, err := LoadTokenizerJSON([]byte(blob)); !errors.Is(err, ErrTokenizerJSON) {
+			t.Errorf("%s: error %v, want ErrTokenizerJSON", name, err)
+		}
+	}
+}
+
+// Sub-floor vocab budgets are rejected; a floor budget is the byte
+// tokenizer; tiny samples stop early instead of inventing merges.
+func TestTrainBPEBudgets(t *testing.T) {
+	if _, err := TrainBPE([]byte("abc"), 100); !errors.Is(err, ErrVocab) {
+		t.Fatalf("TrainBPE(100): %v, want ErrVocab", err)
+	}
+	tok, err := TrainBPE([]byte("ab"), 257)
+	if err != nil || tok.Merges() != 0 {
+		t.Fatalf("floor budget: merges %d err %v, want 0 merges", tok.Merges(), err)
+	}
+	// "ab" has no repeated pair: a huge budget still learns nothing.
+	tok, err = TrainBPE([]byte("ab"), 1000)
+	if err != nil || tok.Merges() != 0 {
+		t.Fatalf("no-repeat sample: merges %d err %v, want 0", tok.Merges(), err)
+	}
+}
+
+// EncodeInto appends into the destination without clobbering its prefix
+// and reuses scratch across calls.
+func TestEncodeIntoAppends(t *testing.T) {
+	tok := NewByteTokenizer()
+	dst := []int{42}
+	dst = tok.EncodeInto(dst, []byte("xy"))
+	if len(dst) != 3 || dst[0] != 42 || dst[1] != 'x' || dst[2] != 'y' {
+		t.Fatalf("EncodeInto = %v", dst)
+	}
+	if got := tok.EncodeInto(nil, nil); got != nil {
+		t.Fatalf("EncodeInto(nil, empty) = %v, want nil", got)
+	}
+}
+
+// FuzzBPERoundTrip: for any input bytes, Encode then Decode is the
+// identity — the byte-level BPE guarantee — for both a trained tokenizer
+// and the byte tokenizer. Run as a short smoke in `make check`
+// (fuzz-smoke) and at length with `go test -fuzz=FuzzBPERoundTrip`.
+func FuzzBPERoundTrip(f *testing.F) {
+	trained, err := TrainBPE(bytes.Repeat([]byte("the zero redundancy optimizer shards optimizer state. "), 40), 320)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bt := NewByteTokenizer()
+	f.Add([]byte("the optimizer"))
+	f.Add([]byte(""))
+	f.Add([]byte{0, 255, 10, 13, 10})
+	f.Add(bytes.Repeat([]byte("ab"), 100))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		for name, tok := range map[string]*Tokenizer{"trained": trained, "byte": bt} {
+			ids := tok.Encode(in)
+			out, err := tok.Decode(ids)
+			if err != nil {
+				t.Fatalf("%s: decode error %v", name, err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatalf("%s: round trip changed %q -> %q", name, in, out)
+			}
+		}
+	})
+}

@@ -18,8 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/comm"
+	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/optimizer"
 	"repro/internal/zero"
@@ -48,6 +51,9 @@ var (
 	// ErrSchedule marks bad communication-schedule knobs (negative bucket,
 	// queue depth or prefetch depth).
 	ErrSchedule = errors.New("engine: invalid schedule")
+	// ErrData marks an invalid data section (missing corpus path, unknown
+	// tokenizer, sequence length beyond the model, vocabulary mismatch).
+	ErrData = errors.New("engine: invalid data section")
 )
 
 // StageSpec is a ZeRO stage in config form: a JSON number 0-3 or a paper
@@ -85,6 +91,32 @@ type OptimizerConfig struct {
 	LR          float64 `json:"lr"`
 	Momentum    float64 `json:"momentum,omitempty"`     // sgd (0 → 0.9)
 	WeightDecay float64 `json:"weight_decay,omitempty"` // adam / lamb
+}
+
+// DataConfig is the "data" block: a real text corpus streamed through the
+// internal/data pipeline (tokenize → shard → shuffle → pack) instead of
+// the synthetic batch generator. Omitting the block keeps the synthetic
+// path; see OpenData for how a present block becomes a data.Loader.
+type DataConfig struct {
+	// Path is the corpus text file (blank-line-separated documents).
+	// Relative paths in a loaded config file resolve against the config
+	// file's directory, so a corpus can sit next to its config.
+	Path string `json:"path"`
+	// Tokenizer is "byte" (default), "bpe" (train byte-level BPE on the
+	// corpus head at Open), or a ".json" vocab file path.
+	Tokenizer string `json:"tokenizer,omitempty"`
+	// VocabSize is the BPE vocabulary budget, ids including the 257
+	// byte+EOT floor (0 = 512; "byte" ignores it).
+	VocabSize int `json:"vocab_size,omitempty"`
+	// SeqLen is the packed sequence length per row (0 = model seq; must
+	// not exceed it).
+	SeqLen int `json:"seq_len,omitempty"`
+	// ShuffleBuffer is the per-shard shuffle-buffer size in documents
+	// (0 = the data package default).
+	ShuffleBuffer int `json:"shuffle_buffer,omitempty"`
+	// Seed drives the shuffle order (0 = the top-level config seed, so
+	// one field reproduces the whole run).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Config is the declarative training configuration. Zero values mean "use
@@ -131,8 +163,12 @@ type Config struct {
 	// GradAccumSteps is the number of micro-batches folded into the
 	// partitioned gradient accumulator per optimizer step (default 1).
 	GradAccumSteps int `json:"grad_accum_steps,omitempty"`
-	// Seed drives parameter init and synthetic data.
+	// Seed is the single top-level reproducibility knob: it drives
+	// parameter init, synthetic data, and (unless data.seed overrides)
+	// the corpus shuffle order.
 	Seed int64 `json:"seed,omitempty"`
+	// Data streams a real corpus instead of synthetic batches when set.
+	Data *DataConfig `json:"data,omitempty"`
 }
 
 // DefaultConfig is the one constructor every entry point starts from: the
@@ -173,15 +209,29 @@ func ParseConfig(data []byte) (Config, error) {
 	return c, nil
 }
 
-// LoadConfig reads and strictly parses a JSON config file.
+// LoadConfig reads and strictly parses a JSON config file. Relative data
+// paths (corpus and .json vocab) are resolved against the config file's
+// directory, so `examples/corpus/config.json` can name the corpus sitting
+// next to it and still load from any working directory.
 func LoadConfig(path string) (Config, error) {
-	data, err := os.ReadFile(path)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return Config{}, fmt.Errorf("engine: reading config: %w", err)
 	}
-	c, err := ParseConfig(data)
+	c, err := ParseConfig(blob)
 	if err != nil {
 		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if c.Data != nil {
+		d := *c.Data
+		dir := filepath.Dir(path)
+		if d.Path != "" && !filepath.IsAbs(d.Path) {
+			d.Path = filepath.Join(dir, d.Path)
+		}
+		if strings.HasSuffix(d.Tokenizer, ".json") && !filepath.IsAbs(d.Tokenizer) {
+			d.Tokenizer = filepath.Join(dir, d.Tokenizer)
+		}
+		c.Data = &d
 	}
 	return c, nil
 }
@@ -261,7 +311,65 @@ func (c Config) Normalized() (Config, error) {
 		return c, fmt.Errorf("%w: micro_batch %d not divisible by ranks %d",
 			ErrBatch, c.MicroBatch, c.Ranks)
 	}
+
+	// Data section: fill defaults (sequence length from the model, seed
+	// from the top-level knob) and validate what is statically checkable;
+	// file contents are OpenData's concern.
+	if c.Data != nil {
+		d := *c.Data
+		if d.Path == "" {
+			return c, fmt.Errorf("%w: path is required", ErrData)
+		}
+		switch {
+		case d.Tokenizer == "" || d.Tokenizer == "byte":
+			d.Tokenizer = "byte"
+			if d.VocabSize != 0 {
+				return c, fmt.Errorf("%w: vocab_size %d set with the byte tokenizer (fixed at 257)",
+					ErrData, d.VocabSize)
+			}
+		case d.Tokenizer == "bpe":
+			if d.VocabSize == 0 {
+				d.VocabSize = 512
+			}
+			if d.VocabSize < 258 {
+				return c, fmt.Errorf("%w: vocab_size %d (bpe wants ≥ 258: 257 byte ids plus merges)",
+					ErrData, d.VocabSize)
+			}
+		case strings.HasSuffix(d.Tokenizer, ".json"):
+			// Vocab size comes from the file; checked at OpenData.
+		default:
+			return c, fmt.Errorf("%w: tokenizer %q (want \"byte\", \"bpe\" or a .json vocab path)",
+				ErrData, d.Tokenizer)
+		}
+		if d.SeqLen == 0 {
+			d.SeqLen = c.Model.Seq
+		}
+		if d.SeqLen < 2 || d.SeqLen > c.Model.Seq {
+			return c, fmt.Errorf("%w: seq_len %d (want 2 ≤ seq_len ≤ model seq %d)",
+				ErrData, d.SeqLen, c.Model.Seq)
+		}
+		if d.ShuffleBuffer < 0 {
+			return c, fmt.Errorf("%w: shuffle_buffer %d (want ≥ 0)", ErrData, d.ShuffleBuffer)
+		}
+		if d.Seed == 0 {
+			d.Seed = c.Seed
+		}
+		if need := tokenizerFloor(d); c.Model.Vocab < need {
+			return c, fmt.Errorf("%w: model vocab %d below tokenizer vocabulary %d",
+				ErrData, c.Model.Vocab, need)
+		}
+		c.Data = &d
+	}
 	return c, nil
+}
+
+// tokenizerFloor returns the statically-known minimum model vocabulary the
+// data section requires (the byte+EOT floor, or the BPE budget).
+func tokenizerFloor(d DataConfig) int {
+	if d.Tokenizer == "bpe" {
+		return d.VocabSize
+	}
+	return 257
 }
 
 // Validate reports whether the config is runnable, wrapping one of the
@@ -270,6 +378,40 @@ func (c Config) Normalized() (Config, error) {
 func (c Config) Validate() error {
 	_, err := c.Normalized()
 	return err
+}
+
+// OpenData compiles the config's data section into a streaming
+// data.Loader producing MicroBatch-row global micro-batches (engine
+// Batcher contract). Each rank opens its own Loader; determinism of the
+// pipeline makes every rank's batch stream identical. The loader's actual
+// vocabulary (known only after training or loading a vocab file) must fit
+// the model's.
+func OpenData(cfg Config) (*data.Loader, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if norm.Data == nil {
+		return nil, fmt.Errorf("%w: config has no data section", ErrData)
+	}
+	d := norm.Data
+	l, err := data.Open(data.Config{
+		Path:          d.Path,
+		Tokenizer:     d.Tokenizer,
+		VocabSize:     d.VocabSize,
+		SeqLen:        d.SeqLen,
+		ShuffleBuffer: d.ShuffleBuffer,
+		Seed:          d.Seed,
+	}, norm.MicroBatch, norm.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	if l.VocabSize() > norm.Model.Vocab {
+		l.Close()
+		return nil, fmt.Errorf("%w: model vocab %d below tokenizer vocabulary %d",
+			ErrData, norm.Model.Vocab, l.VocabSize())
+	}
+	return l, nil
 }
 
 // compile lowers the validated config to the internal zero.Options layer.

@@ -11,7 +11,7 @@ import (
 // Every failure class yields its own wrapped sentinel — and only that one —
 // so callers can dispatch on errors.Is without string matching.
 func TestValidateSentinelErrors(t *testing.T) {
-	sentinels := []error{ErrJSON, ErrModel, ErrWorld, ErrStage, ErrOptimizer, ErrBatch, ErrTopology, ErrSchedule}
+	sentinels := []error{ErrJSON, ErrModel, ErrWorld, ErrStage, ErrOptimizer, ErrBatch, ErrTopology, ErrSchedule, ErrData}
 	mut := func(f func(*Config)) Config {
 		c := DefaultConfig()
 		f(&c)
@@ -53,6 +53,36 @@ func TestValidateSentinelErrors(t *testing.T) {
 		{"negative bucket", mut(func(c *Config) { c.BucketElems = -1 }), ErrSchedule},
 		{"negative queue depth", mut(func(c *Config) { c.QueueDepth = -1 }), ErrSchedule},
 		{"negative prefetch depth", mut(func(c *Config) { c.PrefetchDepth = -1 }), ErrSchedule},
+		{"data without path", mut(func(c *Config) { c.Data = &DataConfig{} }), ErrData},
+		{"unknown tokenizer", mut(func(c *Config) {
+			c.Data = &DataConfig{Path: "x.txt", Tokenizer: "wordpiece"}
+		}), ErrData},
+		{"vocab_size with byte tokenizer", mut(func(c *Config) {
+			c.Data = &DataConfig{Path: "x.txt", VocabSize: 300}
+		}), ErrData},
+		{"bpe budget below floor", mut(func(c *Config) {
+			c.Model.Vocab = 512
+			c.Data = &DataConfig{Path: "x.txt", Tokenizer: "bpe", VocabSize: 200}
+		}), ErrData},
+		{"seq_len beyond model", mut(func(c *Config) {
+			c.Model.Vocab = 300
+			c.Data = &DataConfig{Path: "x.txt", SeqLen: 1000}
+		}), ErrData},
+		{"seq_len too short", mut(func(c *Config) {
+			c.Model.Vocab = 300
+			c.Data = &DataConfig{Path: "x.txt", SeqLen: 1}
+		}), ErrData},
+		{"negative shuffle buffer", mut(func(c *Config) {
+			c.Model.Vocab = 300
+			c.Data = &DataConfig{Path: "x.txt", ShuffleBuffer: -1}
+		}), ErrData},
+		{"model vocab below byte floor", mut(func(c *Config) {
+			c.Data = &DataConfig{Path: "x.txt"} // DefaultConfig vocab 101 < 257
+		}), ErrData},
+		{"model vocab below bpe budget", mut(func(c *Config) {
+			c.Model.Vocab = 400
+			c.Data = &DataConfig{Path: "x.txt", Tokenizer: "bpe", VocabSize: 500}
+		}), ErrData},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
@@ -117,6 +147,46 @@ func TestBatchGeometryDerivation(t *testing.T) {
 				norm.GlobalBatch, norm.MicroBatch, norm.GradAccumSteps,
 				tc.wantGlobal, tc.wantMicro, tc.wantK)
 		}
+	}
+}
+
+// The data section fills its defaults from the rest of the config: the
+// sequence length from the model, the shuffle seed from the single
+// top-level seed (one field reproduces init, synthetic data and corpus
+// order), and the BPE budget from its documented default — without
+// mutating the caller's config.
+func TestDataConfigDefaults(t *testing.T) {
+	c := DefaultConfig()
+	c.Model.Vocab = 600
+	c.Seed = 99
+	c.Data = &DataConfig{Path: "corpus.txt", Tokenizer: "bpe"}
+	norm, err := c.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := norm.Data
+	if d.SeqLen != c.Model.Seq {
+		t.Errorf("seq_len default = %d, want model seq %d", d.SeqLen, c.Model.Seq)
+	}
+	if d.Seed != 99 {
+		t.Errorf("data seed = %d, want top-level seed 99", d.Seed)
+	}
+	if d.VocabSize != 512 {
+		t.Errorf("bpe vocab default = %d, want 512", d.VocabSize)
+	}
+	if d.Tokenizer != "bpe" {
+		t.Errorf("tokenizer = %q", d.Tokenizer)
+	}
+	if c.Data.SeqLen != 0 || c.Data.Seed != 0 {
+		t.Error("Normalized mutated the caller's data section")
+	}
+	// An explicit data seed wins over the top-level one.
+	c.Data = &DataConfig{Path: "corpus.txt", Seed: 5}
+	if norm, err = c.Normalized(); err != nil {
+		t.Fatal(err)
+	}
+	if norm.Data.Seed != 5 {
+		t.Errorf("explicit data seed = %d, want 5", norm.Data.Seed)
 	}
 }
 

@@ -141,6 +141,33 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// Batcher is a stream of global micro-batches: each call returns
+// MicroBatch rows × seq_len tokens of ids with their next-token targets,
+// row-major. data.Loader streams a real corpus behind this contract;
+// model.SyntheticStream cycles the synthetic batch behind the same one.
+// Returned slices may be reused by the next call — the engine consumes
+// them within the micro-step.
+type Batcher interface {
+	NextBatch() (ids, targets []int)
+}
+
+// TrainStream runs one optimizer step by draining GradAccumSteps
+// micro-batches from b through the Forward/Backward/Step lifecycle, and
+// returns the mean local loss at the boundary. It is TrainBatch for data
+// that arrives as a stream instead of a materialized global batch.
+func (e *Engine) TrainStream(b Batcher) float64 {
+	if e.micro != 0 {
+		panic("engine: TrainStream mid-accumulation")
+	}
+	for j := 0; j < e.cfg.GradAccumSteps; j++ {
+		ids, targets := b.NextBatch()
+		e.Forward(ids, targets)
+		e.Backward()
+		e.Step()
+	}
+	return e.BatchLoss()
+}
+
 // TrainBatch runs one full global batch — GradAccumSteps micro-batches of
 // MicroBatch rows, sliced row-major from ids/targets — through the
 // Forward/Backward/Step lifecycle and returns the mean local loss at the

@@ -211,3 +211,43 @@ func TestEngineSaveLoadResume(t *testing.T) {
 		t.Errorf("resumed boundary loss %.17g != uninterrupted %.17g", resumed, ref)
 	}
 }
+
+// zerotrain's conversion to the stream loop must not move the synthetic
+// path by a single bit: TrainStream over a SyntheticStream replays
+// TrainBatch on the materialized batch exactly.
+func TestTrainStreamMatchesTrainBatchBitwise(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 8
+	run := func(stream bool) []float64 {
+		losses := make([]float64, 0, steps)
+		_, err := Run(norm, func(e *Engine) {
+			ids, targets := model.SyntheticBatch(norm.Seed, norm.GlobalBatch, norm.Model.Seq, norm.Model.Vocab)
+			batcher := model.NewSyntheticStream(norm.Seed, norm.GlobalBatch, norm.MicroBatch, norm.Model.Seq, norm.Model.Vocab)
+			for s := 0; s < steps; s++ {
+				var l float64
+				if stream {
+					l = e.TrainStream(batcher)
+				} else {
+					l = e.TrainBatch(ids, targets)
+				}
+				if e.Rank() == 0 {
+					losses = append(losses, l)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	batch, stream := run(false), run(true)
+	for i := range batch {
+		if batch[i] != stream[i] {
+			t.Fatalf("step %d: TrainBatch loss %.17g != TrainStream loss %.17g", i+1, batch[i], stream[i])
+		}
+	}
+}

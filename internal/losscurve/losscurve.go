@@ -70,3 +70,28 @@ func (c Curve) Series(maxIter, points int) []Point {
 	}
 	return out
 }
+
+// FitSlope returns the least-squares slope of a measured loss trajectory
+// (loss units per step). Stochastic curves wobble step to step, so "the
+// loss decreases" is asserted on the fitted trend rather than on adjacent
+// samples; a healthy run has a clearly negative slope. Fewer than two
+// points have no trend and return 0.
+func FitSlope(losses []float64) float64 {
+	n := float64(len(losses))
+	if n < 2 {
+		return 0
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range losses {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	denom := n*sumXX - sumX*sumX
+	if denom == 0 {
+		return 0
+	}
+	return (n*sumXY - sumX*sumY) / denom
+}

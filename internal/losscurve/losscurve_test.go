@@ -67,6 +67,37 @@ func TestSeriesShape(t *testing.T) {
 	}
 }
 
+// FitSlope recovers exact trends, tolerates noise-free flats, and signs
+// measured-style noisy descents correctly.
+func TestFitSlope(t *testing.T) {
+	if got := FitSlope([]float64{5, 4, 3, 2, 1}); got != -1 {
+		t.Errorf("exact line slope = %g, want -1", got)
+	}
+	if got := FitSlope([]float64{2, 2, 2, 2}); got != 0 {
+		t.Errorf("flat slope = %g, want 0", got)
+	}
+	if got := FitSlope(nil); got != 0 {
+		t.Errorf("empty slope = %g, want 0", got)
+	}
+	if got := FitSlope([]float64{7}); got != 0 {
+		t.Errorf("single-point slope = %g, want 0", got)
+	}
+	// A descending trajectory with step-to-step wobble still fits negative.
+	noisy := []float64{6.0, 5.6, 5.7, 5.1, 5.2, 4.8, 4.9, 4.4}
+	if got := FitSlope(noisy); got >= 0 {
+		t.Errorf("noisy descent slope = %g, want < 0", got)
+	}
+	// And the synthetic model curve itself fits negative.
+	c := Curve{Params: 1e9}
+	var tr []float64
+	for i := 0; i < 50; i++ {
+		tr = append(tr, c.Loss(i*100))
+	}
+	if got := FitSlope(tr); got >= 0 {
+		t.Errorf("model curve slope = %g, want < 0", got)
+	}
+}
+
 func TestValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -27,6 +27,36 @@ func SyntheticBatch(seed int64, batch, seqLen, vocab int) (ids, targets []int) {
 	return ids, targets
 }
 
+// SyntheticStream adapts SyntheticBatch to the micro-batch stream contract
+// (internal/engine.Batcher): it materializes one deterministic global
+// batch and cycles its micro-batch slices in order, exactly reproducing
+// the slicing TrainBatch performs — so a run driven through the stream is
+// bitwise-identical to the legacy materialized-batch loop.
+type SyntheticStream struct {
+	ids, targets []int
+	microTokens  int
+	off          int
+}
+
+// NewSyntheticStream builds the stream: globalRows rows of seqLen tokens
+// from SyntheticBatch(seed), emitted microRows rows at a time. microRows
+// must divide globalRows.
+func NewSyntheticStream(seed int64, globalRows, microRows, seqLen, vocab int) *SyntheticStream {
+	if microRows <= 0 || globalRows%microRows != 0 {
+		panic("model: microRows must divide globalRows")
+	}
+	ids, targets := SyntheticBatch(seed, globalRows, seqLen, vocab)
+	return &SyntheticStream{ids: ids, targets: targets, microTokens: microRows * seqLen}
+}
+
+// NextBatch returns the next micro-batch slice, wrapping at the end of the
+// global batch. The slices alias the stream's fixed buffers.
+func (s *SyntheticStream) NextBatch() (ids, targets []int) {
+	lo, hi := s.off, s.off+s.microTokens
+	s.off = hi % len(s.ids)
+	return s.ids[lo:hi], s.targets[lo:hi]
+}
+
 // ShardBatch splits a global batch row-wise across dp ranks; rank r gets
 // rows [r*batch/dp, (r+1)*batch/dp). batch must divide evenly, mirroring
 // how data-parallel training divides a mini-batch (§2.1).

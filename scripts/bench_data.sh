@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the data-pipeline baseline (BENCH_DATA.json): the streaming
+# corpus loader (chunked reads, framing, tokenization, shuffle, packing)
+# in tokens/sec and allocs per micro-batch, for the byte and BPE
+# tokenizers. The per-batch op is microseconds, so the default benchtime
+# is high to keep min-of-N ns/op stable under scheduler noise.
+set -eu
+exec "$(dirname "$0")/bench.sh" "${1:-2000x}" '^BenchmarkDataPipeline$' BENCH_DATA.json
