@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race configcheck fuzz-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-compare bench-smoke pprof sweep all
+.PHONY: check fmt vet build test race configcheck fuzz-smoke serve-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-serve bench-compare bench-smoke pprof sweep all
 
-check: fmt vet build test race configcheck fuzz-smoke
+check: fmt vet build test race configcheck fuzz-smoke serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -23,7 +23,7 @@ test:
 # stream scheduler, the trainer overlap/prefetch/accumulation paths, the
 # engine lifecycle, and the parallel kernels.
 race:
-	$(GO) test -race ./internal/comm ./internal/zero ./internal/engine ./internal/tensor ./internal/ddp
+	$(GO) test -race ./internal/comm ./internal/zero ./internal/engine ./internal/tensor ./internal/ddp ./internal/serve
 
 # Config-roundtrip gate: every committed example config must parse strictly
 # and pass engine.Config.Validate.
@@ -34,6 +34,11 @@ configcheck:
 # seconds of coverage-guided input generation on every `make check`.
 fuzz-smoke:
 	$(GO) test ./internal/data -run=NONE -fuzz=FuzzBPERoundTrip -fuzztime=3s
+
+# Control-plane smoke: the full submit → stream → checkpoint HTTP round
+# trip against an in-process zeroserve (part of `make check`).
+serve-smoke:
+	$(GO) test ./internal/serve -run TestServeSubmitStreamCheckpoint -count=1
 
 # Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
 bench:
@@ -59,6 +64,10 @@ bench-kernels:
 bench-data:
 	./scripts/bench_data.sh
 
+# Regenerate the control-plane baseline (BENCH_SERVE.json).
+bench-serve:
+	./scripts/bench_serve.sh
+
 # Re-run every baseline suite and fail on >10% ns/op regression — or any
 # allocs/op growth (hard gate; allocation counts are deterministic) —
 # against the committed JSONs.
@@ -69,11 +78,12 @@ bench-compare:
 	./scripts/bench_compare.sh BENCH_ACCUM.json
 	./scripts/bench_compare.sh BENCH_KERNELS.json
 	./scripts/bench_compare.sh BENCH_DATA.json
+	./scripts/bench_compare.sh BENCH_SERVE.json
 
 # One-iteration benchmark smoke: proves the alloc-reporting path itself
 # still runs (CI uses this; it makes no timing claims).
 bench-smoke:
-	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$' -benchtime=1x .
+	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$|^BenchmarkServe$$' -benchtime=1x .
 
 # Capture CPU + heap profiles of BenchmarkStageStep into ./profiles (see
 # README "Profiling & allocation discipline" for how to read them).

@@ -7,9 +7,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/data"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/mp"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/zero"
 )
@@ -520,4 +523,71 @@ func BenchmarkDataPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServe measures the control plane against the BENCH_SERVE.json
+// baseline: full submit-to-complete latency of a small job through the
+// scheduler (jobs/s — world construction, one optimizer step, checkpoint
+// consolidation and teardown), and the metric-ring hot path an HTTP
+// follower rides (append + cursor read; allocs/op is the hard gate — the
+// streaming path must not allocate per record).
+func BenchmarkServe(b *testing.B) {
+	b.Run("job", func(b *testing.B) {
+		sched, err := serve.NewScheduler(serve.Config{MaxWorlds: 2, QueueDepth: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			sched.Drain(ctx) //nolint:errcheck // bench teardown
+		}()
+		cfg := engine.DefaultConfig()
+		cfg.Model = model.Config{Layers: 1, Hidden: 16, Heads: 2, Vocab: 19, Seq: 8}
+		cfg.Ranks = 2
+		cfg.GlobalBatch, cfg.MicroBatch, cfg.GradAccumSteps = 8, 4, 2
+		// No ReportAllocs here: job setup rides sync.Pool-backed wire
+		// buffers whose counts move with GC timing; the deterministic
+		// alloc gate lives on the metrics path below.
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(i + 1)
+			j, err := sched.Submit(serve.Spec{Steps: 1, Config: cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for !j.State().Terminal() {
+				time.Sleep(20 * time.Microsecond)
+			}
+			if st := j.State(); st != serve.StateSucceeded {
+				b.Fatalf("job %s: state %s", j.ID(), st)
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "jobs/s")
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		// 256 append+follow pairs per iteration keep the op long enough
+		// for stable min-of-N ns while allocs/op stays an exact count.
+		const pairs = 256
+		ring := serve.NewRing(1024)
+		rec := serve.Record{Loss: 2.5, GradNorm: 1.25, WireElems: 1 << 20, WireBytes: 4 << 20}
+		var cursor int64
+		step := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < pairs; p++ {
+				step++
+				rec.Step = step
+				ring.Append(rec)
+				var ok bool
+				if _, cursor, ok = ring.Next(cursor, nil); !ok {
+					b.Fatal("follower lost the live ring")
+				}
+			}
+		}
+	})
 }

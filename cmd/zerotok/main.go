@@ -1,0 +1,51 @@
+// Command zerotok trains a byte-level BPE vocabulary from a text corpus
+// and writes it as a vocab JSON file, so large vocabularies are trained
+// once offline and committed instead of re-trained at every data Open.
+//
+//	zerotok -corpus corpus.txt -o vocab.json -vocab-size 512
+//
+// The trainer streams the corpus through the same document framing the
+// training loader uses (blank-line separators, -max-doc-bytes splits),
+// so the committed vocabulary sees exactly the documents training will.
+// Point a config's data block at the output:
+//
+//	"data": {"path": "corpus.txt", "tokenizer": "vocab.json", ...}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/data"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zerotok: ")
+	var (
+		corpusPath  = flag.String("corpus", "", "input text corpus (blank-line separated documents)")
+		outPath     = flag.String("o", "vocab.json", "output vocabulary JSON path")
+		vocabSize   = flag.Int("vocab-size", 512, "target vocabulary size incl. the 257 byte+EOT base ids")
+		trainBytes  = flag.Int("train-bytes", data.DefaultZerotokTrainBytes, "sample budget: corpus bytes fed to the merge trainer")
+		maxDocBytes = flag.Int("max-doc-bytes", data.DefaultMaxDocBytes, "split documents longer than this many bytes")
+	)
+	flag.Parse()
+	if *corpusPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: zerotok -corpus <file> [-o vocab.json] [-vocab-size N] [-train-bytes N] [-max-doc-bytes N]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	t, stats, err := data.TrainFromCorpus(*corpusPath, *vocabSize, *trainBytes, *maxDocBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.SaveTokenizerFile(t, *outPath); err != nil {
+		log.Fatal(err)
+	}
+	ratio := float64(stats.SampleBytes) / float64(stats.SampleTokens)
+	log.Printf("trained %d-id vocab from %d docs (%d sample bytes, %.2f bytes/token) -> %s",
+		t.VocabSize(), stats.Docs, stats.SampleBytes, ratio, *outPath)
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/comm"
@@ -122,7 +123,13 @@ func main() {
 			if cfg.Data == nil {
 				cfg.Data = &engine.DataConfig{}
 			}
-			cfg.Data.Path = *dataPath
+			// A flag path is relative to the invocation directory, not the
+			// config file's BaseDir — anchor it here.
+			p, err := filepath.Abs(*dataPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Data.Path = p
 		}
 	})
 	if (batchSet || accumSet) && !microSet {

@@ -169,6 +169,14 @@ type Config struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Data streams a real corpus instead of synthetic batches when set.
 	Data *DataConfig `json:"data,omitempty"`
+	// BaseDir anchors relative data paths (corpus and .json vocab). It is
+	// not a JSON field: LoadConfig sets it to the config file's directory,
+	// and CLIs set it to the working directory for flag-provided paths. A
+	// config that arrives without a load site — an HTTP-submitted job has
+	// no config directory — must use absolute paths; Normalized rejects a
+	// relative path with no base as ErrData instead of silently resolving
+	// against whatever the process's working directory happens to be.
+	BaseDir string `json:"-"`
 }
 
 // DefaultConfig is the one constructor every entry point starts from: the
@@ -209,10 +217,10 @@ func ParseConfig(data []byte) (Config, error) {
 	return c, nil
 }
 
-// LoadConfig reads and strictly parses a JSON config file. Relative data
-// paths (corpus and .json vocab) are resolved against the config file's
-// directory, so `examples/corpus/config.json` can name the corpus sitting
-// next to it and still load from any working directory.
+// LoadConfig reads and strictly parses a JSON config file, setting BaseDir
+// to the file's directory so relative data paths (corpus and .json vocab)
+// resolve against it at Normalized — `examples/corpus/config.json` can name
+// the corpus sitting next to it and still load from any working directory.
 func LoadConfig(path string) (Config, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -222,17 +230,7 @@ func LoadConfig(path string) (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if c.Data != nil {
-		d := *c.Data
-		dir := filepath.Dir(path)
-		if d.Path != "" && !filepath.IsAbs(d.Path) {
-			d.Path = filepath.Join(dir, d.Path)
-		}
-		if strings.HasSuffix(d.Tokenizer, ".json") && !filepath.IsAbs(d.Tokenizer) {
-			d.Tokenizer = filepath.Join(dir, d.Tokenizer)
-		}
-		c.Data = &d
-	}
+	c.BaseDir = filepath.Dir(path)
 	return c, nil
 }
 
@@ -320,6 +318,17 @@ func (c Config) Normalized() (Config, error) {
 		if d.Path == "" {
 			return c, fmt.Errorf("%w: path is required", ErrData)
 		}
+		p, err := c.resolve(d.Path)
+		if err != nil {
+			return c, err
+		}
+		d.Path = p
+		if strings.HasSuffix(d.Tokenizer, ".json") {
+			if p, err = c.resolve(d.Tokenizer); err != nil {
+				return c, err
+			}
+			d.Tokenizer = p
+		}
 		switch {
 		case d.Tokenizer == "" || d.Tokenizer == "byte":
 			d.Tokenizer = "byte"
@@ -361,6 +370,27 @@ func (c Config) Normalized() (Config, error) {
 		c.Data = &d
 	}
 	return c, nil
+}
+
+// resolve anchors a data-section file path: absolute paths pass through,
+// relative ones join BaseDir, and a relative path with no base is ErrData —
+// a config with no load site (an HTTP-submitted job) must not silently
+// resolve against the process's working directory.
+func (c Config) resolve(path string) (string, error) {
+	if filepath.IsAbs(path) {
+		return path, nil
+	}
+	if c.BaseDir == "" {
+		return "", fmt.Errorf("%w: relative path %q in a config with no base directory (use an absolute path, or set BaseDir at the load site)", ErrData, path)
+	}
+	// Absolute output keeps resolution idempotent: Normalized runs both at
+	// the entry point and inside engine initialization, and the second
+	// pass must not re-join BaseDir onto an already-resolved path.
+	p, err := filepath.Abs(filepath.Join(c.BaseDir, path))
+	if err != nil {
+		return "", fmt.Errorf("%w: resolving %q against %q: %v", ErrData, path, c.BaseDir, err)
+	}
+	return p, nil
 }
 
 // tokenizerFloor returns the statically-known minimum model vocabulary the

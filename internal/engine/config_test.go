@@ -14,6 +14,10 @@ func TestValidateSentinelErrors(t *testing.T) {
 	sentinels := []error{ErrJSON, ErrModel, ErrWorld, ErrStage, ErrOptimizer, ErrBatch, ErrTopology, ErrSchedule, ErrData}
 	mut := func(f func(*Config)) Config {
 		c := DefaultConfig()
+		// Data-section cases use relative corpus paths; anchor them so the
+		// intended validation fires rather than the no-base-dir rejection
+		// (which has its own cases below).
+		c.BaseDir = "."
 		f(&c)
 		return c
 	}
@@ -82,6 +86,16 @@ func TestValidateSentinelErrors(t *testing.T) {
 		{"model vocab below bpe budget", mut(func(c *Config) {
 			c.Model.Vocab = 400
 			c.Data = &DataConfig{Path: "x.txt", Tokenizer: "bpe", VocabSize: 500}
+		}), ErrData},
+		{"relative corpus path without base dir", mut(func(c *Config) {
+			c.BaseDir = ""
+			c.Model.Vocab = 300
+			c.Data = &DataConfig{Path: "x.txt"}
+		}), ErrData},
+		{"relative vocab path without base dir", mut(func(c *Config) {
+			c.BaseDir = ""
+			c.Model.Vocab = 300
+			c.Data = &DataConfig{Path: "/abs/x.txt", Tokenizer: "vocab.json"}
 		}), ErrData},
 	}
 	for _, tc := range cases {
@@ -157,6 +171,7 @@ func TestBatchGeometryDerivation(t *testing.T) {
 // mutating the caller's config.
 func TestDataConfigDefaults(t *testing.T) {
 	c := DefaultConfig()
+	c.BaseDir = "."
 	c.Model.Vocab = 600
 	c.Seed = 99
 	c.Data = &DataConfig{Path: "corpus.txt", Tokenizer: "bpe"}
@@ -236,7 +251,7 @@ func TestConfigMarshalRoundTrip(t *testing.T) {
 // config-roundtrip gate (a stale config cannot silently rot in the tree).
 func TestCommittedConfigsValidate(t *testing.T) {
 	var paths []string
-	for _, pattern := range []string{"../../examples/*/config.json", "../../cmd/*/config.json"} {
+	for _, pattern := range []string{"../../examples/*/config*.json", "../../cmd/*/config.json"} {
 		m, err := filepath.Glob(pattern)
 		if err != nil {
 			t.Fatal(err)

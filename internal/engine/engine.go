@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -31,7 +32,26 @@ type Engine struct {
 	lossSum float64 // summed micro losses since the last boundary
 	last    float64 // mean local loss of the last completed boundary
 	steps   int     // optimizer steps fired
+
+	observer func(StepInfo) // boundary tap, nil when unobserved
+	stopFlag []float32      // one-element TrainLoop cancellation vote
 }
+
+// StepInfo is the observation delivered at every accumulation boundary:
+// the optimizer step that just fired, the boundary's mean local loss, and
+// the pre-clipping global gradient norm (0 when clipping is off).
+type StepInfo struct {
+	Step     int
+	Loss     float64
+	GradNorm float64
+}
+
+// Observe registers fn to be invoked synchronously at every accumulation
+// boundary, right after the optimizer fires inside Step. One observer per
+// engine (nil unregisters); it runs on the rank's own goroutine, so a
+// server can tap per-step metrics without forking the training loop. The
+// observer must not call back into the engine's collective methods.
+func (e *Engine) Observe(fn func(StepInfo)) { e.observer = fn }
 
 // Initialize validates cfg, compiles it down to zero.Options and builds
 // this rank's Engine — the deepspeed.initialize of the reproduction. The
@@ -65,6 +85,21 @@ func Run(cfg Config, body func(*Engine)) (*comm.World, error) {
 		return nil, err
 	}
 	w := comm.NewWorld(norm.Ranks)
+	if err := RunOn(w, norm, body); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// RunOn is Run against a caller-built world — the entry point for hosts
+// (servers, schedulers) that need the World handle before the job starts,
+// e.g. to read live wire statistics from inside a step observer. The world
+// size must match the config's rank count.
+func RunOn(w *comm.World, cfg Config, body func(*Engine)) error {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return err
+	}
 	var mu sync.Mutex
 	var firstErr error
 	w.Run(func(c *comm.Comm) {
@@ -83,10 +118,7 @@ func Run(cfg Config, body func(*Engine)) (*comm.World, error) {
 		defer e.Close()
 		body(e)
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return w, nil
+	return firstErr
 }
 
 // Config returns the normalized configuration the engine runs (batch
@@ -138,6 +170,9 @@ func (e *Engine) Step() bool {
 	e.micro = 0
 	e.lossSum = 0
 	e.steps++
+	if e.observer != nil {
+		e.observer(StepInfo{Step: e.steps, Loss: e.last, GradNorm: e.tr.LastGradNorm})
+	}
 	return true
 }
 
@@ -166,6 +201,50 @@ func (e *Engine) TrainStream(b Batcher) float64 {
 		e.Step()
 	}
 	return e.BatchLoss()
+}
+
+// TrainLoop drives up to steps optimizer steps from b, checking ctx at
+// every accumulation boundary. Cancellation is collective: before each
+// step every rank contributes its local ctx observation to a one-element
+// all-reduce, so all ranks agree on the stopping boundary and no rank is
+// left blocking mid-collective when cancellation lands asynchronously.
+// It returns the number of completed optimizer steps, and ctx's error when
+// the loop stopped early. The loop always exits on an accumulation
+// boundary, so Save is legal immediately after (checkpoint-and-stop).
+func (e *Engine) TrainLoop(ctx context.Context, b Batcher, steps int) (int, error) {
+	done := ctx.Done()
+	for s := 0; s < steps; s++ {
+		stop := false
+		select {
+		case <-done:
+			stop = true
+		default:
+		}
+		if e.stopVote(stop) {
+			// Some rank saw the cancel before voting; the cancel
+			// happened-before its vote reached us, so Err is set here too.
+			if err := ctx.Err(); err != nil {
+				return s, err
+			}
+			return s, context.Canceled
+		}
+		e.TrainStream(b)
+	}
+	return steps, nil
+}
+
+// stopVote agrees on cancellation across the world: the max of every
+// rank's local flag, via a one-element all-reduce on the default stream.
+func (e *Engine) stopVote(stop bool) bool {
+	if e.stopFlag == nil {
+		e.stopFlag = make([]float32, 1)
+	}
+	e.stopFlag[0] = 0
+	if stop {
+		e.stopFlag[0] = 1
+	}
+	e.c.AllReduce(e.stopFlag)
+	return e.stopFlag[0] != 0
 }
 
 // TrainBatch runs one full global batch — GradAccumSteps micro-batches of

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// The observer contract: the hook fires exactly once per optimizer step,
+// at the boundary, with the step counter already advanced and the loss
+// materialized — the tap the serve scheduler hangs its metric ring on.
+func TestEngineObserverFiresPerBoundary(t *testing.T) {
+	cfg := testEngineConfig()
+	cfg.GradClip = 1.0 // so GradNorm materializes in the observer
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 4
+	var mu sync.Mutex
+	infos := make(map[int][]StepInfo) // rank → observations
+	if _, err := Run(norm, func(e *Engine) {
+		rank := e.Rank()
+		e.Observe(func(info StepInfo) {
+			mu.Lock()
+			infos[rank] = append(infos[rank], info)
+			mu.Unlock()
+		})
+		b := model.NewSyntheticStream(norm.Seed, norm.GlobalBatch, norm.MicroBatch, norm.Model.Seq, norm.Model.Vocab)
+		if n, err := e.TrainLoop(context.Background(), b, steps); n != steps || err != nil {
+			t.Errorf("rank %d: TrainLoop = (%d, %v), want (%d, nil)", rank, n, err, steps)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for rank, got := range infos {
+		if len(got) != steps {
+			t.Fatalf("rank %d: observer fired %d times, want %d", rank, len(got), steps)
+		}
+		for i, info := range got {
+			if info.Step != i+1 {
+				t.Errorf("rank %d obs %d: Step = %d, want %d", rank, i, info.Step, i+1)
+			}
+			if info.Loss == 0 {
+				t.Errorf("rank %d step %d: loss not materialized: %+v", rank, info.Step, info)
+			}
+			if rank == 0 && info.GradNorm == 0 {
+				t.Errorf("step %d: grad norm not materialized on rank 0: %+v", info.Step, info)
+			}
+		}
+	}
+}
+
+// Cancellation is collective: a context cancelled mid-loop stops every
+// rank at the same accumulation boundary (no rank left mid-collective),
+// TrainLoop reports the agreed completed-step count with ctx's error, and
+// Save is legal immediately after — the checkpoint-and-stop contract the
+// serve scheduler relies on.
+func TestEngineTrainLoopCancelStopsAtBoundary(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50
+	const cancelAt = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	completed := make(map[int]int)
+	var savedSteps int
+	if _, err := Run(norm, func(e *Engine) {
+		if e.Rank() == 0 {
+			e.Observe(func(info StepInfo) {
+				if info.Step == cancelAt {
+					cancel() // cancel lands asynchronously, between boundaries
+				}
+			})
+		}
+		b := model.NewSyntheticStream(norm.Seed, norm.GlobalBatch, norm.MicroBatch, norm.Model.Seq, norm.Model.Vocab)
+		n, loopErr := e.TrainLoop(ctx, b, budget)
+		if !errors.Is(loopErr, context.Canceled) {
+			t.Errorf("rank %d: TrainLoop err = %v, want context.Canceled", e.Rank(), loopErr)
+		}
+		mu.Lock()
+		completed[e.Rank()] = n
+		mu.Unlock()
+		if snap := e.Save(); snap != nil { // must not deadlock or panic
+			mu.Lock()
+			savedSteps = snap.OptSteps
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if completed[0] != completed[1] {
+		t.Errorf("ranks disagree on the stopping boundary: %v", completed)
+	}
+	if n := completed[0]; n < cancelAt || n >= budget {
+		t.Errorf("completed %d steps, want in [%d, %d)", n, cancelAt, budget)
+	}
+	if savedSteps != completed[0] {
+		t.Errorf("checkpoint OptSteps = %d, want the agreed boundary %d", savedSteps, completed[0])
+	}
+}
+
+// An already-cancelled context stops the loop before any step runs.
+func TestEngineTrainLoopPreCancelled(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(norm, func(e *Engine) {
+		b := model.NewSyntheticStream(norm.Seed, norm.GlobalBatch, norm.MicroBatch, norm.Model.Seq, norm.Model.Vocab)
+		n, loopErr := e.TrainLoop(ctx, b, 10)
+		if n != 0 || !errors.Is(loopErr, context.Canceled) {
+			t.Errorf("rank %d: TrainLoop = (%d, %v), want (0, context.Canceled)", e.Rank(), n, loopErr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

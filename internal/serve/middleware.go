@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// withAuth enforces `Authorization: Bearer <token>` on every endpoint
+// except /healthz (liveness probes don't carry credentials). An empty
+// token disables auth. Comparison is constant-time.
+func withAuth(next http.Handler, token string) http.Handler {
+	if token == "" {
+		return next
+	}
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="zeroserve"`)
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter captures the response status for the request log while
+// passing Flush through — the metrics stream needs the Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withLogging emits one line per request: method, path, status, duration.
+// A nil logger disables it.
+func withLogging(next http.Handler, logger *log.Logger) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// withRecovery converts a handler panic into a 500 (when the response has
+// not started) and a log line, keeping one bad request from taking down
+// every job in the process. http.ErrAbortHandler passes through — it is
+// the standard "client gone mid-stream" signal.
+func withRecovery(next http.Handler, logger *log.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil || rec == http.ErrAbortHandler {
+				if rec != nil {
+					panic(rec)
+				}
+				return
+			}
+			if logger != nil {
+				logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			}
+			if sw.status == 0 {
+				writeJSON(sw, http.StatusInternalServerError, map[string]string{"error": "internal server error"})
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(step int) Record { return Record{Step: step, Loss: float64(step)} }
+
+// Appends within capacity replay in order from cursor 0.
+func TestRingReplayInOrder(t *testing.T) {
+	r := NewRing(4)
+	for s := 1; s <= 3; s++ {
+		r.Append(rec(s))
+	}
+	r.Close()
+	var cursor int64
+	for s := 1; s <= 3; s++ {
+		got, next, ok := r.Next(cursor, nil)
+		if !ok || got.Step != s {
+			t.Fatalf("Next(%d) = (%+v, %v), want step %d", cursor, got, ok, s)
+		}
+		cursor = next
+	}
+	if _, _, ok := r.Next(cursor, nil); ok {
+		t.Error("closed, drained ring should report !ok")
+	}
+}
+
+// Overflow evicts the oldest records; a stale cursor clamps forward to the
+// oldest retained record instead of re-reading evicted slots.
+func TestRingEvictionClampsCursor(t *testing.T) {
+	r := NewRing(4)
+	for s := 1; s <= 10; s++ {
+		r.Append(rec(s))
+	}
+	got, next, ok := r.Next(0, nil) // steps 1..6 are gone
+	if !ok || got.Step != 7 {
+		t.Fatalf("Next(0) = (%+v, %v), want clamped to step 7", got, ok)
+	}
+	if next != 7 {
+		t.Errorf("next cursor = %d, want 7", next)
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+}
+
+// A reader at the head blocks until the next Append, and Close releases
+// blocked readers with !ok.
+func TestRingFollowAndClose(t *testing.T) {
+	r := NewRing(4)
+	r.Append(rec(1))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, next, ok := r.Next(1, nil) // head: blocks until step 2 arrives
+		if !ok || got.Step != 2 {
+			t.Errorf("follow read = (%+v, %v), want step 2", got, ok)
+		}
+		if _, _, ok := r.Next(next, nil); ok {
+			t.Error("read after Close should report !ok")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Append(rec(2))
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	wg.Wait()
+
+	if !r.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	r.Append(rec(3)) // no-op
+	if r.Total() != 2 {
+		t.Errorf("Append after Close changed Total to %d", r.Total())
+	}
+}
+
+// The giveUp hook aborts a blocked reader when woken — the client-gone
+// path: context.AfterFunc calls Wake, the reader re-checks and returns.
+func TestRingGiveUpOnWake(t *testing.T) {
+	r := NewRing(4)
+	var mu sync.Mutex
+	gone := false
+	giveUp := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gone
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, _, ok := r.Next(0, giveUp); ok {
+			t.Error("gave-up reader should report !ok")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	gone = true
+	mu.Unlock()
+	r.Wake()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wake did not release the blocked reader")
+	}
+}

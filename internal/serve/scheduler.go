@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Scheduler admits jobs through strict validation, queues them FIFO, and
+// runs at most MaxWorlds of them concurrently — each in its own freshly
+// built comm.World, so jobs share nothing but the process: rank
+// goroutines, wire channels, traffic counters and the wire-buffer arena
+// are all per-job. Cancellation is context-based and lands at the next
+// accumulation boundary via the engine's collective stop vote; a
+// cancelled running job consolidates a checkpoint before it stops.
+type Scheduler struct {
+	cfg   Config
+	queue chan *Job
+	wg    sync.WaitGroup // one entry per worker
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job // submission order, for List
+	draining bool
+	seq      int
+}
+
+// NewScheduler starts a scheduler with cfg.MaxWorlds worker goroutines.
+// Call Drain to stop it.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:   norm,
+		queue: make(chan *Job, norm.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < norm.MaxWorlds; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit validates the spec and admits it to the FIFO queue. The config
+// error (one of the engine's Err* sentinels) or ErrSpec comes back for
+// invalid submissions; ErrQueueFull under backpressure; ErrDraining after
+// shutdown began. The returned job is already registered and observable.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	if spec.Steps < 0 {
+		return nil, fmt.Errorf("%w: steps %d (want ≥ 0)", ErrSpec, spec.Steps)
+	}
+	if spec.Steps == 0 {
+		spec.Steps = DefaultJobSteps
+	}
+	if spec.Steps > s.cfg.MaxSteps {
+		return nil, fmt.Errorf("%w: steps %d above the server cap %d", ErrSpec, spec.Steps, s.cfg.MaxSteps)
+	}
+	norm, err := spec.Config.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	spec.Config = norm
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("job-%06d", s.seq), spec, s.cfg.MetricRing)
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		return nil, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, len(s.queue))
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	return j, nil
+}
+
+// Get returns a job by id.
+func (s *Scheduler) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// List returns every known job in submission order.
+func (s *Scheduler) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Cancel stops a job: a queued job dies immediately, a running job stops
+// collectively at its next accumulation boundary and checkpoints first.
+// Cancelling a terminal job is ErrJobTerminal.
+func (s *Scheduler) Cancel(id string) error {
+	j, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	if j.State().Terminal() {
+		return fmt.Errorf("%w: %s is %s", ErrJobTerminal, id, j.State())
+	}
+	// Queued jobs go terminal here; the worker that later pulls the job
+	// from the queue sees the state and skips it. Running jobs only get
+	// the context cancel — their worker owns the terminal transition.
+	if j.transition(StateQueued, StateCancelled) {
+		j.finish(StateCancelled, nil)
+		return nil
+	}
+	j.cancel()
+	return nil
+}
+
+// Drain begins shutdown: no more submissions, queued jobs are cancelled,
+// running jobs checkpoint-and-stop at their next boundary, and Drain
+// blocks until every worker has exited or ctx expires. Idempotent.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	if first {
+		close(s.queue) // Submit checks draining under mu before sending
+	}
+	for _, j := range jobs {
+		if j.transition(StateQueued, StateCancelled) {
+			j.finish(StateCancelled, nil)
+			continue
+		}
+		j.cancel() // running jobs stop at the next boundary and checkpoint
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker runs queued jobs until the queue closes at drain.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob owns one job from running to terminal: it builds the job's
+// private world, trains with the rank-0 step observer feeding the metric
+// ring, and consolidates a checkpoint on both completion and cancellation
+// (the engine's TrainLoop always exits on an accumulation boundary, where
+// Save is legal).
+func (s *Scheduler) runJob(j *Job) {
+	if !j.transition(StateQueued, StateRunning) {
+		return // cancelled while queued
+	}
+	cfg := j.spec.Config // normalized at Submit
+	w := comm.NewWorld(cfg.Ranks)
+
+	var mu sync.Mutex
+	var bodyErr error // first per-rank failure (data open, encode)
+	var snapBlob []byte
+	var loopErr error
+	fail := func(err error) {
+		mu.Lock()
+		if bodyErr == nil {
+			bodyErr = err
+		}
+		mu.Unlock()
+	}
+
+	runErr := engine.RunOn(w, cfg, func(e *engine.Engine) {
+		var b engine.Batcher
+		if cfg.Data != nil {
+			// The pipeline is deterministic, so an unopenable corpus fails
+			// identically on every rank before any collective starts.
+			ld, err := engine.OpenData(cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer ld.Close()
+			b = ld
+		} else {
+			b = model.NewSyntheticStream(cfg.Seed, cfg.GlobalBatch, cfg.MicroBatch, cfg.Model.Seq, cfg.Model.Vocab)
+		}
+		if e.Rank() == 0 {
+			lastMallocs := mallocs()
+			e.Observe(func(info engine.StepInfo) {
+				now := mallocs()
+				st := w.Stats(0)
+				j.ring.Append(Record{
+					Step:      info.Step,
+					Loss:      info.Loss,
+					GradNorm:  info.GradNorm,
+					WireElems: st.ElemsSent,
+					WireBytes: st.BytesSent,
+					PerStream: st.PerStream,
+					Allocs:    now - lastMallocs,
+				})
+				lastMallocs = now
+				j.noteStep(info.Step, info.Loss)
+			})
+		}
+		_, err := e.TrainLoop(j.ctx, b, j.spec.Steps)
+		if e.Rank() == 0 {
+			mu.Lock()
+			loopErr = err
+			mu.Unlock()
+		}
+		// Checkpoint-and-stop: consolidate to rank 0 whether the loop ran
+		// to completion or was cancelled at a boundary.
+		if snap := e.Save(); snap != nil {
+			blob, encErr := snap.Encode()
+			if encErr != nil {
+				fail(encErr)
+				return
+			}
+			mu.Lock()
+			snapBlob = blob
+			mu.Unlock()
+		}
+	})
+
+	switch {
+	case runErr != nil:
+		j.finish(StateFailed, runErr)
+	case bodyErr != nil:
+		j.finish(StateFailed, bodyErr)
+	default:
+		j.setCheckpoint(snapBlob)
+		if loopErr != nil {
+			j.finish(StateCancelled, nil)
+		} else {
+			j.finish(StateSucceeded, nil)
+		}
+	}
+}
+
+// mallocs reads the process-wide cumulative heap allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}

@@ -1,0 +1,599 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/zero"
+)
+
+// specJSON is a tiny synthetic-data training job: 2 ranks, stage 2, one
+// accumulation step per boundary pair — fast enough to run to completion
+// inside unit tests.
+func specJSON(steps int, seed int64) string {
+	return fmt.Sprintf(`{
+		"steps": %d,
+		"config": {
+			"model": {"layers": 1, "hidden": 16, "heads": 2, "vocab": 19, "seq": 8},
+			"ranks": 2,
+			"stage": 2,
+			"optimizer": {"type": "adam", "lr": 3e-3},
+			"global_batch": 8,
+			"micro_batch": 4,
+			"grad_accum_steps": 2,
+			"seed": %d
+		}
+	}`, steps, seed)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck // best-effort test cleanup
+	})
+	return srv, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) Status {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		blob, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, blob)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Fatalf("submit: Location = %q", loc)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls until the job reaches a state accepted by ok.
+func waitState(t *testing.T, ts *httptest.Server, id string, ok func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if ok(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s: timed out waiting; last state %+v", id, getStatus(t, ts, id))
+	return Status{}
+}
+
+func streamRecords(t *testing.T, ts *httptest.Server, id string) []Record {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("metrics Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// The tentpole end-to-end path: submit → stream live metrics to EOF →
+// fetch the checkpoint → restore it into a fresh engine world.
+func TestServeSubmitStreamCheckpoint(t *testing.T) {
+	const steps = 5
+	_, ts := newTestServer(t, Config{MaxWorlds: 1})
+	st := submit(t, ts, specJSON(steps, 7))
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+
+	// The metrics stream follows the live job and EOFs when it finishes.
+	recs := streamRecords(t, ts, st.ID)
+	if len(recs) != steps {
+		t.Fatalf("streamed %d records, want %d", len(recs), steps)
+	}
+	for i, r := range recs {
+		if r.Step != i+1 {
+			t.Errorf("record %d: step %d, want %d (monotonic per-step stream)", i, r.Step, i+1)
+		}
+		if r.Loss == 0 || r.WireBytes == 0 || len(r.PerStream) == 0 {
+			t.Errorf("record %d missing payload: %+v", i, r)
+		}
+		if i > 0 && r.WireBytes < recs[i-1].WireBytes {
+			t.Errorf("record %d: cumulative WireBytes went backwards", i)
+		}
+	}
+
+	final := waitState(t, ts, st.ID, func(s Status) bool { return s.State.Terminal() })
+	if final.State != StateSucceeded || final.StepsDone != steps || !final.Checkpoint {
+		t.Fatalf("final status = %+v, want succeeded with checkpoint after %d steps", final, steps)
+	}
+
+	// ?from= replays from an explicit cursor.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics?from=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if n := strings.Count(string(blob), "\n"); n != steps-3 {
+		t.Errorf("metrics?from=3 returned %d records, want %d", n, steps-3)
+	}
+
+	// Checkpoint round-trip: the served blob decodes and loads into a
+	// fresh world built from the same config.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status %d, body %s", resp.StatusCode, blob)
+	}
+	if got := resp.Header.Get("X-Zeroserve-Job-State"); got != string(StateSucceeded) {
+		t.Errorf("X-Zeroserve-Job-State = %q", got)
+	}
+	snap, err := zero.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("served checkpoint does not decode: %v", err)
+	}
+	if snap.OptSteps != steps {
+		t.Errorf("checkpoint OptSteps = %d, want %d", snap.OptSteps, steps)
+	}
+	spec, err := ParseSpec([]byte(specJSON(steps, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(cfg, func(e *engine.Engine) {
+		if err := e.Load(snap); err != nil {
+			t.Errorf("rank %d: restoring served checkpoint: %v", e.Rank(), err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two concurrent jobs run in fully isolated worlds: cancelling one
+// mid-run does not move the other's loss trajectory by a single bit
+// relative to a solo run of the same spec.
+func TestServeConcurrentJobIsolation(t *testing.T) {
+	const steps = 12
+	soloLosses := func() []float64 {
+		_, ts := newTestServer(t, Config{MaxWorlds: 1})
+		st := submit(t, ts, specJSON(steps, 41))
+		waitState(t, ts, st.ID, func(s Status) bool { return s.State == StateSucceeded })
+		recs := streamRecords(t, ts, st.ID)
+		losses := make([]float64, len(recs))
+		for i, r := range recs {
+			losses[i] = r.Loss
+		}
+		return losses
+	}()
+
+	_, ts := newTestServer(t, Config{MaxWorlds: 2})
+	victim := submit(t, ts, specJSON(2000, 99)) // long-running cancel target
+	probe := submit(t, ts, specJSON(steps, 41)) // same spec as the solo run
+
+	// Cancel the victim once it is demonstrably mid-run.
+	waitState(t, ts, victim.ID, func(s Status) bool { return s.StepsDone >= 2 })
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+victim.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	vf := waitState(t, ts, victim.ID, func(s Status) bool { return s.State.Terminal() })
+	if vf.State != StateCancelled {
+		t.Fatalf("victim state = %s, want cancelled", vf.State)
+	}
+	if !vf.Checkpoint || vf.StepsDone >= 2000 {
+		t.Errorf("victim should have checkpoint-and-stopped mid-run: %+v", vf)
+	}
+	// The cancelled job's checkpoint reflects its stopping boundary.
+	cresp, err := http.Get(ts.URL + "/v1/jobs/" + victim.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	snap, err := zero.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("cancelled job checkpoint does not decode: %v", err)
+	}
+	if snap.OptSteps != vf.StepsDone {
+		t.Errorf("victim checkpoint OptSteps = %d, want %d", snap.OptSteps, vf.StepsDone)
+	}
+
+	pf := waitState(t, ts, probe.ID, func(s Status) bool { return s.State.Terminal() })
+	if pf.State != StateSucceeded {
+		t.Fatalf("probe state = %s (%s), want succeeded", pf.State, pf.Error)
+	}
+	recs := streamRecords(t, ts, probe.ID)
+	if len(recs) != len(soloLosses) {
+		t.Fatalf("probe streamed %d records, solo %d", len(recs), len(soloLosses))
+	}
+	for i, r := range recs {
+		if r.Loss != soloLosses[i] {
+			t.Errorf("step %d: concurrent loss %.17g != solo %.17g (world isolation broken)",
+				r.Step, r.Loss, soloLosses[i])
+		}
+	}
+}
+
+// Saturation: with one world and a deep backlog the scheduler runs
+// everything FIFO, and a full queue bounces with ErrQueueFull (429).
+func TestServeSaturationFIFO(t *testing.T) {
+	const backlog = 4
+	_, ts := newTestServer(t, Config{MaxWorlds: 1, QueueDepth: backlog})
+	// A long-running blocker occupies the single world; once it is
+	// demonstrably running, `backlog` short jobs fill the queue and one
+	// more must bounce.
+	blocker := submit(t, ts, specJSON(2000, 9)).ID
+	waitState(t, ts, blocker, func(s Status) bool { return s.State == StateRunning })
+	ids := []string{blocker}
+	for i := 0; i < backlog; i++ {
+		ids = append(ids, submit(t, ts, specJSON(3, int64(10+i))).ID)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(specJSON(3, 99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-capacity submit: status %d, want 429", resp.StatusCode)
+	}
+
+	// Release the world: cancel the blocker, let the backlog drain.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	for i, id := range ids {
+		st := waitState(t, ts, id, func(s Status) bool { return s.State.Terminal() })
+		want := StateSucceeded
+		if i == 0 {
+			want = StateCancelled
+		}
+		if st.State != want {
+			t.Fatalf("job %s: state %s (%s), want %s", id, st.State, st.Error, want)
+		}
+	}
+	// FIFO: with one world, start times follow submission order.
+	var prev time.Time
+	for _, id := range ids {
+		st := getStatus(t, ts, id)
+		if st.StartedAt.Before(prev) {
+			t.Errorf("job %s started %v before its predecessor %v (FIFO violated)", id, st.StartedAt, prev)
+		}
+		prev = st.StartedAt
+	}
+}
+
+// Invalid submissions map to 400 with the engine's sentinel text; bad
+// routes and states map to 404/409.
+func TestServeValidationAndErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorlds: 1})
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(blob)
+	}
+
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"malformed json", `{"steps": `, "invalid job spec"},
+		{"unknown field", `{"steps": 1, "bogus": 2, "config": {}}`, "invalid job spec"},
+		{"empty config", `{"steps": 1, "config": {}}`, "invalid world"},
+		{"negative steps", strings.Replace(specJSON(3, 1), `"steps": 3`, `"steps": -1`, 1), "invalid job spec"},
+		{"over step cap", strings.Replace(specJSON(3, 1), `"steps": 3`, `"steps": 1000000`, 1), "invalid job spec"},
+		{"relative data path", strings.Replace(specJSON(3, 1), `"seed": 1`,
+			`"seed": 1, "data": {"path": "corpus.txt", "tokenizer": "byte", "seq_len": 8}`, 1), "relative"},
+	}
+	for _, tc := range cases {
+		code, body := post(tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, code, body)
+		}
+		if !strings.Contains(body, tc.wantErr) {
+			t.Errorf("%s: body %q does not mention %q", tc.name, body, tc.wantErr)
+		}
+	}
+
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/metrics", "/v1/jobs/nope/checkpoint"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Checkpoint before terminal is a 409; cancelling a terminal job too.
+	st := submit(t, ts, specJSON(3, 5))
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("checkpoint while %s: status %d, want 409", st.State, resp.StatusCode)
+	}
+	waitState(t, ts, st.ID, func(s Status) bool { return s.State.Terminal() })
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel terminal job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// Bearer-token auth: everything except /healthz requires the token.
+func TestServeAuth(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorlds: 1, Token: "s3cret"})
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("no token: status %d, want 401", resp.StatusCode)
+	}
+	if h := resp.Header.Get("WWW-Authenticate"); !strings.Contains(h, "Bearer") {
+		t.Errorf("WWW-Authenticate = %q", h)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("wrong token: status %d, want 401", resp.StatusCode)
+	}
+
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("right token: status %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz without token: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// SSE framing: Accept: text/event-stream switches each record to a
+// `data: {...}` frame with a blank-line terminator.
+func TestServeMetricsSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorlds: 1})
+	st := submit(t, ts, specJSON(3, 7))
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/metrics", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for _, line := range strings.Split(string(blob), "\n") {
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var r Record
+			if err := json.Unmarshal([]byte(data), &r); err != nil {
+				t.Fatalf("bad SSE data frame %q: %v", line, err)
+			}
+			frames++
+		}
+	}
+	if frames != 3 {
+		t.Errorf("streamed %d SSE frames, want 3", frames)
+	}
+	if !strings.Contains(string(blob), "}\n\n") {
+		t.Error("SSE frames are not blank-line terminated")
+	}
+}
+
+// Drain: running jobs checkpoint-and-stop, queued jobs cancel, further
+// submissions bounce with 503, and Drain returns once workers exit.
+func TestServeDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxWorlds: 1, QueueDepth: 4})
+	running := submit(t, ts, specJSON(2000, 3))
+	queued := submit(t, ts, specJSON(5, 4))
+	waitState(t, ts, running.ID, func(s Status) bool { return s.StepsDone >= 2 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	rf := getStatus(t, ts, running.ID)
+	if rf.State != StateCancelled || !rf.Checkpoint {
+		t.Errorf("running job after drain = %+v, want cancelled with checkpoint", rf)
+	}
+	qf := getStatus(t, ts, queued.ID)
+	if qf.State != StateCancelled || qf.Checkpoint {
+		t.Errorf("queued job after drain = %+v, want cancelled without checkpoint", qf)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(specJSON(3, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// The scheduler API level: a queued job cancelled before a worker picks
+// it up never runs, and the job list preserves submission order.
+func TestSchedulerQueuedCancelAndList(t *testing.T) {
+	s, err := NewScheduler(Config{MaxWorlds: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort test cleanup
+	}()
+
+	spec, err := ParseSpec([]byte(specJSON(2000, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, _ := ParseSpec([]byte(specJSON(5, 2)))
+	victim, err := s.Submit(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := victim.State(); st != StateCancelled {
+		t.Errorf("queued victim state = %s, want cancelled", st)
+	}
+	if err := s.Cancel(victim.ID()); err == nil {
+		t.Error("second cancel should be ErrJobTerminal")
+	}
+	if err := s.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	list := s.List()
+	if len(list) != 2 || list[0] != blocker || list[1] != victim {
+		t.Errorf("List() out of submission order: %v", list)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && !blocker.State().Terminal() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if blocker.State() != StateCancelled {
+		t.Errorf("blocker state = %s, want cancelled", blocker.State())
+	}
+	if victim.Checkpoint() != nil {
+		t.Error("a job cancelled while queued must not have a checkpoint")
+	}
+}
+
+// Synthetic micro-benchmark guard: the spec parser rejects configs the
+// engine rejects, sharing sentinels end to end.
+func TestSubmitPropagatesEngineSentinels(t *testing.T) {
+	s, err := NewScheduler(Config{MaxWorlds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort test cleanup
+	}()
+	spec, err := ParseSpec([]byte(specJSON(3, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Config.Ranks = 0
+	spec.Config.Model = model.Config{}
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("invalid config must not be admitted")
+	} else if statusFor(err) != http.StatusBadRequest {
+		t.Errorf("engine sentinel mapped to %d, want 400: %v", statusFor(err), err)
+	}
+}

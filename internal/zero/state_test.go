@@ -241,3 +241,59 @@ func TestDecodeSnapshotLegacyAdamFields(t *testing.T) {
 		}
 	})
 }
+
+// Corrupt and truncated snapshot blobs must surface a decode error, never
+// a panic or a silently wrong snapshot — the serve checkpoint endpoint
+// hands these bytes to arbitrary clients that will feed them back to Load.
+func TestDecodeSnapshotCorruptInput(t *testing.T) {
+	good := &Snapshot{
+		Stage: StageOSG, WorldSize: 2, NumParams: 4, OptSteps: 7,
+		Params: []float32{1, 2, 3, 4},
+		Opt:    [][]float32{{5, 6, 7, 8}, {9, 10, 11, 12}},
+	}
+	blob, err := good.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(blob); err != nil {
+		t.Fatalf("control: pristine blob failed to decode: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		// Every proper prefix must fail — gob carries lengths, so a cut at
+		// any byte is detectable.
+		for _, frac := range []int{0, 1, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+			if _, err := DecodeSnapshot(blob[:frac]); err == nil {
+				t.Errorf("truncation to %d/%d bytes decoded without error", frac, len(blob))
+			}
+		}
+	})
+
+	t.Run("corrupt header", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] ^= 0xff
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Error("corrupted type header decoded without error")
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := DecodeSnapshot([]byte("not a gob stream at all")); err == nil {
+			t.Error("garbage bytes decoded without error")
+		}
+	})
+
+	t.Run("trailing garbage ignored is still a valid snapshot", func(t *testing.T) {
+		// gob streams are self-delimiting: bytes past the value are not
+		// read. Document that contract — callers comparing lengths must
+		// not rely on DecodeSnapshot rejecting them.
+		withTail := append(append([]byte(nil), blob...), 0xde, 0xad)
+		s, err := DecodeSnapshot(withTail)
+		if err != nil {
+			t.Fatalf("trailing bytes broke decoding: %v", err)
+		}
+		if s.OptSteps != good.OptSteps || len(s.Params) != len(good.Params) {
+			t.Errorf("decoded snapshot lost fields: %+v", s)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the control-plane baseline (BENCH_SERVE.json): full
+# submit-to-complete job latency through the scheduler (jobs/s — world
+# construction, training, checkpoint consolidation, teardown) and the
+# metric-ring hot path a streaming metrics follower rides (allocs/op is
+# the hard gate: the live-follow path must not allocate per record).
+set -eu
+exec "$(dirname "$0")/bench.sh" "${1:-100x}" '^BenchmarkServe$' BENCH_SERVE.json
