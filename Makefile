@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race configcheck fuzz-smoke serve-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-serve bench-compare bench-smoke pprof sweep all
+.PHONY: check fmt vet build test race configcheck fuzz-smoke serve-smoke elastic-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-serve bench-elastic bench-compare bench-smoke pprof sweep all
 
-check: fmt vet build test race configcheck fuzz-smoke serve-smoke
+check: fmt vet build test race configcheck fuzz-smoke serve-smoke elastic-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -21,9 +21,10 @@ test:
 
 # Race-detector gate for the concurrent packages: the collectives, the
 # stream scheduler, the trainer overlap/prefetch/accumulation paths, the
-# engine lifecycle, and the parallel kernels.
+# engine lifecycle, the async snapshotter + fault-injection paths, and the
+# parallel kernels.
 race:
-	$(GO) test -race ./internal/comm ./internal/zero ./internal/engine ./internal/tensor ./internal/ddp ./internal/serve
+	$(GO) test -race ./internal/comm ./internal/zero ./internal/engine ./internal/tensor ./internal/ddp ./internal/serve ./internal/elastic
 
 # Config-roundtrip gate: every committed example config must parse strictly
 # and pass engine.Config.Validate.
@@ -39,6 +40,12 @@ fuzz-smoke:
 # trip against an in-process zeroserve (part of `make check`).
 serve-smoke:
 	$(GO) test ./internal/serve -run TestServeSubmitStreamCheckpoint -count=1
+
+# Elastic-recovery smoke: a deterministic mid-run rank kill recovered by
+# the supervisor from its last boundary snapshot, under the race detector
+# (part of `make check`).
+elastic-smoke:
+	$(GO) test -race ./internal/serve -run TestElasticKillResume -count=1
 
 # Regenerate the stage-API benchmark baseline (BENCH_STAGE_API.json).
 bench:
@@ -68,6 +75,10 @@ bench-data:
 bench-serve:
 	./scripts/bench_serve.sh
 
+# Regenerate the elastic-checkpointing baseline (BENCH_ELASTIC.json).
+bench-elastic:
+	./scripts/bench_elastic.sh
+
 # Re-run every baseline suite and fail on >10% ns/op regression — or any
 # allocs/op growth (hard gate; allocation counts are deterministic) —
 # against the committed JSONs.
@@ -79,11 +90,12 @@ bench-compare:
 	./scripts/bench_compare.sh BENCH_KERNELS.json
 	./scripts/bench_compare.sh BENCH_DATA.json
 	./scripts/bench_compare.sh BENCH_SERVE.json
+	./scripts/bench_compare.sh BENCH_ELASTIC.json
 
 # One-iteration benchmark smoke: proves the alloc-reporting path itself
 # still runs (CI uses this; it makes no timing claims).
 bench-smoke:
-	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$|^BenchmarkServe$$' -benchtime=1x .
+	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$|^BenchmarkServe$$|^BenchmarkElastic$$' -benchtime=1x .
 
 # Capture CPU + heap profiles of BenchmarkStageStep into ./profiles (see
 # README "Profiling & allocation discipline" for how to read them).

@@ -16,6 +16,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/ddp"
+	"repro/internal/elastic"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/model"
@@ -523,6 +524,96 @@ func BenchmarkDataPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchElasticCheckpoint builds a synthetic n-way checkpoint with optK
+// optimizer tensors per shard, position-dependent values.
+func benchElasticCheckpoint(n, numParams, optK int) *elastic.Checkpoint {
+	ck := &elastic.Checkpoint{
+		Stage:     zero.StageOSG,
+		WorldSize: n,
+		NumParams: numParams,
+		OptSteps:  3,
+		Shards:    make([]elastic.Shard, n),
+	}
+	for r, p := range comm.Partition(numParams, n) {
+		sh := &ck.Shards[r]
+		sh.Lo, sh.Hi = p.Lo, p.Hi
+		sh.Params = make([]float32, p.Len())
+		sh.Opt = make([][]float32, optK)
+		for i := p.Lo; i < p.Hi; i++ {
+			sh.Params[i-p.Lo] = float32(i) * 0.5
+		}
+		for k := range sh.Opt {
+			sh.Opt[k] = make([]float32, p.Len())
+			for i := p.Lo; i < p.Hi; i++ {
+				sh.Opt[k][i-p.Lo] = float32(k*numParams + i)
+			}
+		}
+	}
+	return ck
+}
+
+// BenchmarkElastic measures the elastic-checkpointing path against the
+// BENCH_ELASTIC.json baseline: the asynchronous boundary snapshot as the
+// training loop sees it (capture + flatten + submit; the gather rides the
+// checkpoint stream), with the double buffer's exposed stall reported
+// separately in stall-ns/op — the number that must stay near zero for
+// "snapshots don't stall training" to hold — plus the offline reshard and
+// the encode/decode round trip at the same state size.
+func BenchmarkElastic(b *testing.B) {
+	b.Run("snap", func(b *testing.B) {
+		const ranks, batch = 4, 8
+		cfg := benchStageConfig()
+		ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+		snapper, err := elastic.NewSnapshotter(elastic.Policy{Every: 1}, ranks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := comm.NewWorld(ranks)
+		// No ReportAllocs: the gather path rides sync.Pool-backed wire
+		// buffers whose counts move with GC timing; the deterministic
+		// alloc gates live on reshard and encode/decode below.
+		b.ResetTimer()
+		w.Run(func(c *comm.Comm) {
+			tr := zero.MustNew(c, cfg, zero.Options{Stage: zero.StageOSG, LR: 1e-3, Seed: 1})
+			defer tr.Close()
+			for i := 0; i < b.N; i++ {
+				tr.Step(ids, targets, batch)
+				snapper.Snap(i+1, tr)
+			}
+			snapper.Flush(c.Rank())
+		})
+		b.StopTimer()
+		if err := snapper.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(snapper.StallNs())/float64(b.N), "stall-ns/op")
+	})
+	b.Run("reshard", func(b *testing.B) {
+		ck := benchElasticCheckpoint(8, 1<<16, 2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ck.Reshard(4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-decode", func(b *testing.B) {
+		ck := benchElasticCheckpoint(8, 1<<16, 2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blob, err := ck.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := elastic.Decode(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkServe measures the control plane against the BENCH_SERVE.json

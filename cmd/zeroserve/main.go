@@ -10,6 +10,12 @@
 //
 // Endpoints (see README "Serving"):
 //
+// Jobs may opt into elastic fault tolerance: "snapshot_every" takes async
+// boundary snapshots, "max_restarts" lets the supervisor restart a job that
+// lost a rank from its last snapshot, "restart_ranks" reshards the state to
+// a smaller world for the retry, and "fault" injects a deterministic rank
+// kill for drills (see README "Elastic checkpointing & recovery").
+//
 //	POST   /v1/jobs                   submit {"steps": N, "config": {...}}
 //	GET    /v1/jobs                   list jobs
 //	GET    /v1/jobs/{id}              job status
@@ -49,6 +55,8 @@ func main() {
 		queueDepth = flag.Int("queue-depth", def.QueueDepth, "admitted jobs waiting behind the running ones")
 		ringSize   = flag.Int("ring", def.MetricRing, "per-job metric ring capacity in step records")
 		maxSteps   = flag.Int("max-steps", def.MaxSteps, "per-job optimizer step cap")
+		snapDir    = flag.String("snapshot-dir", "", "directory for per-job elastic snapshots (empty = in-memory only)")
+		snapKeep   = flag.Int("snapshot-keep", def.SnapshotKeep, "checkpoint files retained per job in -snapshot-dir")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to checkpoint-and-stop")
 	)
 	flag.Parse()
@@ -77,6 +85,10 @@ func main() {
 			cfg.MetricRing = *ringSize
 		case "max-steps":
 			cfg.MaxSteps = *maxSteps
+		case "snapshot-dir":
+			cfg.SnapshotDir = *snapDir
+		case "snapshot-keep":
+			cfg.SnapshotKeep = *snapKeep
 		}
 	})
 

@@ -61,6 +61,10 @@ type World struct {
 	// while a buffer handed out by the public Recv escapes to the caller
 	// and simply falls back to the GC.
 	wire *arena.Arena
+
+	// faults is the rank-failure bookkeeping (nil until fault injection is
+	// enabled; see failure.go). dead/closed inside are guarded by mu.
+	faults *faultState
 }
 
 // streamLink keys one directed channel of a named ordering domain.
@@ -465,7 +469,12 @@ func (c *Comm) send(op string, dst int, data []float32) {
 	}
 	cp := c.w.wire.Get(len(data))
 	copy(cp, data)
-	c.w.channel(c.rank, gdst, c.stream) <- cp
+	if c.w.faultsOn() {
+		c.w.preOp(c.rank)
+		c.sendWire(gdst, cp)
+	} else {
+		c.w.channel(c.rank, gdst, c.stream) <- cp
+	}
 	c.w.stats[c.rank].record(c.opName(op), c.stream, c.label, c.dtype.Bytes(), int64(len(data)), 0)
 }
 
@@ -480,7 +489,13 @@ func (c *Comm) recv(op string, src int) []float32 {
 	if gsrc == c.rank {
 		panic("comm: recv from self")
 	}
-	data := <-c.w.channel(gsrc, c.rank, c.stream)
+	var data []float32
+	if c.w.faultsOn() {
+		c.w.preOp(c.rank)
+		data = c.recvWire(gsrc)
+	} else {
+		data = <-c.w.channel(gsrc, c.rank, c.stream)
+	}
 	c.w.stats[c.rank].record(c.opName(op), c.stream, c.label, c.dtype.Bytes(), 0, int64(len(data)))
 	return data
 }

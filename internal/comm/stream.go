@@ -218,20 +218,53 @@ type Stream struct {
 	submitMu  sync.Mutex // serializes seq assignment with queue order
 	submitted int64
 
-	mu        sync.Mutex // guards completed; cond signals progress
+	mu        sync.Mutex // guards completed and err; cond signals progress
 	cond      *sync.Cond
 	completed int64
+	err       error // rank-death error captured by the worker; re-raised at waits
 }
 
 func (st *Stream) loop() {
 	defer close(st.done)
 	for op := range st.ops {
-		st.exec(op)
+		if st.Err() == nil {
+			st.execSafe(op)
+		}
 		st.mu.Lock()
 		st.completed++
 		st.cond.Broadcast()
 		st.mu.Unlock()
 	}
+}
+
+// execSafe runs one op, capturing rank-death panics (an injected kill or a
+// dead peer observed on the wire) so the worker goroutine survives to drain
+// its queue: subsequent ops complete as no-ops and Scheduler.Close still
+// works during teardown. The captured error is re-panicked on the rank's own
+// goroutine at the next Wait/Flush. Panics outside the rank-failure protocol
+// propagate and crash, as programming errors should.
+func (st *Stream) execSafe(op streamOp) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := AsRankDeath(r)
+			if !ok {
+				panic(r)
+			}
+			st.mu.Lock()
+			if st.err == nil {
+				st.err = err
+			}
+			st.mu.Unlock()
+		}
+	}()
+	st.exec(op)
+}
+
+// Err returns the rank-death error the worker captured, if any.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
 }
 
 // commFor picks the persistent stream view matching the buffer's wire
@@ -273,13 +306,20 @@ func (st *Stream) exec(op streamOp) {
 	}
 }
 
-// waitFor blocks until the stream has completed at least seq ops.
+// waitFor blocks until the stream has completed at least seq ops. If the
+// worker captured a rank-death error, waitFor re-panics it here — on the
+// rank's own goroutine — so the death propagates to World.RunFallible even
+// when it struck an asynchronously executing op.
 func (st *Stream) waitFor(seq int64) {
 	st.mu.Lock()
 	for st.completed < seq {
 		st.cond.Wait()
 	}
+	err := st.err
 	st.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
 }
 
 // enqueue assigns the op its FIFO position and queues it. Sequence

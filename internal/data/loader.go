@@ -22,8 +22,10 @@ const DefaultShuffleDocs = 64
 // terms: every field is concrete, no defaults remain to apply except the
 // zero-value sizing knobs.
 type Config struct {
-	// Path is the corpus text file. Documents are blank-line-separated
-	// runs of text (paragraphs); see the package comment for framing.
+	// Path is the corpus: a text file, or a directory whose sorted
+	// regular files form one logical corpus (see CorpusFiles). Documents
+	// are blank-line-separated runs of text (paragraphs) and never span a
+	// file boundary; see the package comment for framing.
 	Path string
 	// Tokenizer selects the token mapping: "byte" (the merge-free byte
 	// tokenizer), "bpe" (train a byte-level BPE vocab on the first
@@ -51,10 +53,11 @@ type Config struct {
 // ErrConfig marks an invalid data.Config.
 var ErrConfig = errors.New("data: invalid config")
 
-// Loader streams deterministic global micro-batches from a corpus file.
+// Loader streams deterministic global micro-batches from a corpus (one
+// file, or a directory of files treated as their sorted concatenation).
 // One Loader serves one rank, but its output is rank-independent: it
 // maintains all `world` shard streams and interleaves them row-block by
-// row-block, so every rank's Loader (same file, config, seed) emits the
+// row-block, so every rank's Loader (same corpus, config, seed) emits the
 // same global batch while rank r's row block [r·B/N, (r+1)·B/N) — the rows
 // zero.Trainer assigns to rank r — contains exactly shard r's documents.
 //
@@ -151,23 +154,45 @@ func openTokenizer(cfg Config) (*Tokenizer, error) {
 	}
 }
 
-// readSample reads up to max bytes from the head of path (the bounded BPE
-// training sample).
+// readSample reads up to max bytes from the head of the corpus at path
+// (the bounded BPE training sample), walking the file list in corpus
+// order with a document separator between files.
 func readSample(path string, max int) ([]byte, error) {
 	if max <= 0 {
 		max = DefaultTrainBytes
 	}
-	f, err := os.Open(path)
+	paths, err := CorpusFiles(path)
 	if err != nil {
-		return nil, fmt.Errorf("data: opening corpus: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	buf := make([]byte, max)
-	n, err := io.ReadFull(f, buf)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
-		return nil, fmt.Errorf("data: sampling corpus: %w", err)
+	buf := make([]byte, 0, max)
+	for _, p := range paths {
+		room := max - len(buf)
+		if len(buf) > 0 {
+			room -= 2 // the inter-file document separator
+		}
+		if room <= 0 {
+			break
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("data: opening corpus: %w", err)
+		}
+		chunk := make([]byte, room)
+		n, err := io.ReadFull(f, chunk)
+		f.Close()
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("data: sampling corpus: %w", err)
+		}
+		if n == 0 {
+			continue
+		}
+		if len(buf) > 0 {
+			buf = append(buf, '\n', '\n')
+		}
+		buf = append(buf, chunk[:n]...)
 	}
-	return buf[:n], nil
+	return buf, nil
 }
 
 // NextBatch packs the next global micro-batch: rows×SeqLen ids and their

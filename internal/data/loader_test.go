@@ -239,3 +239,99 @@ func TestOpenErrors(t *testing.T) {
 		l.Close()
 	}
 }
+
+// A directory corpus is bitwise-equivalent to its concatenation: loaders
+// over the split and single-file forms of the same corpus emit identical
+// batch streams, far enough to wrap epochs on every shard.
+func TestLoaderDirectoryMatchesSingleFile(t *testing.T) {
+	single, _ := writeCorpus(t, 17)
+	dir, _ := writeCorpusDir(t, 17, 3)
+	a, err := Open(testLoaderConfig(single), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(testLoaderConfig(dir), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for step := 0; step < 80; step++ {
+		ai, at := a.NextBatch()
+		bi, bt := b.NextBatch()
+		for i := range ai {
+			if ai[i] != bi[i] || at[i] != bt[i] {
+				t.Fatalf("step %d token %d: single (%d,%d) vs directory (%d,%d)",
+					step, i, ai[i], at[i], bi[i], bt[i])
+			}
+		}
+	}
+	if a.Epochs() != b.Epochs() {
+		t.Fatalf("epochs: single %d vs directory %d", a.Epochs(), b.Epochs())
+	}
+	if b.Epochs() < 1 {
+		t.Fatalf("test too short to cover the multi-file epoch wrap (epochs %d)", b.Epochs())
+	}
+}
+
+// The zero-allocation steady state survives multi-file epoch wraps: the
+// seek-based restart reuses every open handle and buffer.
+func TestLoaderDirectorySteadyStateAllocations(t *testing.T) {
+	dir, _ := writeCorpusDir(t, 31, 4)
+	l, err := Open(testLoaderConfig(dir), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 50; i++ { // warm-up: pools fill, several epochs wrap
+		l.NextBatch()
+	}
+	if l.Epochs() < 1 {
+		t.Fatalf("warm-up did not wrap an epoch (epochs %d); allocs check would miss the wrap path", l.Epochs())
+	}
+	avg := testing.AllocsPerRun(100, func() { l.NextBatch() })
+	if avg > 0.5 {
+		t.Fatalf("steady-state NextBatch over a directory allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// BPE mode samples across the file list: training on a directory corpus
+// succeeds and yields the same vocabulary as the concatenated file.
+func TestLoaderDirectoryBPE(t *testing.T) {
+	single, _ := writeCorpus(t, 8)
+	dir, _ := writeCorpusDir(t, 8, 2)
+	a, err := Open(Config{Path: single, Tokenizer: "bpe", VocabSize: 300, SeqLen: 8, ShuffleBuffer: 2, Seed: 1}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(Config{Path: dir, Tokenizer: "bpe", VocabSize: 300, SeqLen: 8, ShuffleBuffer: 2, Seed: 1}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.VocabSize() != b.VocabSize() {
+		t.Fatalf("bpe vocab: single %d vs directory %d (sample must be the concatenation)",
+			a.VocabSize(), b.VocabSize())
+	}
+}
+
+// TrainFromCorpus frames a directory exactly like the concatenated file.
+func TestTrainFromCorpusDirectory(t *testing.T) {
+	single, _ := writeCorpus(t, 12)
+	dir, _ := writeCorpusDir(t, 12, 3)
+	ta, sa, err := TrainFromCorpus(single, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, sb, err := TrainFromCorpus(dir, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Docs != sb.Docs || sa.SampleBytes != sb.SampleBytes || sa.SampleTokens != sb.SampleTokens {
+		t.Fatalf("train stats diverge: single %+v vs directory %+v", sa, sb)
+	}
+	if ta.VocabSize() != tb.VocabSize() {
+		t.Fatalf("vocab sizes diverge: %d vs %d", ta.VocabSize(), tb.VocabSize())
+	}
+}

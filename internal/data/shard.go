@@ -31,13 +31,19 @@ var ErrCorpus = errors.New("data: unusable corpus")
 // shardStream produces rank r's token stream: it scans the corpus
 // documents in order, keeps only those ShardOf assigns to r, tokenizes
 // them, runs them through a seeded shuffle buffer, and packs the result
-// into a flat token queue with an EOT separator after every document. At
-// the end of the file it seeks back to the start (the stream is infinite;
-// epochs are counted). All per-document buffers come from the loader's
-// arena pool, so a warmed stream refills without allocating.
+// into a flat token queue with an EOT separator after every document. The
+// corpus may be one file or a directory of files (see CorpusFiles): the
+// document index runs globally across the sorted file list, a file
+// boundary separates documents like a blank line, and at the end of the
+// last file the stream seeks every handle back to the start (the stream
+// is infinite; epochs are counted; no reopen, so epoch wrap allocates
+// nothing). All per-document buffers come from the loader's arena pool,
+// so a warmed stream refills without allocating.
 type shardStream struct {
 	rank, world int
-	f           *os.File
+	name        string // corpus path as configured, for errors
+	files       []*os.File
+	fileIdx     int // file the scanner is currently framing
 	sc          *docScanner
 	tok         *Tokenizer
 	rng         *rand.Rand
@@ -47,25 +53,39 @@ type shardStream struct {
 	ring    []int   // packed token queue
 	head    int     // consumed prefix of ring
 
-	docIndex   int // position in the current epoch's document sequence
+	docIndex   int // position in the current epoch's GLOBAL document sequence
 	epochs     int
 	primed     bool
 	encScratch []int // EncodeInto append target, reused across documents
 }
 
-// newShardStream opens one rank's view of the corpus. Streams sharing a
-// loader share its arena but nothing else; two streams with equal
-// (rank, world, seed) over the same file are bitwise-identical.
+// newShardStream opens one rank's view of the corpus (a file, or a
+// directory of files). Streams sharing a loader share its arena but
+// nothing else — each holds private handles on every corpus file; two
+// streams with equal (rank, world, seed) over the same corpus are
+// bitwise-identical.
 func newShardStream(path string, rank, world int, tok *Tokenizer, seed int64, chunkBytes, maxDocBytes int, ints *arena.Ints) (*shardStream, error) {
-	f, err := os.Open(path)
+	paths, err := CorpusFiles(path)
 	if err != nil {
-		return nil, fmt.Errorf("data: opening corpus: %w", err)
+		return nil, err
+	}
+	files := make([]*os.File, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			for _, open := range files {
+				open.Close()
+			}
+			return nil, fmt.Errorf("data: opening corpus: %w", err)
+		}
+		files = append(files, f)
 	}
 	return &shardStream{
 		rank:  rank,
 		world: world,
-		f:     f,
-		sc:    newDocScanner(f, chunkBytes, maxDocBytes),
+		name:  path,
+		files: files,
+		sc:    newDocScanner(files[0], chunkBytes, maxDocBytes),
 		tok:   tok,
 		// Decorrelate the per-shard shuffle orders while keeping each a
 		// pure function of (seed, rank).
@@ -74,7 +94,25 @@ func newShardStream(path string, rank, world int, tok *Tokenizer, seed int64, ch
 	}, nil
 }
 
-func (s *shardStream) close() error { return s.f.Close() }
+func (s *shardStream) close() error {
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// enterFile seeks file i back to its start and points the scanner at it.
+func (s *shardStream) enterFile(i int) error {
+	s.fileIdx = i
+	if _, err := s.files[i].Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("data: rewinding corpus: %w", err)
+	}
+	s.sc.reset(s.files[i])
+	return nil
+}
 
 // nextShardDoc returns this rank's next tokenized document (epoch-looping,
 // never EOF). The returned buffer belongs to the stream's arena; the
@@ -83,18 +121,27 @@ func (s *shardStream) nextShardDoc() ([]int, error) {
 	for rewinds := 0; ; {
 		doc, err := s.sc.next()
 		if err == io.EOF {
-			// One rewind per call is the normal end-of-epoch case; a
-			// second means a full scan found no document for this rank
-			// (empty file, or fewer documents than ranks).
+			// End of one file: move to the next; the global document index
+			// keeps counting, so the shard assignment never notices the
+			// file boundary.
+			if s.fileIdx+1 < len(s.files) {
+				if err := s.enterFile(s.fileIdx + 1); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// End of the last file: one rewind per call is the normal
+			// end-of-epoch case; a second means a full cycle over every
+			// file found no document for this rank (empty corpus, or fewer
+			// documents than ranks).
 			rewinds++
 			if rewinds >= 2 {
 				return nil, fmt.Errorf("%w: no documents for rank %d of %d in %s",
-					ErrCorpus, s.rank, s.world, s.f.Name())
+					ErrCorpus, s.rank, s.world, s.name)
 			}
-			if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-				return nil, fmt.Errorf("data: rewinding corpus: %w", err)
+			if err := s.enterFile(0); err != nil {
+				return nil, err
 			}
-			s.sc.reset(s.f)
 			s.docIndex = 0
 			s.epochs++
 			continue

@@ -24,9 +24,10 @@ type TrainStats struct {
 }
 
 // TrainFromCorpus trains a byte-level BPE vocabulary of up to vocabSize
-// ids from the head of the corpus at path, framing the text through the
-// same streaming document scanner the Loader uses (chunked reads, blank
-// line separators, maxDocBytes splits — 0 means DefaultMaxDocBytes), so
+// ids from the head of the corpus at path (a file, or a directory of
+// files — see CorpusFiles), framing the text through the same streaming
+// document scanner the Loader uses (chunked reads, blank line separators,
+// file boundaries, maxDocBytes splits — 0 means DefaultMaxDocBytes), so
 // the committed vocabulary sees exactly the documents training will.
 // trainBytes caps the sample (0 = DefaultZerotokTrainBytes). This is the
 // engine behind cmd/zerotok: train once offline, commit the vocab JSON,
@@ -36,32 +37,47 @@ func TrainFromCorpus(path string, vocabSize, trainBytes, maxDocBytes int) (*Toke
 	if trainBytes <= 0 {
 		trainBytes = DefaultZerotokTrainBytes
 	}
-	f, err := os.Open(path)
+	paths, err := CorpusFiles(path)
 	if err != nil {
-		return nil, stats, fmt.Errorf("data: opening corpus: %w", err)
+		return nil, stats, err
 	}
-	defer f.Close()
 
 	// Build the sample from framed documents joined by the same "\n\n"
 	// separator framing removed, stopping at the byte budget.
-	sc := newDocScanner(f, 0, maxDocBytes)
+	var sc *docScanner
 	sample := make([]byte, 0, trainBytes)
-	for len(sample) < trainBytes {
-		doc, err := sc.next()
-		if err == io.EOF {
+	for _, p := range paths {
+		if len(sample) >= trainBytes {
 			break
 		}
+		f, err := os.Open(p)
 		if err != nil {
-			return nil, stats, err
+			return nil, stats, fmt.Errorf("data: opening corpus: %w", err)
 		}
-		if len(sample) > 0 {
-			sample = append(sample, '\n', '\n')
+		if sc == nil {
+			sc = newDocScanner(f, 0, maxDocBytes)
+		} else {
+			sc.reset(f)
 		}
-		if room := trainBytes - len(sample); len(doc) > room {
-			doc = doc[:room]
+		for len(sample) < trainBytes {
+			doc, err := sc.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return nil, stats, err
+			}
+			if len(sample) > 0 {
+				sample = append(sample, '\n', '\n')
+			}
+			if room := trainBytes - len(sample); len(doc) > room {
+				doc = doc[:room]
+			}
+			sample = append(sample, doc...)
+			stats.Docs++
 		}
-		sample = append(sample, doc...)
-		stats.Docs++
+		f.Close()
 	}
 	if len(sample) == 0 {
 		return nil, stats, fmt.Errorf("%w: empty corpus %s", ErrCorpus, path)

@@ -1,0 +1,225 @@
+// Package elastic implements elastic checkpointing for ZeRO training: the
+// sharded checkpoint format, the pure N→M resharding transform, and the
+// asynchronous boundary snapshotter riding the "checkpoint" stream.
+//
+// ZeRO's state layout makes elasticity mechanical (the paper's partitioning
+// argument run backwards): optimizer state, master parameters and the
+// gradient accumulator are exact Ψ/N partitions of flat buffers, so a
+// checkpoint taken at world size N is restorable at any world size M by
+// regrouping the partition ranges — no interpolation, no re-derivation.
+// Regrouping at M == N is the identity (bitwise); across N↔M the restored
+// state is bitwise too, and only the *subsequent* trajectory differs within
+// reduction-tree tolerance (the same caveat as cross-topology runs).
+package elastic
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/zero"
+)
+
+// Version is the checkpoint format version written by Encode. Decoders
+// reject versions they do not know.
+const Version = 1
+
+// Shard is one rank's slice of a checkpoint: the training state over the
+// parameter range [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+	Params []float32   // fp32 master parameters
+	Opt    [][]float32 // optimizer state tensors, optimizer State() order
+	Accum  []float32   // pending gradient accumulator (empty at a boundary)
+}
+
+// Len returns the shard's parameter count.
+func (sh *Shard) Len() int { return sh.Hi - sh.Lo }
+
+// Checkpoint is a complete sharded training checkpoint: WorldSize shards
+// tiling [0, NumParams) under comm.Partition's near-equal split, plus the
+// scalar training clock. It is self-describing on disk (versioned header,
+// see encode.go) and transformable across world sizes (Reshard).
+type Checkpoint struct {
+	Stage       zero.Stage
+	WorldSize   int
+	NumParams   int
+	OptSteps    int
+	AccumMicros int // > 0 when captured mid-accumulation
+
+	Shards []Shard // Shards[r] is rank r's partition
+}
+
+// optTensors returns the optimizer state tensor count (0 for an empty
+// checkpoint).
+func (ck *Checkpoint) optTensors() int {
+	if len(ck.Shards) == 0 {
+		return 0
+	}
+	return len(ck.Shards[0].Opt)
+}
+
+// Validate checks the checkpoint's structural invariants: the shard ranges
+// are exactly comm.Partition(NumParams, WorldSize), every tensor matches its
+// shard's length, and the optimizer tensor count is uniform.
+func (ck *Checkpoint) Validate() error {
+	if ck.WorldSize <= 0 || len(ck.Shards) != ck.WorldSize {
+		return fmt.Errorf("elastic: checkpoint has %d shards for world size %d", len(ck.Shards), ck.WorldSize)
+	}
+	if ck.NumParams < 0 || ck.OptSteps < 0 || ck.AccumMicros < 0 {
+		return fmt.Errorf("elastic: negative clock fields (params %d, steps %d, micros %d)", ck.NumParams, ck.OptSteps, ck.AccumMicros)
+	}
+	parts := comm.Partition(ck.NumParams, ck.WorldSize)
+	k := ck.optTensors()
+	for r, sh := range ck.Shards {
+		p := parts[r]
+		if sh.Lo != p.Lo || sh.Hi != p.Hi {
+			return fmt.Errorf("elastic: shard %d covers [%d,%d), want partition range [%d,%d)", r, sh.Lo, sh.Hi, p.Lo, p.Hi)
+		}
+		if len(sh.Params) != sh.Len() {
+			return fmt.Errorf("elastic: shard %d has %d params for range length %d", r, len(sh.Params), sh.Len())
+		}
+		if len(sh.Opt) != k {
+			return fmt.Errorf("elastic: shard %d has %d optimizer tensors, shard 0 has %d", r, len(sh.Opt), k)
+		}
+		for i, s := range sh.Opt {
+			if len(s) != sh.Len() {
+				return fmt.Errorf("elastic: shard %d optimizer tensor %d has %d elems, want %d", r, i, len(s), sh.Len())
+			}
+		}
+		wantAccum := 0
+		if ck.AccumMicros > 0 {
+			wantAccum = sh.Len()
+		}
+		if len(sh.Accum) != wantAccum {
+			return fmt.Errorf("elastic: shard %d has %d accumulator elems, want %d", r, len(sh.Accum), wantAccum)
+		}
+	}
+	return nil
+}
+
+// FromShards assembles a checkpoint from one ShardState per rank (any
+// order). The captures must come from the same training moment: world size,
+// stage, clock and tensor counts must agree, and the ranges must tile the
+// parameter space.
+func FromShards(shards []zero.ShardState) (*Checkpoint, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("elastic: no shards")
+	}
+	ordered := make([]*zero.ShardState, len(shards))
+	first := &shards[0]
+	for i := range shards {
+		sh := &shards[i]
+		if sh.WorldSize != len(shards) {
+			return nil, fmt.Errorf("elastic: shard of rank %d claims world size %d, have %d shards", sh.Rank, sh.WorldSize, len(shards))
+		}
+		if sh.Rank < 0 || sh.Rank >= len(shards) {
+			return nil, fmt.Errorf("elastic: shard rank %d out of range", sh.Rank)
+		}
+		if ordered[sh.Rank] != nil {
+			return nil, fmt.Errorf("elastic: duplicate shard for rank %d", sh.Rank)
+		}
+		if sh.Stage != first.Stage || sh.NumParams != first.NumParams ||
+			sh.OptSteps != first.OptSteps || sh.AccumMicros != first.AccumMicros ||
+			len(sh.Opt) != len(first.Opt) {
+			return nil, fmt.Errorf("elastic: shard of rank %d disagrees with rank %d on checkpoint metadata", sh.Rank, first.Rank)
+		}
+		ordered[sh.Rank] = sh
+	}
+	ck := &Checkpoint{
+		Stage:       first.Stage,
+		WorldSize:   len(shards),
+		NumParams:   first.NumParams,
+		OptSteps:    first.OptSteps,
+		AccumMicros: first.AccumMicros,
+		Shards:      make([]Shard, len(shards)),
+	}
+	for r, sh := range ordered {
+		dst := &ck.Shards[r]
+		dst.Lo, dst.Hi = sh.Lo, sh.Hi
+		dst.Params = append([]float32(nil), sh.Params...)
+		dst.Opt = make([][]float32, len(sh.Opt))
+		for i, s := range sh.Opt {
+			dst.Opt[i] = append([]float32(nil), s...)
+		}
+		if sh.AccumMicros > 0 {
+			dst.Accum = append([]float32(nil), sh.Accum...)
+		}
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// FromSnapshot shards a consolidated zero.Snapshot into an n-rank
+// checkpoint — the bridge from the classic Save path (and the serve
+// checkpoint endpoint) into the elastic format.
+func FromSnapshot(s *zero.Snapshot, n int) (*Checkpoint, error) {
+	if s == nil {
+		return nil, fmt.Errorf("elastic: nil snapshot")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("elastic: world size %d", n)
+	}
+	if len(s.Params) != s.NumParams {
+		return nil, fmt.Errorf("elastic: snapshot has %d params, header says %d", len(s.Params), s.NumParams)
+	}
+	ck := &Checkpoint{
+		Stage:       s.Stage,
+		WorldSize:   n,
+		NumParams:   s.NumParams,
+		OptSteps:    s.OptSteps,
+		AccumMicros: s.AccumMicros,
+		Shards:      make([]Shard, n),
+	}
+	parts := comm.Partition(s.NumParams, n)
+	for r, p := range parts {
+		dst := &ck.Shards[r]
+		dst.Lo, dst.Hi = p.Lo, p.Hi
+		dst.Params = append([]float32(nil), s.Params[p.Lo:p.Hi]...)
+		dst.Opt = make([][]float32, len(s.Opt))
+		for i, full := range s.Opt {
+			dst.Opt[i] = append([]float32(nil), full[p.Lo:p.Hi]...)
+		}
+		if s.AccumMicros > 0 {
+			dst.Accum = append([]float32(nil), s.Accum[p.Lo:p.Hi]...)
+		}
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// Snapshot reassembles the checkpoint into a consolidated zero.Snapshot —
+// what Trainer.Load consumes. The assembly is a pure concatenation of the
+// tiling shards, so capture → assemble → Load at the same world size is
+// bitwise.
+func (ck *Checkpoint) Snapshot() *zero.Snapshot {
+	s := &zero.Snapshot{
+		Stage:       ck.Stage,
+		WorldSize:   ck.WorldSize,
+		NumParams:   ck.NumParams,
+		OptSteps:    ck.OptSteps,
+		AccumMicros: ck.AccumMicros,
+		Params:      make([]float32, ck.NumParams),
+		Opt:         make([][]float32, ck.optTensors()),
+	}
+	for i := range s.Opt {
+		s.Opt[i] = make([]float32, ck.NumParams)
+	}
+	if ck.AccumMicros > 0 {
+		s.Accum = make([]float32, ck.NumParams)
+	}
+	for r := range ck.Shards {
+		sh := &ck.Shards[r]
+		copy(s.Params[sh.Lo:sh.Hi], sh.Params)
+		for i, st := range sh.Opt {
+			copy(s.Opt[i][sh.Lo:sh.Hi], st)
+		}
+		if ck.AccumMicros > 0 {
+			copy(s.Accum[sh.Lo:sh.Hi], sh.Accum)
+		}
+	}
+	return s
+}

@@ -1,0 +1,546 @@
+package elastic
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/tensor"
+	"repro/internal/zero"
+)
+
+func testConfig() model.Config {
+	return model.Config{Layers: 2, Hidden: 16, Heads: 2, Vocab: 19, Seq: 8}
+}
+
+const (
+	testSeed = 7
+	testLR   = 1e-3
+)
+
+// syntheticCheckpoint builds a valid checkpoint with deterministic,
+// position-dependent values so misplaced floats are detectable.
+func syntheticCheckpoint(t *testing.T, n, numParams, optK, accumMicros int) *Checkpoint {
+	t.Helper()
+	ck := &Checkpoint{
+		Stage:       zero.StageOSG,
+		WorldSize:   n,
+		NumParams:   numParams,
+		OptSteps:    13,
+		AccumMicros: accumMicros,
+		Shards:      make([]Shard, n),
+	}
+	fill := func(lo, hi, tensorID int) []float32 {
+		xs := make([]float32, hi-lo)
+		for i := range xs {
+			xs[i] = float32(tensorID*1000000 + lo + i)
+		}
+		return xs
+	}
+	for r, p := range comm.Partition(numParams, n) {
+		sh := &ck.Shards[r]
+		sh.Lo, sh.Hi = p.Lo, p.Hi
+		sh.Params = fill(p.Lo, p.Hi, 1)
+		sh.Opt = make([][]float32, optK)
+		for i := range sh.Opt {
+			sh.Opt[i] = fill(p.Lo, p.Hi, 2+i)
+		}
+		if accumMicros > 0 {
+			sh.Accum = fill(p.Lo, p.Hi, 2+optK)
+		}
+	}
+	if err := ck.Validate(); err != nil {
+		t.Fatalf("synthetic checkpoint invalid: %v", err)
+	}
+	return ck
+}
+
+func snapshotsEqual(t *testing.T, a, b *zero.Snapshot, label string) {
+	t.Helper()
+	if a.NumParams != b.NumParams || a.OptSteps != b.OptSteps ||
+		a.AccumMicros != b.AccumMicros || len(a.Opt) != len(b.Opt) {
+		t.Fatalf("%s: snapshot headers differ: %+v vs %+v", label, a.OptSteps, b.OptSteps)
+	}
+	if d := tensor.MaxDiff(a.Params, b.Params); d != 0 {
+		t.Errorf("%s: params differ by %g", label, d)
+	}
+	for i := range a.Opt {
+		if d := tensor.MaxDiff(a.Opt[i], b.Opt[i]); d != 0 {
+			t.Errorf("%s: opt tensor %d differs by %g", label, i, d)
+		}
+	}
+	if a.AccumMicros > 0 {
+		if d := tensor.MaxDiff(a.Accum, b.Accum); d != 0 {
+			t.Errorf("%s: accum differs by %g", label, d)
+		}
+	}
+}
+
+// Resharding N→M preserves every float at its flat offset: the reassembled
+// consolidated snapshot is bitwise identical for any M, including M > N,
+// M = 1, and M larger than the parameter count (empty shards).
+func TestReshardPreservesStateBitwise(t *testing.T) {
+	for _, accum := range []int{0, 2} {
+		src := syntheticCheckpoint(t, 4, 103, 2, accum)
+		want := src.Snapshot()
+		for _, m := range []int{1, 2, 3, 4, 5, 8, 64, 200} {
+			got, err := src.Reshard(m)
+			if err != nil {
+				t.Fatalf("reshard to %d: %v", m, err)
+			}
+			if got.WorldSize != m || len(got.Shards) != m {
+				t.Fatalf("reshard to %d produced %d shards", m, len(got.Shards))
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("resharded checkpoint invalid at m=%d: %v", m, err)
+			}
+			s := got.Snapshot()
+			s.WorldSize = want.WorldSize // world size is the only field allowed to differ
+			snapshotsEqual(t, want, s, "m="+itoa(m))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Reshard round trip N→M→N reproduces the original checkpoint exactly, and
+// resharding at M == N is a deep copy (mutating it leaves the source alone).
+func TestReshardRoundTripAndDeepCopy(t *testing.T) {
+	src := syntheticCheckpoint(t, 4, 97, 2, 1)
+	mid, err := src.Reshard(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mid.Reshard(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, src.Snapshot(), back.Snapshot(), "4→3→4")
+
+	cp, err := src.Reshard(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Shards[0].Params[0] += 1
+	cp.Shards[0].Opt[1][0] += 1
+	cp.Shards[0].Accum[0] += 1
+	if src.Shards[0].Params[0] == cp.Shards[0].Params[0] ||
+		src.Shards[0].Opt[1][0] == cp.Shards[0].Opt[1][0] ||
+		src.Shards[0].Accum[0] == cp.Shards[0].Accum[0] {
+		t.Error("reshard at same world size aliased the source")
+	}
+}
+
+func TestReshardRejectsBadInput(t *testing.T) {
+	src := syntheticCheckpoint(t, 4, 50, 1, 0)
+	if _, err := src.Reshard(0); err == nil {
+		t.Error("reshard to 0 ranks accepted")
+	}
+	broken := syntheticCheckpoint(t, 4, 50, 1, 0)
+	broken.Shards[2].Lo++ // ranges no longer tile
+	if _, err := broken.Reshard(2); err == nil {
+		t.Error("non-tiling shard ranges accepted")
+	}
+	short := syntheticCheckpoint(t, 4, 50, 1, 0)
+	short.Shards[1].Params = short.Shards[1].Params[:1]
+	if _, err := short.Reshard(2); err == nil {
+		t.Error("short params tensor accepted")
+	}
+}
+
+// The binary format round-trips, and every corruption class is loud:
+// truncation, bit flips, trailing bytes, wrong magic, wrong version.
+func TestEncodeDecodeAndCorruption(t *testing.T) {
+	src := syntheticCheckpoint(t, 3, 41, 2, 2)
+	blob, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stage != src.Stage || got.OptSteps != src.OptSteps || got.AccumMicros != src.AccumMicros {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	snapshotsEqual(t, src.Snapshot(), got.Snapshot(), "encode/decode")
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 3, len(blob) / 3, len(blob) - 1} {
+			if _, err := Decode(blob[:cut]); err == nil {
+				t.Errorf("truncation to %d bytes decoded", cut)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), blob...), 0x00)); err == nil {
+			t.Error("padded blob decoded")
+		}
+	})
+	t.Run("payload bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0x10
+		if _, err := Decode(bad); err == nil {
+			t.Error("corrupt payload decoded")
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		// Re-seal so only the magic is wrong, not the checksum.
+		payload, err := zero.OpenFrame(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]byte(nil), payload...)
+		bad[0] = 'X'
+		if _, err := Decode(zero.SealFrame(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("wrong magic decoded (err=%v)", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		payload, err := zero.OpenFrame(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]byte(nil), payload...)
+		bad[4] = 0xff
+		if _, err := Decode(zero.SealFrame(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("future version decoded (err=%v)", err)
+		}
+	})
+}
+
+// captureWorld trains a schedule and returns the per-rank shard captures
+// plus each rank's final full parameter view. The schedule is fullSteps
+// whole optimizer steps followed by extraMicros forward/backward
+// micro-batches left pending in the accumulator.
+func captureWorld(t *testing.T, n int, opts zero.Options, fullSteps, microsPer, extraMicros int,
+	ids, targets []int, batch int) []zero.ShardState {
+	t.Helper()
+	shards := make([]zero.ShardState, n)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		tr := zero.MustNew(c, testConfig(), opts)
+		defer tr.Close()
+		for s := 0; s < fullSteps; s++ {
+			for m := 0; m < microsPer; m++ {
+				tr.Forward(ids, targets, batch)
+				tr.Backward()
+			}
+			tr.Update()
+		}
+		for m := 0; m < extraMicros; m++ {
+			tr.Forward(ids, targets, batch)
+			tr.Backward()
+		}
+		tr.CaptureShard(&shards[c.Rank()])
+	})
+	return shards
+}
+
+// resumeWorld loads a consolidated snapshot into a fresh n-rank world (a
+// different seed, so the weights genuinely come from the snapshot), runs
+// the given schedule, and returns each rank's final full parameter buffer.
+func resumeWorld(t *testing.T, n int, opts zero.Options, snap *zero.Snapshot,
+	finishMicros int, fullSteps, microsPer int, ids, targets []int, batch int) [][]float32 {
+	t.Helper()
+	out := make([][]float32, n)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		o := opts
+		o.Seed = 4242
+		tr := zero.MustNew(c, testConfig(), o)
+		defer tr.Close()
+		if err := tr.Load(snap); err != nil {
+			t.Error(err)
+			return
+		}
+		for m := 0; m < finishMicros; m++ {
+			tr.Forward(ids, targets, batch)
+			tr.Backward()
+		}
+		if finishMicros > 0 {
+			tr.Update()
+		}
+		for s := 0; s < fullSteps; s++ {
+			for m := 0; m < microsPer; m++ {
+				tr.Forward(ids, targets, batch)
+				tr.Backward()
+			}
+			tr.Update()
+		}
+		out[c.Rank()] = tr.GatheredParams()
+	})
+	return out
+}
+
+// referenceWorld runs the uninterrupted schedule and returns final params.
+func referenceWorld(t *testing.T, n int, opts zero.Options, fullSteps, microsPer int,
+	ids, targets []int, batch int) [][]float32 {
+	t.Helper()
+	out := make([][]float32, n)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		tr := zero.MustNew(c, testConfig(), opts)
+		defer tr.Close()
+		for s := 0; s < fullSteps; s++ {
+			for m := 0; m < microsPer; m++ {
+				tr.Forward(ids, targets, batch)
+				tr.Backward()
+			}
+			tr.Update()
+		}
+		out[c.Rank()] = tr.GatheredParams()
+	})
+	return out
+}
+
+// The snapshot round-trip matrix (capture → FromShards → Snapshot → Load →
+// resume) is bitwise across stage × optimizer × accumulation depth,
+// including captures taken mid-accumulation. This is the elastic capture
+// path's core correctness claim: CaptureShard + reassembly is
+// indistinguishable from never having stopped.
+func TestCaptureRoundTripMatrix(t *testing.T) {
+	cfg := testConfig()
+	const n, batch = 4, 4
+	ids, targets := model.SyntheticBatch(11, batch, cfg.Seq, cfg.Vocab)
+
+	cases := []struct {
+		name   string
+		stage  zero.Stage
+		opt    optimizer.Spec
+		micros int // accumulation depth per optimizer step
+		midCut int // micro-batches already folded when the capture happens
+		fp16   bool
+	}{
+		{name: "ddp/adam/k1", stage: zero.StageDDP, micros: 1},
+		{name: "os/adam/k2", stage: zero.StageOS, micros: 2},
+		{name: "osg/adam/k1", stage: zero.StageOSG, micros: 1},
+		{name: "osg/adam/k3-mid2", stage: zero.StageOSG, micros: 3, midCut: 2},
+		{name: "osg/sgd/k2-mid1", stage: zero.StageOSG, opt: optimizer.Spec{Kind: optimizer.KindSGD}, micros: 2, midCut: 1},
+		{name: "osg/lamb/k2", stage: zero.StageOSG, opt: optimizer.Spec{Kind: optimizer.KindLAMB}, micros: 2},
+		{name: "osgp/adam/k2-mid1", stage: zero.StageOSGP, micros: 2, midCut: 1},
+		{name: "osgp/sgd/k1", stage: zero.StageOSGP, opt: optimizer.Spec{Kind: optimizer.KindSGD}, micros: 1},
+		{name: "osg/adam/fp16-k2-mid1", stage: zero.StageOSG, micros: 2, midCut: 1, fp16: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := zero.Options{Stage: tc.stage, LR: testLR, Seed: testSeed,
+				Optimizer: tc.opt, FP16: tc.fp16}
+			const preSteps, postSteps = 2, 2
+
+			// Uninterrupted reference: preSteps + 1 (the step the capture
+			// interrupts, when mid-accumulation) + postSteps updates.
+			interrupted := 0
+			if tc.midCut > 0 {
+				interrupted = 1
+			}
+			ref := referenceWorld(t, n, opts, preSteps+interrupted+postSteps, tc.micros,
+				ids, targets, batch)
+
+			shards := captureWorld(t, n, opts, preSteps, tc.micros, tc.midCut,
+				ids, targets, batch)
+			ck, err := FromShards(shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (ck.AccumMicros > 0) != (tc.midCut > 0) {
+				t.Fatalf("capture AccumMicros=%d, midCut=%d", ck.AccumMicros, tc.midCut)
+			}
+			finish := 0
+			if tc.midCut > 0 {
+				finish = tc.micros - tc.midCut
+			}
+			got := resumeWorld(t, n, opts, ck.Snapshot(), finish, postSteps, tc.micros,
+				ids, targets, batch)
+			for r := 0; r < n; r++ {
+				if d := tensor.MaxDiff(got[r], ref[r]); d != 0 {
+					t.Errorf("rank %d: resumed trajectory diverged by %g", r, d)
+				}
+			}
+		})
+	}
+}
+
+// Elastic resume across world sizes through the reshard path: capture at
+// N=4, reshard to M=2, resume at M=2 — the trajectory matches a from-scratch
+// M=2 run of the full schedule within reduction-tree tolerance.
+func TestReshardedResumeMatchesSmallWorld(t *testing.T) {
+	cfg := testConfig()
+	const batch, pre, post = 4, 3, 3
+	ids, targets := model.SyntheticBatch(5, batch, cfg.Seq, cfg.Vocab)
+	opts := zero.Options{Stage: zero.StageOSG, LR: testLR, Seed: testSeed}
+
+	shards := captureWorld(t, 4, opts, pre, 1, 0, ids, targets, batch)
+	ck, err := FromShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := ck.Reshard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceWorld(t, 2, opts, pre+post, 1, ids, targets, batch)
+	got := resumeWorld(t, 2, opts, down.Snapshot(), 0, post, 1, ids, targets, batch)
+	for r := 0; r < 2; r++ {
+		if d := tensor.MaxDiff(got[r], ref[r]); d > 1e-3 {
+			t.Errorf("rank %d: resharded resume diverged by %g", r, d)
+		}
+	}
+}
+
+// The async snapshotter's checkpoint equals a synchronous capture of the
+// same moment, snapshots overlap training without corruption, files land
+// atomically, and retention prunes to the bound.
+func TestSnapshotterAsyncMatchesSyncCapture(t *testing.T) {
+	cfg := testConfig()
+	const n, batch, steps, every = 4, 4, 6, 2
+	ids, targets := model.SyntheticBatch(3, batch, cfg.Seq, cfg.Vocab)
+	opts := zero.Options{Stage: zero.StageOSG, LR: testLR, Seed: testSeed}
+	dir := t.TempDir()
+
+	snap, err := NewSnapshotter(Policy{Every: every, Dir: dir, Keep: 2}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := make([]zero.ShardState, n)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		tr := zero.MustNew(c, testConfig(), opts)
+		defer tr.Close()
+		for s := 1; s <= steps; s++ {
+			tr.Step(ids, targets, batch)
+			snap.Tick(s, tr)
+		}
+		// Synchronous ground truth for the same moment as the last Tick.
+		tr.CaptureShard(&finals[c.Rank()])
+		snap.Flush(c.Rank())
+	})
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Count(); got != steps/every {
+		t.Errorf("completed %d snapshots, want %d", got, steps/every)
+	}
+
+	latest := snap.Latest()
+	if latest == nil {
+		t.Fatal("no snapshot published")
+	}
+	sync, err := FromShards(finals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.OptSteps != sync.OptSteps {
+		t.Fatalf("latest snapshot at step %d, sync capture at %d", latest.OptSteps, sync.OptSteps)
+	}
+	snapshotsEqual(t, sync.Snapshot(), latest.Snapshot(), "async vs sync")
+
+	// Retention kept exactly Keep files; the newest is the last Tick; no
+	// temp files leaked; the file decodes back to the published checkpoint.
+	files, err := ListCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("retention kept %d files, want 2: %v", len(files), files)
+	}
+	newest, err := LatestFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(newest) != checkpointName(steps) {
+		t.Errorf("newest file %s, want %s", newest, checkpointName(steps))
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+	fromDisk, err := LoadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, latest.Snapshot(), fromDisk.Snapshot(), "disk vs memory")
+}
+
+// A snapshotter with no Dir keeps checkpoints in memory only; Snap works
+// mid-accumulation and the restored accumulator round-trips.
+func TestSnapshotterMidAccumInMemory(t *testing.T) {
+	cfg := testConfig()
+	const n, batch = 2, 4
+	ids, targets := model.SyntheticBatch(9, batch, cfg.Seq, cfg.Vocab)
+	opts := zero.Options{Stage: zero.StageOS, LR: testLR, Seed: testSeed}
+
+	snap, err := NewSnapshotter(Policy{}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		tr := zero.MustNew(c, testConfig(), opts)
+		defer tr.Close()
+		tr.Step(ids, targets, batch)
+		tr.Forward(ids, targets, batch)
+		tr.Backward()
+		snap.Snap(1, tr)
+		snap.Flush(c.Rank())
+	})
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck := snap.Latest()
+	if ck == nil {
+		t.Fatal("no snapshot published")
+	}
+	if ck.AccumMicros != 1 {
+		t.Fatalf("AccumMicros = %d, want 1 (capture was mid-accumulation)", ck.AccumMicros)
+	}
+	if ck.OptSteps != 1 {
+		t.Errorf("OptSteps = %d, want 1", ck.OptSteps)
+	}
+}
+
+// FromSnapshot shards a consolidated snapshot and Snapshot() reassembles it
+// bitwise — the bridge between the classic gob format and the elastic one.
+func TestFromSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const p = 37
+	s := &zero.Snapshot{
+		Stage: zero.StageOSG, WorldSize: 4, NumParams: p, OptSteps: 9,
+		AccumMicros: 3,
+		Params:      make([]float32, p),
+		Opt:         [][]float32{make([]float32, p), make([]float32, p)},
+		Accum:       make([]float32, p),
+	}
+	for i := 0; i < p; i++ {
+		s.Params[i] = rng.Float32()
+		s.Opt[0][i] = rng.Float32()
+		s.Opt[1][i] = rng.Float32()
+		s.Accum[i] = rng.Float32()
+	}
+	for _, n := range []int{1, 3, 4, 7} {
+		ck, err := FromSnapshot(s, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back := ck.Snapshot()
+		back.WorldSize = s.WorldSize
+		snapshotsEqual(t, s, back, "n="+itoa(n))
+	}
+}

@@ -1,0 +1,178 @@
+package elastic
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/zero"
+)
+
+// On-disk layout (little endian), sealed with zero.SealFrame's integrity
+// trailer (length + CRC32):
+//
+//	magic "ZELC" | version u32 | headerLen u32 | header JSON
+//	| payload float32s | trailer
+//
+// The JSON header is the self-describing part: a human can `dd` it out and
+// read the shard geometry without this package. The payload is the shards'
+// float data in header order — for each shard: params, then each optimizer
+// tensor, then (if accum_micros > 0) the accumulator.
+
+var ckptMagic = [4]byte{'Z', 'E', 'L', 'C'}
+
+// Header is the checkpoint's self-describing JSON header.
+type Header struct {
+	Version     int         `json:"version"`
+	Stage       int         `json:"stage"`
+	WorldSize   int         `json:"world_size"`
+	NumParams   int         `json:"num_params"`
+	OptTensors  int         `json:"opt_tensors"`
+	OptSteps    int         `json:"opt_steps"`
+	AccumMicros int         `json:"accum_micros"`
+	Shards      []ShardInfo `json:"shards"`
+}
+
+// ShardInfo is one shard's geometry in the header.
+type ShardInfo struct {
+	Rank int `json:"rank"`
+	Lo   int `json:"lo"`
+	Hi   int `json:"hi"`
+}
+
+// header builds the JSON header for the checkpoint.
+func (ck *Checkpoint) header() Header {
+	h := Header{
+		Version:     Version,
+		Stage:       int(ck.Stage),
+		WorldSize:   ck.WorldSize,
+		NumParams:   ck.NumParams,
+		OptTensors:  ck.optTensors(),
+		OptSteps:    ck.OptSteps,
+		AccumMicros: ck.AccumMicros,
+		Shards:      make([]ShardInfo, len(ck.Shards)),
+	}
+	for r := range ck.Shards {
+		h.Shards[r] = ShardInfo{Rank: r, Lo: ck.Shards[r].Lo, Hi: ck.Shards[r].Hi}
+	}
+	return h
+}
+
+// payloadFloats returns the number of float32s a payload with k optimizer
+// tensors carries (k is passed in, not read off Shards, so this also works
+// in Decode before the shards are populated).
+func (ck *Checkpoint) payloadFloats(k int) int {
+	per := 1 + k
+	if ck.AccumMicros > 0 {
+		per++
+	}
+	return per * ck.NumParams
+}
+
+// Encode serializes the checkpoint, sealed with the integrity trailer.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(ck.header())
+	if err != nil {
+		return nil, fmt.Errorf("elastic: encoding header: %w", err)
+	}
+	size := 4 + 4 + 4 + len(hdr) + 4*ck.payloadFloats(ck.optTensors())
+	buf := make([]byte, 0, size+16)
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	appendFloats := func(xs []float32) {
+		for _, x := range xs {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+	}
+	for r := range ck.Shards {
+		sh := &ck.Shards[r]
+		appendFloats(sh.Params)
+		for _, st := range sh.Opt {
+			appendFloats(st)
+		}
+		if ck.AccumMicros > 0 {
+			appendFloats(sh.Accum)
+		}
+	}
+	return zero.SealFrame(buf), nil
+}
+
+// Decode deserializes a checkpoint written by Encode, verifying the
+// integrity trailer, magic, version, header consistency and payload size.
+func Decode(data []byte) (*Checkpoint, error) {
+	payload, err := zero.OpenFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 12 {
+		return nil, fmt.Errorf("elastic: blob too short (%d bytes)", len(payload))
+	}
+	if [4]byte(payload[0:4]) != ckptMagic {
+		return nil, fmt.Errorf("elastic: bad magic %q (not an elastic checkpoint)", payload[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(payload[4:8]); v != Version {
+		return nil, fmt.Errorf("elastic: unsupported checkpoint version %d (this build reads %d)", v, Version)
+	}
+	hlen := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if hlen < 0 || 12+hlen > len(payload) {
+		return nil, fmt.Errorf("elastic: header length %d exceeds blob", hlen)
+	}
+	var h Header
+	if err := json.Unmarshal(payload[12:12+hlen], &h); err != nil {
+		return nil, fmt.Errorf("elastic: decoding header: %w", err)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("elastic: header version %d disagrees with container version %d", h.Version, Version)
+	}
+	if h.WorldSize <= 0 || len(h.Shards) != h.WorldSize || h.NumParams < 0 || h.OptTensors < 0 {
+		return nil, fmt.Errorf("elastic: malformed header: %+v", h)
+	}
+	ck := &Checkpoint{
+		Stage:       zero.Stage(h.Stage),
+		WorldSize:   h.WorldSize,
+		NumParams:   h.NumParams,
+		OptSteps:    h.OptSteps,
+		AccumMicros: h.AccumMicros,
+		Shards:      make([]Shard, h.WorldSize),
+	}
+	body := payload[12+hlen:]
+	if len(body) != 4*ck.payloadFloats(h.OptTensors) {
+		return nil, fmt.Errorf("elastic: payload has %d bytes, header geometry needs %d", len(body), 4*ck.payloadFloats(h.OptTensors))
+	}
+	off := 0
+	readFloats := func(n int) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off : off+4]))
+			off += 4
+		}
+		return out
+	}
+	for r := range ck.Shards {
+		info := h.Shards[r]
+		sh := &ck.Shards[r]
+		sh.Lo, sh.Hi = info.Lo, info.Hi
+		n := sh.Hi - sh.Lo
+		if n < 0 {
+			return nil, fmt.Errorf("elastic: shard %d has negative range [%d,%d)", r, sh.Lo, sh.Hi)
+		}
+		sh.Params = readFloats(n)
+		sh.Opt = make([][]float32, h.OptTensors)
+		for i := range sh.Opt {
+			sh.Opt[i] = readFloats(n)
+		}
+		if ck.AccumMicros > 0 {
+			sh.Accum = readFloats(n)
+		}
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}

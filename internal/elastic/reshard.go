@@ -1,0 +1,70 @@
+package elastic
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Reshard regroups the checkpoint's Ψ/N partitions onto M ranks and returns
+// a new checkpoint; the receiver is not modified. The transform is pure
+// range arithmetic — every float lands at the same flat offset it came from,
+// so the reassembled state is bitwise identical at any M, and resharding at
+// M == WorldSize is a deep copy. This is the ZeRO elasticity claim made
+// executable: partitioned state needs no migration logic beyond regrouping.
+func (ck *Checkpoint) Reshard(m int) (*Checkpoint, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("elastic: reshard to world size %d", m)
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Checkpoint{
+		Stage:       ck.Stage,
+		WorldSize:   m,
+		NumParams:   ck.NumParams,
+		OptSteps:    ck.OptSteps,
+		AccumMicros: ck.AccumMicros,
+		Shards:      make([]Shard, m),
+	}
+	k := ck.optTensors()
+	parts := comm.Partition(ck.NumParams, m)
+	// src walks the source shards left to right; the source ranges tile
+	// [0, NumParams) in order, so each target range consumes a run of
+	// consecutive source shards.
+	src := 0
+	for r, p := range parts {
+		dst := &out.Shards[r]
+		dst.Lo, dst.Hi = p.Lo, p.Hi
+		dst.Params = make([]float32, dst.Len())
+		dst.Opt = make([][]float32, k)
+		for i := range dst.Opt {
+			dst.Opt[i] = make([]float32, dst.Len())
+		}
+		if ck.AccumMicros > 0 {
+			dst.Accum = make([]float32, dst.Len())
+		}
+		for src < len(ck.Shards) && ck.Shards[src].Hi <= p.Lo {
+			src++
+		}
+		for s := src; s < len(ck.Shards); s++ {
+			from := &ck.Shards[s]
+			lo, hi := max(from.Lo, p.Lo), min(from.Hi, p.Hi)
+			if lo >= hi {
+				break
+			}
+			// Copy the overlap [lo, hi) from source-local to target-local
+			// coordinates.
+			so, to := lo-from.Lo, lo-p.Lo
+			n := hi - lo
+			copy(dst.Params[to:to+n], from.Params[so:so+n])
+			for i := range dst.Opt {
+				copy(dst.Opt[i][to:to+n], from.Opt[i][so:so+n])
+			}
+			if ck.AccumMicros > 0 {
+				copy(dst.Accum[to:to+n], from.Accum[so:so+n])
+			}
+		}
+	}
+	return out, nil
+}

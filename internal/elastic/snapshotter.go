@@ -1,0 +1,333 @@
+package elastic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/zero"
+)
+
+// Policy configures periodic snapshotting.
+type Policy struct {
+	// Every takes a snapshot when Tick's step is a multiple of Every.
+	// Every <= 0 disables Tick (Snap still works).
+	Every int
+	// Dir, when non-empty, is where rank 0 persists encoded checkpoints
+	// (ckpt-<step>.zelc, written via a temp file + atomic rename). Empty
+	// keeps snapshots in memory only (Latest).
+	Dir string
+	// Keep bounds how many checkpoint files stay in Dir; older ones are
+	// pruned after each write. <= 0 keeps all.
+	Keep int
+}
+
+// Snapshotter takes asynchronous, double-buffered snapshots of a running
+// world. Each rank calls Tick on its own goroutine right after an optimizer
+// step; the capture is a local memcpy of the rank's Ψ/N shard, and the
+// gather to rank 0 rides the "checkpoint" stream so training continues while
+// the snapshot is in flight. Two capture buffers alternate per rank: a Tick
+// only stalls if the snapshot from two Ticks ago is still on the wire, and
+// that stall is measured (StallNs) rather than hidden.
+//
+// Tick is a collective: every rank must call it with the same step sequence,
+// or the checkpoint stream's gathers desynchronize.
+type Snapshotter struct {
+	pol   Policy
+	world int
+	slots []rankSlot
+	out   [][]float32 // rank 0 gather destination, stream-worker-only
+
+	latest  atomic.Pointer[Checkpoint]
+	count   atomic.Int64
+	stallNs atomic.Int64
+
+	writeCh   chan writeReq
+	writerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	mu  sync.Mutex
+	err error // first asynchronous failure (assembly or write)
+}
+
+// rankSlot is one rank's double buffer. All fields are touched only by that
+// rank's goroutine.
+type rankSlot struct {
+	state   [2]zero.ShardState
+	flat    [2][]float32
+	pending [2]comm.Handle
+	cur     int
+}
+
+type writeReq struct {
+	step int
+	ck   *Checkpoint
+}
+
+// NewSnapshotter builds a snapshotter for an n-rank world. When pol.Dir is
+// set it is created if missing and a writer goroutine is started.
+func NewSnapshotter(pol Policy, n int) (*Snapshotter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("elastic: snapshotter for world size %d", n)
+	}
+	s := &Snapshotter{
+		pol:   pol,
+		world: n,
+		slots: make([]rankSlot, n),
+		out:   make([][]float32, n),
+	}
+	if pol.Dir != "" {
+		if err := os.MkdirAll(pol.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("elastic: snapshot dir: %w", err)
+		}
+		s.writeCh = make(chan writeReq, 2)
+		s.writerWG.Add(1)
+		go s.writer()
+	}
+	return s, nil
+}
+
+// Tick snapshots when step is a multiple of the policy's Every. Collective
+// across ranks (same step sequence everywhere).
+func (s *Snapshotter) Tick(step int, tr *zero.Trainer) {
+	if s.pol.Every <= 0 || step <= 0 || step%s.pol.Every != 0 {
+		return
+	}
+	s.Snap(step, tr)
+}
+
+// Snap takes a snapshot unconditionally. Collective across ranks. Legal
+// mid-accumulation: the capture includes the pending gradient accumulator.
+func (s *Snapshotter) Snap(step int, tr *zero.Trainer) {
+	r := tr.Comm().Rank()
+	sl := &s.slots[r]
+	i := sl.cur & 1
+	// Reusing this buffer requires its previous snapshot to be off the
+	// wire. Any wait here is the snapshotter's only exposure to the
+	// training loop — account for it.
+	if h := sl.pending[i]; h.Valid() && !h.Done() {
+		t0 := time.Now()
+		h.Wait()
+		s.stallNs.Add(time.Since(t0).Nanoseconds())
+	}
+	tr.CaptureShard(&sl.state[i])
+	sl.flat[i] = flattenShard(&sl.state[i], sl.flat[i][:0])
+	flat := sl.flat[i]
+	st := tr.Scheduler().Stream(zero.StreamCheckpoint)
+	if r == 0 {
+		stage := sl.state[i].Stage
+		numParams := sl.state[i].NumParams
+		optSteps := sl.state[i].OptSteps
+		accumMicros := sl.state[i].AccumMicros
+		optK := len(sl.state[i].Opt)
+		sl.pending[i] = st.Submit(func(c *comm.Comm) {
+			c.Gather(flat, 0, s.out)
+			ck, err := s.assemble(stage, numParams, optSteps, accumMicros, optK)
+			if err != nil {
+				s.setErr(err)
+				return
+			}
+			s.latest.Store(ck)
+			s.count.Add(1)
+			if s.writeCh != nil {
+				s.writeCh <- writeReq{step: step, ck: ck}
+			}
+		})
+	} else {
+		sl.pending[i] = st.Submit(func(c *comm.Comm) {
+			c.Gather(flat, 0, nil)
+		})
+	}
+	sl.cur++
+}
+
+// flattenShard packs a shard capture as [params | opt... | accum?] into dst.
+func flattenShard(sh *zero.ShardState, dst []float32) []float32 {
+	dst = append(dst, sh.Params...)
+	for _, st := range sh.Opt {
+		dst = append(dst, st...)
+	}
+	if sh.AccumMicros > 0 {
+		dst = append(dst, sh.Accum...)
+	}
+	return dst
+}
+
+// assemble builds a Checkpoint from the gathered flats in s.out. Runs on
+// rank 0's checkpoint-stream worker; the gather allocates fresh slices per
+// call, so the checkpoint aliases them without copying.
+func (s *Snapshotter) assemble(stage zero.Stage, numParams, optSteps, accumMicros, optK int) (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Stage:       stage,
+		WorldSize:   s.world,
+		NumParams:   numParams,
+		OptSteps:    optSteps,
+		AccumMicros: accumMicros,
+		Shards:      make([]Shard, s.world),
+	}
+	parts := comm.Partition(numParams, s.world)
+	for r, p := range parts {
+		n := p.Len()
+		want := n * (1 + optK)
+		if accumMicros > 0 {
+			want += n
+		}
+		flat := s.out[r]
+		if len(flat) != want {
+			return nil, fmt.Errorf("elastic: rank %d gathered %d floats, geometry needs %d", r, len(flat), want)
+		}
+		sh := &ck.Shards[r]
+		sh.Lo, sh.Hi = p.Lo, p.Hi
+		sh.Params = flat[:n:n]
+		sh.Opt = make([][]float32, optK)
+		for i := range sh.Opt {
+			off := (1 + i) * n
+			sh.Opt[i] = flat[off : off+n : off+n]
+		}
+		if accumMicros > 0 {
+			off := (1 + optK) * n
+			sh.Accum = flat[off : off+n : off+n]
+		}
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// Flush blocks the calling rank until its in-flight snapshots are off the
+// wire. Call it before the rank's world body returns, so no gather is left
+// pending when the scheduler shuts down.
+func (s *Snapshotter) Flush(rank int) {
+	sl := &s.slots[rank]
+	for i := range sl.pending {
+		if sl.pending[i].Valid() {
+			sl.pending[i].Wait()
+			sl.pending[i] = comm.Handle{}
+		}
+	}
+}
+
+// Close stops the writer (flushing queued writes) and reports the first
+// asynchronous error. Call after the world has finished running.
+func (s *Snapshotter) Close() error {
+	s.closeOnce.Do(func() {
+		if s.writeCh != nil {
+			close(s.writeCh)
+			s.writerWG.Wait()
+		}
+	})
+	return s.Err()
+}
+
+// Latest returns the most recently assembled checkpoint (nil before the
+// first snapshot completes). The checkpoint is immutable once published.
+func (s *Snapshotter) Latest() *Checkpoint { return s.latest.Load() }
+
+// Count returns how many snapshots have completed assembly.
+func (s *Snapshotter) Count() int64 { return s.count.Load() }
+
+// StallNs returns the cumulative wall time Ticks spent blocked on in-flight
+// snapshots — the snapshotter's total exposed stall.
+func (s *Snapshotter) StallNs() int64 { return s.stallNs.Load() }
+
+// Err returns the first asynchronous assembly/write error, if any.
+func (s *Snapshotter) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Snapshotter) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// writer persists checkpoints: encode, write a temp file, rename into place
+// (readers never observe a torn file), prune to the retention bound.
+func (s *Snapshotter) writer() {
+	defer s.writerWG.Done()
+	for req := range s.writeCh {
+		if err := s.writeOne(req); err != nil {
+			s.setErr(err)
+		}
+	}
+}
+
+func (s *Snapshotter) writeOne(req writeReq) error {
+	blob, err := req.ck.Encode()
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.pol.Dir, checkpointName(req.step))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return s.prune()
+}
+
+func (s *Snapshotter) prune() error {
+	if s.pol.Keep <= 0 {
+		return nil
+	}
+	files, err := ListCheckpoints(s.pol.Dir)
+	if err != nil {
+		return err
+	}
+	for len(files) > s.pol.Keep {
+		if err := os.Remove(files[0]); err != nil {
+			return err
+		}
+		files = files[1:]
+	}
+	return nil
+}
+
+func checkpointName(step int) string {
+	return fmt.Sprintf("ckpt-%09d.zelc", step)
+}
+
+// ListCheckpoints returns the checkpoint files in dir, oldest step first.
+func ListCheckpoints(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.zelc"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// LatestFile returns the newest checkpoint file in dir, or "" when none
+// exist yet.
+func LatestFile(dir string) (string, error) {
+	files, err := ListCheckpoints(dir)
+	if err != nil || len(files) == 0 {
+		return "", err
+	}
+	return files[len(files)-1], nil
+}
+
+// LoadFile reads and decodes a checkpoint file.
+func LoadFile(path string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("elastic: %s: %w", filepath.Base(path), err)
+	}
+	return ck, nil
+}

@@ -33,8 +33,9 @@ type Engine struct {
 	last    float64 // mean local loss of the last completed boundary
 	steps   int     // optimizer steps fired
 
-	observer func(StepInfo) // boundary tap, nil when unobserved
-	stopFlag []float32      // one-element TrainLoop cancellation vote
+	observer   func(StepInfo) // boundary tap, nil when unobserved
+	onBoundary []func(int)    // post-step hooks (snapshotters); may run collectives
+	stopFlag   []float32      // one-element TrainLoop cancellation vote
 }
 
 // StepInfo is the observation delivered at every accumulation boundary:
@@ -52,6 +53,13 @@ type StepInfo struct {
 // server can tap per-step metrics without forking the training loop. The
 // observer must not call back into the engine's collective methods.
 func (e *Engine) Observe(fn func(StepInfo)) { e.observer = fn }
+
+// OnBoundary appends a hook invoked at every accumulation boundary, after
+// the optimizer fires and the observer runs. Unlike Observe, boundary hooks
+// MAY submit collectives (that is their point: periodic elastic snapshots
+// ride here), so every rank must register the same hooks in the same order —
+// they are part of the collective schedule.
+func (e *Engine) OnBoundary(fn func(step int)) { e.onBoundary = append(e.onBoundary, fn) }
 
 // Initialize validates cfg, compiles it down to zero.Options and builds
 // this rank's Engine — the deepspeed.initialize of the reproduction. The
@@ -121,6 +129,39 @@ func RunOn(w *comm.World, cfg Config, body func(*Engine)) error {
 	return firstErr
 }
 
+// RunOnFallible is RunOn with rank-death containment: the world runs with
+// fault injection enabled, and a rank that dies mid-collective (killed by
+// injection, or erroring out after observing a dead peer) surfaces as that
+// rank's entry in the returned slice instead of crashing the process. The
+// supervisor loop in internal/serve restarts jobs from this signal. The
+// second return value reports configuration errors (identical on all
+// ranks), which prevent the job from starting at all.
+func RunOnFallible(w *comm.World, cfg Config, body func(*Engine)) ([]error, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var firstErr error
+	errs := w.RunFallible(func(c *comm.Comm) {
+		e, err := Initialize(c, norm)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		defer e.Close()
+		body(e)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return errs, nil
+}
+
 // Config returns the normalized configuration the engine runs (batch
 // geometry fully resolved).
 func (e *Engine) Config() Config { return e.cfg }
@@ -172,6 +213,9 @@ func (e *Engine) Step() bool {
 	e.steps++
 	if e.observer != nil {
 		e.observer(StepInfo{Step: e.steps, Loss: e.last, GradNorm: e.tr.LastGradNorm})
+	}
+	for _, fn := range e.onBoundary {
+		fn(e.steps)
 	}
 	return true
 }
@@ -304,21 +348,32 @@ func (e *Engine) GradAccumElems() int { return e.tr.GradAccumElems() }
 func (e *Engine) Save() *zero.Snapshot { return e.tr.Save() }
 
 // Load restores a snapshot into this rank (see zero.Trainer.Load) and
-// resets the accumulation boundary: any half-accumulated micro-batches are
-// discarded along with the trainer's accumulator, so the next Forward
-// starts a fresh cycle.
+// adopts its training clock: Steps continues from the snapshot's OptSteps,
+// so a supervisor can fast-forward the data stream to the right position.
+// Mid-accumulation snapshots (AccumMicros > 0) are rejected — the engine's
+// micro-step counter is part of the TrainStream schedule, and resuming a
+// half batch would desynchronize it; restore those through zero.Trainer.Load
+// directly when driving the micro loop by hand.
 func (e *Engine) Load(s *zero.Snapshot) error {
+	if s != nil && s.AccumMicros > 0 {
+		return fmt.Errorf("engine: snapshot holds %d half-accumulated micro-batches; the engine resumes only from boundaries", s.AccumMicros)
+	}
 	if err := e.tr.Load(s); err != nil {
 		return err
 	}
 	e.micro = 0
 	e.lossSum = 0
+	e.steps = s.OptSteps
 	return nil
 }
 
 // Trainer exposes the underlying zero.Trainer for internal callers that
 // tune scheduling knobs between steps (bench harnesses, experiments).
 func (e *Engine) Trainer() *zero.Trainer { return e.tr }
+
+// Comm returns the engine's communicator (fault injection, elastic
+// snapshot plumbing). Use only from the rank's own goroutine.
+func (e *Engine) Comm() *comm.Comm { return e.c }
 
 // Close releases the engine's stream workers.
 func (e *Engine) Close() { e.tr.Close() }

@@ -251,3 +251,107 @@ func TestTrainStreamMatchesTrainBatchBitwise(t *testing.T) {
 		}
 	}
 }
+
+// OnBoundary hooks fire at every boundary, after the observer, in
+// registration order, and Load adopts the snapshot's step clock while
+// rejecting mid-accumulation snapshots.
+func TestEngineBoundaryHooksAndLoadClock(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, targets := model.SyntheticBatch(3, norm.GlobalBatch, norm.Model.Seq, norm.Model.Vocab)
+	var order [][]string
+	_, err = Run(norm, func(e *Engine) {
+		r := e.Rank()
+		var log []string
+		e.Observe(func(si StepInfo) { log = append(log, "observe") })
+		e.OnBoundary(func(step int) { log = append(log, "hookA") })
+		e.OnBoundary(func(step int) {
+			log = append(log, "hookB")
+			// Boundary hooks may run collectives — the elastic snapshotter's
+			// contract. A barrier is the simplest collective.
+			e.Trainer().Scheduler().Barrier()
+		})
+		for s := 0; s < 2; s++ {
+			e.TrainBatch(ids, targets)
+		}
+
+		snap := e.Save()
+		snap = zero.BroadcastSnapshot(e.Comm(), snap)
+		if err := e.Load(snap); err != nil {
+			t.Error(err)
+		}
+		if e.Steps() != 2 {
+			t.Errorf("rank %d: Load set Steps()=%d, want 2 (snapshot's clock)", r, e.Steps())
+		}
+		bad := &zero.Snapshot{AccumMicros: 1}
+		if err := e.Load(bad); err == nil {
+			t.Errorf("rank %d: mid-accumulation snapshot accepted by engine Load", r)
+		}
+		if r == 0 {
+			order = append(order, log)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"observe", "hookA", "hookB", "observe", "hookA", "hookB"}
+	if len(order) != 1 || len(order[0]) != len(want) {
+		t.Fatalf("boundary log %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[0][i] != want[i] {
+			t.Fatalf("boundary log %v, want %v", order[0], want)
+		}
+	}
+}
+
+// RunOnFallible contains a mid-training rank death: the killed rank and the
+// survivors all return errors instead of deadlocking or crashing the
+// process, and a healthy run reports no errors at all.
+func TestEngineRunOnFallible(t *testing.T) {
+	cfg := testEngineConfig()
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, targets := model.SyntheticBatch(3, norm.GlobalBatch, norm.Model.Seq, norm.Model.Vocab)
+
+	w := comm.NewWorld(norm.Ranks)
+	errs, err := RunOnFallible(w, norm, func(e *Engine) {
+		for s := 0; s < 3; s++ {
+			e.TrainBatch(ids, targets)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, e := range errs {
+		if e != nil {
+			t.Errorf("healthy run: rank %d returned %v", r, e)
+		}
+	}
+
+	w2 := comm.NewWorld(norm.Ranks)
+	w2.EnableFaultInjection()
+	w2.FailRankAfterOps(1, 40)
+	errs, err = RunOnFallible(w2, norm, func(e *Engine) {
+		for s := 0; s < 50; s++ {
+			e.TrainBatch(ids, targets)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killed comm.Killed
+	if errs[1] == nil || !errors.As(errs[1], &killed) || killed.Rank != 1 {
+		t.Errorf("rank 1 should die Killed, got %v", errs[1])
+	}
+	for r, e := range errs {
+		if e == nil {
+			t.Errorf("rank %d survived a dead world (deadlock risk): all ranks must error out", r)
+		}
+	}
+}

@@ -69,6 +69,8 @@ const (
 	DefaultMaxSteps = 100000
 	// DefaultJobSteps is the step count of a spec that omits it.
 	DefaultJobSteps = 10
+	// DefaultSnapshotKeep is the per-job checkpoint-file retention bound.
+	DefaultSnapshotKeep = 2
 )
 
 // Config is the declarative server configuration, with the same
@@ -93,6 +95,14 @@ type Config struct {
 	// MaxSteps caps the optimizer steps a single job may request
 	// (default 100000).
 	MaxSteps int `json:"max_steps,omitempty"`
+	// SnapshotDir, when set, is where jobs that take elastic snapshots
+	// persist them (one subdirectory per job, atomic rename-into-place,
+	// pruned to SnapshotKeep files). Empty keeps snapshots in memory only —
+	// recovery still works, but nothing survives the process.
+	SnapshotDir string `json:"snapshot_dir,omitempty"`
+	// SnapshotKeep bounds the checkpoint files retained per job in
+	// SnapshotDir (default 2).
+	SnapshotKeep int `json:"snapshot_keep,omitempty"`
 }
 
 // DefaultConfig returns the server configuration every entry point starts
@@ -125,9 +135,9 @@ func ParseConfig(data []byte) (Config, error) {
 // Normalized returns the config with defaults filled in, validating every
 // field. Negative sizing knobs are ErrConfig.
 func (c Config) Normalized() (Config, error) {
-	if c.MaxWorlds < 0 || c.QueueDepth < 0 || c.MetricRing < 0 || c.MaxSteps < 0 {
-		return c, fmt.Errorf("%w: max_worlds %d, queue_depth %d, metric_ring %d, max_steps %d (want ≥ 0)",
-			ErrConfig, c.MaxWorlds, c.QueueDepth, c.MetricRing, c.MaxSteps)
+	if c.MaxWorlds < 0 || c.QueueDepth < 0 || c.MetricRing < 0 || c.MaxSteps < 0 || c.SnapshotKeep < 0 {
+		return c, fmt.Errorf("%w: max_worlds %d, queue_depth %d, metric_ring %d, max_steps %d, snapshot_keep %d (want ≥ 0)",
+			ErrConfig, c.MaxWorlds, c.QueueDepth, c.MetricRing, c.MaxSteps, c.SnapshotKeep)
 	}
 	if c.Addr == "" {
 		c.Addr = DefaultAddr
@@ -143,6 +153,9 @@ func (c Config) Normalized() (Config, error) {
 	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = DefaultMaxSteps
+	}
+	if c.SnapshotKeep == 0 {
+		c.SnapshotKeep = DefaultSnapshotKeep
 	}
 	return c, nil
 }

@@ -39,6 +39,33 @@ type Spec struct {
 	Steps int `json:"steps,omitempty"`
 	// Config is the training job, ds_config-style.
 	Config engine.Config `json:"config"`
+
+	// SnapshotEvery takes an asynchronous elastic snapshot every so many
+	// optimizer steps (0 = none, unless MaxRestarts forces a cadence of 1).
+	// Snapshots ride the checkpoint stream and are what the supervisor
+	// restarts from.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// MaxRestarts is the supervisor's restart budget: how many times a job
+	// whose world lost a rank is restarted from its last boundary snapshot
+	// before it is declared failed (0 = a rank death fails the job).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// RestartRanks, when non-zero, is the world size restarted attempts run
+	// at — the elastic shrink/grow path: the snapshot is resharded N→M
+	// before the new world loads it. Must satisfy the same batch-geometry
+	// divisibility as Config.Ranks.
+	RestartRanks int `json:"restart_ranks,omitempty"`
+	// Fault, when set, deterministically kills one rank of the FIRST
+	// attempt at a given optimizer step — the built-in failure-injection
+	// harness for exercising the recovery path end to end.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec names the deterministic kill: Rank dies right after optimizer
+// step Step fires (before the step's snapshot is taken, so recovery resumes
+// from the previous snapshot boundary).
+type FaultSpec struct {
+	Rank int `json:"rank"`
+	Step int `json:"step"`
 }
 
 // ParseSpec decodes a job submission strictly: unknown fields anywhere in
@@ -70,6 +97,8 @@ type Job struct {
 	err        string
 	stepsDone  int
 	lastLoss   float64
+	restarts   int // supervisor restarts consumed after rank deaths
+	ranks      int // current world size (shrinks on elastic restart)
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -86,6 +115,7 @@ func newJob(id string, spec Spec, ringCap int) *Job {
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
+		ranks:     spec.Config.Ranks,
 		submitted: time.Now(),
 	}
 }
@@ -154,6 +184,22 @@ func (j *Job) noteStep(step int, loss float64) {
 	j.mu.Unlock()
 }
 
+// noteRestart records one consumed supervisor restart and the world size
+// the next attempt runs at.
+func (j *Job) noteRestart(ranks int) {
+	j.mu.Lock()
+	j.restarts++
+	j.ranks = ranks
+	j.mu.Unlock()
+}
+
+// Restarts returns how many supervisor restarts the job has consumed.
+func (j *Job) Restarts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.restarts
+}
+
 // setCheckpoint stores the consolidated snapshot blob.
 func (j *Job) setCheckpoint(blob []byte) {
 	j.mu.Lock()
@@ -170,10 +216,14 @@ type Status struct {
 	Steps     int     `json:"steps"`
 	StepsDone int     `json:"steps_done"`
 	LastLoss  float64 `json:"last_loss,omitempty"`
-	// Ranks and Stage echo the world geometry for list readability.
+	// Ranks and Stage echo the world geometry for list readability; Ranks
+	// is the CURRENT world size, which shrinks when an elastic restart
+	// moved the job to Spec.RestartRanks.
 	Ranks int    `json:"ranks"`
 	Stage string `json:"stage"`
-	Error string `json:"error,omitempty"`
+	// Restarts counts supervisor restarts consumed after rank deaths.
+	Restarts int    `json:"restarts,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Checkpoint reports whether GET /v1/jobs/{id}/checkpoint will serve
 	// a consolidated snapshot.
 	Checkpoint  bool      `json:"checkpoint"`
@@ -193,8 +243,9 @@ func (j *Job) Status() Status {
 		Steps:       j.spec.Steps,
 		StepsDone:   j.stepsDone,
 		LastLoss:    j.lastLoss,
-		Ranks:       j.spec.Config.Ranks,
+		Ranks:       j.ranks,
 		Stage:       stage.String(),
+		Restarts:    j.restarts,
 		Error:       j.err,
 		Checkpoint:  j.checkpoint != nil,
 		SubmittedAt: j.submitted,

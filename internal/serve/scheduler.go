@@ -2,13 +2,17 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 
 	"repro/internal/comm"
+	"repro/internal/elastic"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/zero"
 )
 
 // Scheduler admits jobs through strict validation, queues them FIFO, and
@@ -68,6 +72,28 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		return nil, err
 	}
 	spec.Config = norm
+	if spec.SnapshotEvery < 0 || spec.MaxRestarts < 0 || spec.RestartRanks < 0 {
+		return nil, fmt.Errorf("%w: snapshot_every %d, max_restarts %d, restart_ranks %d (want ≥ 0)",
+			ErrSpec, spec.SnapshotEvery, spec.MaxRestarts, spec.RestartRanks)
+	}
+	if spec.MaxRestarts > 0 && spec.SnapshotEvery == 0 {
+		spec.SnapshotEvery = 1 // restarts need snapshots to restart from
+	}
+	if spec.RestartRanks > 0 && spec.RestartRanks != norm.Ranks {
+		// The shrunk world must pass the same batch-geometry gate the
+		// original did — catch it at admission, not mid-recovery.
+		shrunk := norm
+		shrunk.Ranks = spec.RestartRanks
+		if _, err := shrunk.Normalized(); err != nil {
+			return nil, fmt.Errorf("restart_ranks %d: %w", spec.RestartRanks, err)
+		}
+	}
+	if f := spec.Fault; f != nil {
+		if f.Rank < 0 || f.Rank >= norm.Ranks || f.Step < 1 {
+			return nil, fmt.Errorf("%w: fault rank %d step %d (want rank in [0,%d), step ≥ 1)",
+				ErrSpec, f.Rank, f.Step, norm.Ranks)
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,17 +200,92 @@ func (s *Scheduler) worker() {
 	}
 }
 
-// runJob owns one job from running to terminal: it builds the job's
-// private world, trains with the rank-0 step observer feeding the metric
-// ring, and consolidates a checkpoint on both completion and cancellation
-// (the engine's TrainLoop always exits on an accumulation boundary, where
-// Save is legal).
+// runJob owns one job from running to terminal. It is the supervisor of
+// the elastic fault-tolerance story: each attempt trains in a freshly built
+// world with rank-death containment; when a rank dies, the survivors error
+// out collectively (no deadlock), the attempt returns, and — restart budget
+// permitting — the next attempt resumes from the last completed boundary
+// snapshot, optionally resharded down to Spec.RestartRanks. Clean attempts
+// consolidate a final checkpoint exactly as before.
 func (s *Scheduler) runJob(j *Job) {
 	if !j.transition(StateQueued, StateRunning) {
 		return // cancelled while queued
 	}
 	cfg := j.spec.Config // normalized at Submit
-	w := comm.NewWorld(cfg.Ranks)
+	var lastCk *elastic.Checkpoint
+	for attempt := 0; ; attempt++ {
+		res := s.runAttempt(j, cfg, lastCk, attempt)
+		if res.latest != nil {
+			lastCk = res.latest // newest completed boundary snapshot
+		}
+		if res.fatal != nil {
+			j.finish(StateFailed, res.fatal)
+			return
+		}
+		if res.death == nil {
+			j.setCheckpoint(res.snapBlob)
+			if res.cancelled {
+				j.finish(StateCancelled, nil)
+			} else {
+				j.finish(StateSucceeded, nil)
+			}
+			return
+		}
+		if attempt >= j.spec.MaxRestarts {
+			j.finish(StateFailed, fmt.Errorf("restart budget %d exhausted: %w", j.spec.MaxRestarts, res.death))
+			return
+		}
+		next := cfg.Ranks
+		if j.spec.RestartRanks > 0 {
+			next = j.spec.RestartRanks // elastic shrink/grow on restart
+		}
+		if lastCk != nil && lastCk.WorldSize != next {
+			rck, err := lastCk.Reshard(next)
+			if err != nil {
+				j.finish(StateFailed, err)
+				return
+			}
+			lastCk = rck
+		}
+		cfg.Ranks = next // geometry validated at Submit
+		j.noteRestart(next)
+	}
+}
+
+// attemptResult is one attempt's outcome, partitioned into the supervisor's
+// three cases: fatal (config/IO — never retried), death (a rank died —
+// retryable), or clean (snapBlob/cancelled are meaningful).
+type attemptResult struct {
+	fatal     error
+	death     error
+	cancelled bool
+	snapBlob  []byte
+	latest    *elastic.Checkpoint
+}
+
+// runAttempt trains one attempt of the job in its own world and classifies
+// how it ended. resume, when non-nil, is the boundary snapshot the attempt
+// starts from (already resharded to cfg.Ranks).
+func (s *Scheduler) runAttempt(j *Job, cfg engine.Config, resume *elastic.Checkpoint, attempt int) attemptResult {
+	var res attemptResult
+	pol := elastic.Policy{Every: j.spec.SnapshotEvery}
+	if s.cfg.SnapshotDir != "" && pol.Every > 0 {
+		pol.Dir = filepath.Join(s.cfg.SnapshotDir, j.id)
+		pol.Keep = s.cfg.SnapshotKeep
+	}
+	snapper, err := elastic.NewSnapshotter(pol, cfg.Ranks)
+	if err != nil {
+		res.fatal = err
+		return res
+	}
+
+	var resumeSnap *zero.Snapshot
+	startSteps := 0
+	if resume != nil {
+		resumeSnap = resume.Snapshot() // shared read-only; Load copies out
+		startSteps = resume.OptSteps
+	}
+	remaining := max(j.spec.Steps-startSteps, 0)
 
 	var mu sync.Mutex
 	var bodyErr error // first per-rank failure (data open, encode)
@@ -198,7 +299,8 @@ func (s *Scheduler) runJob(j *Job) {
 		mu.Unlock()
 	}
 
-	runErr := engine.RunOn(w, cfg, func(e *engine.Engine) {
+	w := comm.NewWorld(cfg.Ranks)
+	errs, runErr := engine.RunOnFallible(w, cfg, func(e *engine.Engine) {
 		var b engine.Batcher
 		if cfg.Data != nil {
 			// The pipeline is deterministic, so an unopenable corpus fails
@@ -212,6 +314,32 @@ func (s *Scheduler) runJob(j *Job) {
 			b = ld
 		} else {
 			b = model.NewSyntheticStream(cfg.Seed, cfg.GlobalBatch, cfg.MicroBatch, cfg.Model.Seq, cfg.Model.Vocab)
+		}
+		if resumeSnap != nil {
+			if err := e.Load(resumeSnap); err != nil {
+				fail(err)
+				return
+			}
+			// The stream is deterministic: replaying the consumed prefix
+			// puts every rank at the snapshot's data position.
+			for i := 0; i < startSteps*cfg.GradAccumSteps; i++ {
+				b.NextBatch()
+			}
+		}
+		// The injected fault kills before the step's own snapshot fires
+		// (hook order), so recovery genuinely restarts from the previous
+		// boundary, not from state captured at the instant of death.
+		if f := j.spec.Fault; f != nil && attempt == 0 && e.Rank() == f.Rank {
+			e.OnBoundary(func(step int) {
+				if step == f.Step {
+					e.Comm().Fail()
+				}
+			})
+		}
+		if j.spec.SnapshotEvery > 0 {
+			tr := e.Trainer()
+			e.OnBoundary(func(step int) { snapper.Tick(step, tr) })
+			defer snapper.Flush(e.Rank())
 		}
 		if e.Rank() == 0 {
 			lastMallocs := mallocs()
@@ -231,7 +359,7 @@ func (s *Scheduler) runJob(j *Job) {
 				j.noteStep(info.Step, info.Loss)
 			})
 		}
-		_, err := e.TrainLoop(j.ctx, b, j.spec.Steps)
+		_, err := e.TrainLoop(j.ctx, b, remaining)
 		if e.Rank() == 0 {
 			mu.Lock()
 			loopErr = err
@@ -250,20 +378,38 @@ func (s *Scheduler) runJob(j *Job) {
 			mu.Unlock()
 		}
 	})
-
-	switch {
-	case runErr != nil:
-		j.finish(StateFailed, runErr)
-	case bodyErr != nil:
-		j.finish(StateFailed, bodyErr)
-	default:
-		j.setCheckpoint(snapBlob)
-		if loopErr != nil {
-			j.finish(StateCancelled, nil)
-		} else {
-			j.finish(StateSucceeded, nil)
-		}
+	res.latest = snapper.Latest()
+	snapErr := snapper.Close()
+	if runErr != nil {
+		res.fatal = runErr
+		return res
 	}
+	if death, rank := comm.FirstFailure(errs); death != nil {
+		// Prefer the root cause — the rank that actually died — over the
+		// lowest-numbered rank that merely observed the death.
+		for r, e := range errs {
+			var k comm.Killed
+			if errors.As(e, &k) {
+				death, rank = e, r
+				break
+			}
+		}
+		// Snapshot-path errors here are collateral of the death (a gather
+		// cut mid-flight); the last *completed* snapshot is still intact.
+		res.death = fmt.Errorf("rank %d: %w", rank, death)
+		return res
+	}
+	if snapErr != nil {
+		res.fatal = snapErr
+		return res
+	}
+	if bodyErr != nil {
+		res.fatal = bodyErr
+		return res
+	}
+	res.cancelled = loopErr != nil
+	res.snapBlob = snapBlob
+	return res
 }
 
 // mallocs reads the process-wide cumulative heap allocation count.

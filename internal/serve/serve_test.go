@@ -597,3 +597,158 @@ func TestSubmitPropagatesEngineSentinels(t *testing.T) {
 		t.Errorf("engine sentinel mapped to %d, want 400: %v", statusFor(err), err)
 	}
 }
+
+// elasticSpecJSON is specJSON plus the elastic supervisor knobs: snapshot
+// cadence, restart budget, optional shrunk restart world, and an injected
+// deterministic rank kill.
+func elasticSpecJSON(steps, snapEvery, maxRestarts, restartRanks, faultRank, faultStep int) string {
+	fault := ""
+	if faultStep > 0 {
+		fault = fmt.Sprintf(`, "fault": {"rank": %d, "step": %d}`, faultRank, faultStep)
+	}
+	ranks := ""
+	if restartRanks > 0 {
+		ranks = fmt.Sprintf(`, "restart_ranks": %d`, restartRanks)
+	}
+	return fmt.Sprintf(`{
+		"steps": %d,
+		"snapshot_every": %d,
+		"max_restarts": %d%s%s,
+		"config": {
+			"model": {"layers": 1, "hidden": 16, "heads": 2, "vocab": 19, "seq": 8},
+			"ranks": 2,
+			"stage": 2,
+			"optimizer": {"type": "adam", "lr": 3e-3},
+			"global_batch": 8,
+			"micro_batch": 4,
+			"grad_accum_steps": 2,
+			"seed": 11
+		}
+	}`, steps, snapEvery, maxRestarts, ranks, fault)
+}
+
+// The elastic fault-tolerance path end to end over HTTP: a rank is killed
+// deterministically mid-run, the survivors error out instead of
+// deadlocking, and the supervisor restarts the job from its last boundary
+// snapshot — the job still runs to completion with a full-step checkpoint.
+func TestElasticKillResume(t *testing.T) {
+	const steps = 6
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{MaxWorlds: 1, SnapshotDir: dir})
+
+	st := submit(t, ts, elasticSpecJSON(steps, 1, 1, 0, 1, 3))
+	final := waitState(t, ts, st.ID, func(s Status) bool { return s.State.Terminal() })
+	if final.State != StateSucceeded {
+		t.Fatalf("job ended %s (err %q), want succeeded", final.State, final.Error)
+	}
+	if final.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1 (one injected kill)", final.Restarts)
+	}
+	if final.StepsDone != steps {
+		t.Errorf("steps_done = %d, want %d", final.StepsDone, steps)
+	}
+	if !final.Checkpoint {
+		t.Fatal("no final checkpoint after recovery")
+	}
+
+	// The consolidated checkpoint is the full-budget state.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := zero.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.OptSteps != steps {
+		t.Errorf("checkpoint at step %d, want %d", snap.OptSteps, steps)
+	}
+
+	// The metric stream covers the full step range despite the restart
+	// (replayed boundaries may repeat step numbers; the last one must be
+	// the budget).
+	recs := streamRecords(t, ts, st.ID)
+	if len(recs) == 0 || recs[len(recs)-1].Step != steps {
+		t.Errorf("metric stream ends at step %d of %d (%d records)",
+			recs[len(recs)-1].Step, steps, len(recs))
+	}
+}
+
+// Elastic shrink on restart: the replacement world runs at restart_ranks=1,
+// loading the 2-rank snapshot resharded down — and the job still finishes.
+func TestElasticKillResumeShrunkWorld(t *testing.T) {
+	const steps = 5
+	_, ts := newTestServer(t, Config{MaxWorlds: 1})
+
+	st := submit(t, ts, elasticSpecJSON(steps, 1, 2, 1, 0, 2))
+	final := waitState(t, ts, st.ID, func(s Status) bool { return s.State.Terminal() })
+	if final.State != StateSucceeded {
+		t.Fatalf("job ended %s (err %q), want succeeded", final.State, final.Error)
+	}
+	if final.Ranks != 1 {
+		t.Errorf("post-restart world size = %d, want 1", final.Ranks)
+	}
+	if final.Restarts != 1 || final.StepsDone != steps {
+		t.Errorf("restarts=%d steps_done=%d, want 1 and %d", final.Restarts, final.StepsDone, steps)
+	}
+}
+
+// Without a restart budget, a rank death fails the job — loudly, with the
+// dead rank named, not a hang.
+func TestElasticKillNoBudgetFails(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorlds: 1})
+	st := submit(t, ts, elasticSpecJSON(6, 1, 0, 0, 1, 2))
+	final := waitState(t, ts, st.ID, func(s Status) bool { return s.State.Terminal() })
+	if final.State != StateFailed {
+		t.Fatalf("job ended %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "killed by fault injection") {
+		t.Errorf("failure cause %q does not name the injected kill", final.Error)
+	}
+}
+
+// Supervisor knob validation at admission: bad fault geometry and
+// non-divisible restart worlds bounce with 400-class spec errors.
+func TestElasticSpecValidation(t *testing.T) {
+	sched, err := NewScheduler(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sched.Drain(ctx) //nolint:errcheck
+	}()
+	base := func() Spec {
+		s, err := ParseSpec([]byte(specJSON(3, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	bad := base()
+	bad.Fault = &FaultSpec{Rank: 7, Step: 1}
+	if _, err := sched.Submit(bad); err == nil {
+		t.Error("fault rank outside the world accepted")
+	}
+	bad = base()
+	bad.Fault = &FaultSpec{Rank: 0, Step: 0}
+	if _, err := sched.Submit(bad); err == nil {
+		t.Error("fault step 0 accepted")
+	}
+	bad = base()
+	bad.RestartRanks = 3 // micro_batch 4 % 3 != 0
+	if _, err := sched.Submit(bad); err == nil {
+		t.Error("non-divisible restart_ranks accepted")
+	}
+	bad = base()
+	bad.MaxRestarts = -1
+	if _, err := sched.Submit(bad); err == nil {
+		t.Error("negative max_restarts accepted")
+	}
+}

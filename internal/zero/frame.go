@@ -1,0 +1,57 @@
+package zero
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Snapshot blobs end in a fixed 16-byte integrity trailer:
+//
+//	[payload][length uint64 LE][crc32(payload) uint32 LE][magic "ZCK1"]
+//
+// gob silently tolerates trailing bytes and cannot detect truncation that
+// happens to end on a value boundary; the trailer makes both loud. The
+// framing is payload-agnostic — zero.Snapshot (gob) and elastic.Checkpoint
+// (binary) both seal with it.
+
+// frameMagic terminates every sealed blob.
+var frameMagic = [4]byte{'Z', 'C', 'K', '1'}
+
+// frameTrailerLen is the byte length SealFrame appends.
+const frameTrailerLen = 16
+
+// SealFrame appends the integrity trailer to payload (in place if capacity
+// allows) and returns the sealed blob.
+func SealFrame(payload []byte) []byte {
+	n := len(payload)
+	out := append(payload, make([]byte, frameTrailerLen)...)
+	tr := out[n:]
+	binary.LittleEndian.PutUint64(tr[0:8], uint64(n))
+	binary.LittleEndian.PutUint32(tr[8:12], crc32.ChecksumIEEE(payload))
+	copy(tr[12:16], frameMagic[:])
+	return out
+}
+
+// OpenFrame verifies and strips the integrity trailer, returning the
+// payload. It fails on missing magic, truncation, padding (any length
+// mismatch) and checksum mismatch.
+func OpenFrame(data []byte) ([]byte, error) {
+	if len(data) < frameTrailerLen {
+		return nil, fmt.Errorf("zero: blob too short for integrity trailer (%d bytes)", len(data))
+	}
+	tr := data[len(data)-frameTrailerLen:]
+	if [4]byte(tr[12:16]) != frameMagic {
+		return nil, fmt.Errorf("zero: integrity trailer missing (truncated, padded, or not a sealed snapshot)")
+	}
+	n := binary.LittleEndian.Uint64(tr[0:8])
+	if n != uint64(len(data)-frameTrailerLen) {
+		return nil, fmt.Errorf("zero: snapshot length mismatch: trailer says %d payload bytes, blob has %d", n, len(data)-frameTrailerLen)
+	}
+	payload := data[:n]
+	want := binary.LittleEndian.Uint32(tr[8:12])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("zero: snapshot checksum mismatch: %08x != %08x (corrupt payload)", got, want)
+	}
+	return payload, nil
+}

@@ -26,6 +26,15 @@ type Snapshot struct {
 	// single momentum buffer for SGD.
 	Opt [][]float32
 
+	// Accum carries the gradient accumulator when the snapshot was captured
+	// mid-accumulation (AccumMicros > 0): the sum of AccumMicros
+	// micro-batch gradients, full width. Boundary snapshots (Save) leave it
+	// nil. Only the elastic shard-capture path produces mid-accumulation
+	// snapshots; Load restores the accumulator so training resumes inside
+	// the same accumulation window.
+	Accum       []float32
+	AccumMicros int
+
 	// AdamM/AdamV are the legacy field names of the Adam-only snapshot
 	// format; DecodeSnapshot folds them into Opt so checkpoints written
 	// before the optimizer interface still load.
@@ -140,59 +149,150 @@ func (t *Trainer) Load(s *Snapshot) error {
 	if t.stage == StageFull {
 		t.dropUnowned()
 	}
-	tensor.Zero(t.accum)
-	t.accumMicros = 0
+	if s.AccumMicros > 0 {
+		if len(s.Accum) != s.NumParams {
+			return fmt.Errorf("zero: snapshot accumulator has %d elems, want %d", len(s.Accum), s.NumParams)
+		}
+		copy(t.accum, s.Accum[dom.Lo:dom.Hi])
+		t.accumMicros = s.AccumMicros
+	} else {
+		tensor.Zero(t.accum)
+		t.accumMicros = 0
+	}
 	return nil
+}
+
+// ShardState is one rank's partition-local slice of the training state: the
+// elastic-checkpoint capture unit. Unlike Save it is a pure local copy — no
+// collectives — so capturing is legal at any point, including
+// mid-accumulation, and never perturbs the stream schedule. The ranges of
+// all ranks tile [0, NumParams), so a full world of captures reassembles
+// into a Snapshot (see internal/elastic).
+type ShardState struct {
+	Rank      int
+	WorldSize int
+	Stage     Stage
+	NumParams int
+	OptSteps  int
+
+	Lo, Hi int // the owned parameter range this shard covers
+
+	Params []float32   // fp32 master parameters over [Lo, Hi)
+	Opt    [][]float32 // optimizer state tensors over [Lo, Hi), State() order
+
+	// Accum/AccumMicros carry the pending gradient accumulator over
+	// [Lo, Hi) when captured mid-accumulation; AccumMicros == 0 means a
+	// boundary capture and Accum is left empty.
+	Accum       []float32
+	AccumMicros int
+}
+
+// CaptureShard copies this rank's owned training state into dst, reusing
+// dst's buffers (a warmed capture allocates nothing). It is local and
+// synchronous: safe to call from a boundary hook, between micro-batches, or
+// mid-accumulation. At stage 0 the state is replicated, but each rank still
+// captures only its partition slice — the replicas are bitwise identical, so
+// the tiling reassembles the exact full state.
+func (t *Trainer) CaptureShard(dst *ShardState) {
+	own := t.Owned()
+	dom := t.optimizerDomain()
+	lo, hi := own.Lo-dom.Lo, own.Hi-dom.Lo
+
+	dst.Rank = t.c.Rank()
+	dst.WorldSize = t.c.Size()
+	dst.Stage = t.stage
+	dst.NumParams = t.Model.NumParams()
+	dst.OptSteps = t.opt.Steps()
+	dst.Lo, dst.Hi = own.Lo, own.Hi
+
+	params := t.Model.Params[own.Lo:own.Hi]
+	if t.opts.FP16 {
+		params = t.master[lo:hi]
+	}
+	dst.Params = append(dst.Params[:0], params...)
+
+	state := t.opt.State()
+	if cap(dst.Opt) < len(state) {
+		dst.Opt = make([][]float32, len(state))
+	}
+	dst.Opt = dst.Opt[:len(state)]
+	for i, s := range state {
+		dst.Opt[i] = append(dst.Opt[i][:0], s[lo:hi]...)
+	}
+
+	dst.AccumMicros = t.accumMicros
+	if t.accumMicros > 0 {
+		dst.Accum = append(dst.Accum[:0], t.accum[lo:hi]...)
+	} else {
+		dst.Accum = dst.Accum[:0]
+	}
 }
 
 // BroadcastSnapshot distributes rank 0's snapshot to every rank (ranks
 // other than 0 pass nil and receive a fresh copy). Must be called
 // collectively.
 func BroadcastSnapshot(c *comm.Comm, s *Snapshot) *Snapshot {
-	header := make([]float32, 5)
+	header := make([]float32, 6)
 	if c.Rank() == 0 {
 		header[0] = float32(s.Stage)
 		header[1] = float32(s.WorldSize)
 		header[2] = float32(s.NumParams)
 		header[3] = float32(s.OptSteps)
 		header[4] = float32(len(s.Opt))
+		header[5] = float32(s.AccumMicros)
 	}
 	c.Broadcast(header, 0)
 	if c.Rank() != 0 {
 		n := int(header[2])
 		s = &Snapshot{
-			Stage:     Stage(header[0]),
-			WorldSize: int(header[1]),
-			NumParams: n,
-			OptSteps:  int(header[3]),
-			Params:    make([]float32, n),
-			Opt:       make([][]float32, int(header[4])),
+			Stage:       Stage(header[0]),
+			WorldSize:   int(header[1]),
+			NumParams:   n,
+			OptSteps:    int(header[3]),
+			AccumMicros: int(header[5]),
+			Params:      make([]float32, n),
+			Opt:         make([][]float32, int(header[4])),
 		}
 		for i := range s.Opt {
 			s.Opt[i] = make([]float32, n)
+		}
+		if s.AccumMicros > 0 {
+			s.Accum = make([]float32, n)
 		}
 	}
 	c.Broadcast(s.Params, 0)
 	for _, st := range s.Opt {
 		c.Broadcast(st, 0)
 	}
+	if s.AccumMicros > 0 {
+		c.Broadcast(s.Accum, 0)
+	}
 	return s
 }
 
-// Encode serializes the snapshot (gob) for file persistence.
+// Encode serializes the snapshot (gob) for file persistence, sealed with the
+// integrity trailer (see frame.go): truncated or padded blobs fail to decode
+// instead of being silently tolerated by gob.
 func (s *Snapshot) Encode() ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
 		return nil, fmt.Errorf("zero: encoding snapshot: %w", err)
 	}
-	return buf.Bytes(), nil
+	return SealFrame(buf.Bytes()), nil
 }
 
-// DecodeSnapshot deserializes a snapshot produced by Encode. Legacy blobs
-// from the Adam-only format (AdamM/AdamV fields) are migrated into Opt.
+// DecodeSnapshot deserializes a snapshot produced by Encode, verifying the
+// integrity trailer first — gob alone accepts blobs with trailing garbage
+// and truncations that land on a value boundary; the trailer rejects both.
+// Legacy blobs from the Adam-only format (AdamM/AdamV fields) are migrated
+// into Opt.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	payload, err := OpenFrame(data)
+	if err != nil {
+		return nil, err
+	}
 	var s Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("zero: decoding snapshot: %w", err)
 	}
 	if len(s.Opt) == 0 && s.AdamM != nil && s.AdamV != nil {

@@ -283,17 +283,34 @@ func TestDecodeSnapshotCorruptInput(t *testing.T) {
 		}
 	})
 
-	t.Run("trailing garbage ignored is still a valid snapshot", func(t *testing.T) {
-		// gob streams are self-delimiting: bytes past the value are not
-		// read. Document that contract — callers comparing lengths must
-		// not rely on DecodeSnapshot rejecting them.
+	t.Run("trailing garbage rejected", func(t *testing.T) {
+		// gob streams are self-delimiting and would silently ignore bytes
+		// past the value; the integrity trailer makes padding loud instead.
 		withTail := append(append([]byte(nil), blob...), 0xde, 0xad)
-		s, err := DecodeSnapshot(withTail)
-		if err != nil {
-			t.Fatalf("trailing bytes broke decoding: %v", err)
+		if _, err := DecodeSnapshot(withTail); err == nil {
+			t.Error("padded blob decoded without error (integrity trailer not enforced)")
 		}
-		if s.OptSteps != good.OptSteps || len(s.Params) != len(good.Params) {
-			t.Errorf("decoded snapshot lost fields: %+v", s)
+	})
+
+	t.Run("corrupt payload under intact length", func(t *testing.T) {
+		// A bit flip in the middle that gob happens to parse is caught by
+		// the checksum.
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0x01
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Error("payload corruption decoded without error")
+		}
+	})
+
+	t.Run("unsealed legacy blob rejected", func(t *testing.T) {
+		// Blobs written before the trailer (raw gob) no longer load: the
+		// integrity guarantee is strict, not best-effort.
+		raw, err := OpenFrame(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSnapshot(raw); err == nil {
+			t.Error("raw gob blob without trailer decoded without error")
 		}
 	})
 }

@@ -356,6 +356,10 @@ func MustNew(c *comm.Comm, cfg model.Config, opts Options) *Trainer {
 // Stage returns the trainer's configured ZeRO-DP stage.
 func (t *Trainer) Stage() Stage { return t.stage }
 
+// Comm returns the trainer's communicator (fault injection, elastic
+// snapshot plumbing). It must only be used from the rank's own goroutine.
+func (t *Trainer) Comm() *comm.Comm { return t.c }
+
 // Owned returns this rank's partition of the flat parameter space.
 func (t *Trainer) Owned() comm.Range { return t.parts[t.c.Rank()] }
 
@@ -479,6 +483,17 @@ func (t *Trainer) gatherParams() {
 	for i := range t.groups {
 		t.allGather(t.prefetchStream(), t.wireBuf(t.Model.Params), t.groupsParts[i]).Wait()
 	}
+}
+
+// GatheredParams returns a copy of the full parameter buffer, re-gathering
+// the partitioned shards first at stage 3 (a collective there — every rank
+// must call it together). Harness code (examples, elastic tests) uses it to
+// compare trajectories across stages without reaching into Model.Params.
+func (t *Trainer) GatheredParams() []float32 {
+	if t.stage == StageOSGP {
+		t.gatherParams()
+	}
+	return append([]float32(nil), t.Model.Params...)
 }
 
 // paramPrefetcher pipelines layer-group all-gathers on the prefetch stream:
