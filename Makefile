@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race configcheck fuzz-smoke serve-smoke elastic-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-serve bench-elastic bench-compare bench-smoke pprof sweep all
+.PHONY: check fmt vet build build-arm64 test race configcheck fuzz-smoke serve-smoke elastic-smoke bench bench-prefetch bench-hier bench-accum bench-kernels bench-data bench-serve bench-elastic bench-fp16 bench-compare bench-smoke pprof sweep all
 
-check: fmt vet build test race configcheck fuzz-smoke serve-smoke elastic-smoke
+check: fmt vet build build-arm64 test race configcheck fuzz-smoke serve-smoke elastic-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -15,6 +15,12 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# Cross-compile gate for the non-amd64 fallbacks: the fp16 encode/decode
+# and kernel paths carry portable implementations behind build tags, and
+# this keeps them compiling.
+build-arm64:
+	GOARCH=arm64 $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -31,10 +37,12 @@ race:
 configcheck:
 	$(GO) test ./internal/engine -run TestCommittedConfigsValidate
 
-# Short native-fuzzer smoke on the BPE encode/decode round-trip: a few
-# seconds of coverage-guided input generation on every `make check`.
+# Short native-fuzzer smokes: the BPE encode/decode round-trip and the
+# fp32↔fp16 conversion surface (batch encoders vs the scalar reference) —
+# a few seconds of coverage-guided input generation on every `make check`.
 fuzz-smoke:
 	$(GO) test ./internal/data -run=NONE -fuzz=FuzzBPERoundTrip -fuzztime=3s
+	$(GO) test ./internal/tensor -run=NONE -fuzz=FuzzHalfRoundTrip -fuzztime=3s
 
 # Control-plane smoke: the full submit → stream → checkpoint HTTP round
 # trip against an in-process zeroserve (part of `make check`).
@@ -79,6 +87,10 @@ bench-serve:
 bench-elastic:
 	./scripts/bench_elastic.sh
 
+# Regenerate the fp16 compute-path baseline (BENCH_FP16.json).
+bench-fp16:
+	./scripts/bench_fp16.sh
+
 # Re-run every baseline suite and fail on >10% ns/op regression — or any
 # allocs/op growth (hard gate; allocation counts are deterministic) —
 # against the committed JSONs.
@@ -91,11 +103,12 @@ bench-compare:
 	./scripts/bench_compare.sh BENCH_DATA.json
 	./scripts/bench_compare.sh BENCH_SERVE.json
 	./scripts/bench_compare.sh BENCH_ELASTIC.json
+	./scripts/bench_compare.sh BENCH_FP16.json
 
 # One-iteration benchmark smoke: proves the alloc-reporting path itself
 # still runs (CI uses this; it makes no timing claims).
 bench-smoke:
-	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$|^BenchmarkServe$$|^BenchmarkElastic$$' -benchtime=1x .
+	$(GO) test -run=NONE -bench='StageStep|AccumStep|^BenchmarkKernels$$|^BenchmarkDataPipeline$$|^BenchmarkServe$$|^BenchmarkElastic$$|^BenchmarkFP16Step$$' -benchtime=1x .
 
 # Capture CPU + heap profiles of BenchmarkStageStep into ./profiles (see
 # README "Profiling & allocation discipline" for how to read them).

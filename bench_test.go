@@ -346,6 +346,59 @@ func BenchmarkStageStep(b *testing.B) {
 	}
 }
 
+// BenchmarkFP16Step pits the true fp16 compute path against the f32 path
+// on otherwise identical stage-2/overlap and stage-3/overlap+prefetch
+// steps (the BENCH_FP16.json baseline). Beyond ns/op — the acceptance gate
+// holds fp16 within 15% of f32 — each row reports the measured compute
+// residency (step workspace + the parameter copy the kernels read), which
+// the fp16 rows must keep under 60% of their f32 counterparts, and the
+// allocs/op hard gate covers the half-kernel scratch pooling.
+func BenchmarkFP16Step(b *testing.B) {
+	const ranks, batch = 4, 8
+	cfg := benchStageConfig()
+	ids, targets := model.SyntheticBatch(1, batch, cfg.Seq, cfg.Vocab)
+	for _, mode := range []struct {
+		name              string
+		stage             zero.Stage
+		overlap, prefetch bool
+	}{
+		{"stage=2", zero.StageOSGrad, true, false},
+		{"stage=3", zero.StageFull, true, true},
+	} {
+		for _, fp16 := range []bool{false, true} {
+			prec := "fp32"
+			if fp16 {
+				prec = "fp16"
+			}
+			b.Run(mode.name+"/prec="+prec, func(b *testing.B) {
+				w := comm.NewWorld(ranks)
+				var resident int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				w.Run(func(c *comm.Comm) {
+					tr := zero.MustNew(c, cfg, zero.Options{
+						Stage: mode.stage, LR: 1e-3, Seed: 1,
+						BucketElems: 4096, FP16: true,
+						Overlap: mode.overlap, Prefetch: mode.prefetch,
+						FP16Compute: fp16,
+					})
+					defer tr.Close()
+					for i := 0; i < b.N; i++ {
+						tr.Step(ids, targets, batch)
+					}
+					if c.Rank() == 0 {
+						resident = tr.ComputeResidencyBytes()
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(resident), "resident-B/rank")
+				bytesPerStep := float64(w.Stats(0).BytesSent) / float64(b.N)
+				b.ReportMetric(bytesPerStep, "wire-B/rank/step")
+			})
+		}
+	}
+}
+
 // BenchmarkPrefetchStep: stage 3 with the synchronous parameter gathers,
 // the pipelined prefetch schedule, and prefetch + gradient overlap (all
 // three streams armed). The BENCH_PREFETCH.json baseline.

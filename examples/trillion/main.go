@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
 	"repro/internal/zero"
@@ -48,6 +49,24 @@ func main() {
 	fmt.Println("\nOption B: full ZeRO (Pos+g+p) + 16-way MP in the node, 64-way DP (Table 2, §9):")
 	perGPU := zero.ModelStateGB(psi, zero.StageOSGP, 64) / 16
 	fmt.Printf("  (16Ψ/64) / 16 = %.1f GB/GPU on 1024 GPUs -> fits, with a practical batch size\n", perGPU)
+
+	// Residual states (§6): at 1T scale the activations rival the model
+	// states, and the fp16 compute path halves them — 2-byte storage with
+	// fp32 accumulation. Run both precisions live at miniature scale and
+	// read the activation width and per-rank compute residency off the
+	// real trainer.
+	fmt.Println("\nMixed precision (§6): fp16 activations + weight views, fp32 accumulation (measured):")
+	{
+		f32 := experiments.MeasureComputeResidency(false)
+		f16 := experiments.MeasureComputeResidency(true)
+		fmt.Println("  precision       act B/elem   workspace/rank   compute resident/rank")
+		fmt.Printf("  fp32            %10d   %12d B   %15d B\n",
+			f32.ActBytesPerElem, f32.WorkspaceBytes, f32.ResidentBytes)
+		fmt.Printf("  fp16_compute    %10d   %12d B   %15d B  (%.1f%%)\n",
+			f16.ActBytesPerElem, f16.WorkspaceBytes, f16.ResidentBytes,
+			100*float64(f16.ResidentBytes)/float64(f32.ResidentBytes))
+		fmt.Println("  at 1T scale the same 4 -> 2 B/elem cut halves the §6 activation ballast")
+	}
 
 	// Why the DP collectives survive the node uplink at all: route them
 	// hierarchically and only 1/nodeSize of the volume crosses nodes. Run

@@ -54,6 +54,9 @@ var (
 	// ErrData marks an invalid data section (missing corpus path, unknown
 	// tokenizer, sequence length beyond the model, vocabulary mismatch).
 	ErrData = errors.New("engine: invalid data section")
+	// ErrPrecision marks an invalid precision section (bad loss-scale
+	// knobs, or fp16 compute combined with activation checkpointing).
+	ErrPrecision = errors.New("engine: invalid precision section")
 )
 
 // StageSpec is a ZeRO stage in config form: a JSON number 0-3 or a paper
@@ -119,6 +122,24 @@ type DataConfig struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// PrecisionConfig is the "precision" block: the true half-precision
+// compute path (§3.1's mixed-precision training taken all the way into the
+// kernels) and its dynamic loss-scaling knobs. It subsumes the top-level
+// fp16 flag: fp16_compute implies the fp16 master-copy/wire machinery and
+// additionally stores activations and the kernel-side weight copy in
+// 2-byte form, with f32 accumulation inside the fused kernels.
+type PrecisionConfig struct {
+	// FP16Compute enables half-precision activation/weight storage with
+	// fused convert-on-the-fly kernels. Incompatible with
+	// activation_checkpoint (the half path stores, it does not recompute).
+	FP16Compute bool `json:"fp16_compute,omitempty"`
+	// InitialLossScale seeds the dynamic loss scaler (0 = 65536).
+	InitialLossScale float64 `json:"initial_loss_scale,omitempty"`
+	// LossScaleWindow is the overflow-free step count after which the
+	// scale doubles (0 = 1000).
+	LossScaleWindow int `json:"loss_scale_window,omitempty"`
+}
+
 // Config is the declarative training configuration. Zero values mean "use
 // the documented default"; Validate reports structured errors for every
 // inconsistent combination. The batch geometry follows DeepSpeed's
@@ -138,6 +159,9 @@ type Config struct {
 	GradClip float64 `json:"grad_clip,omitempty"`
 	// FP16 simulates mixed-precision training (§3.1).
 	FP16 bool `json:"fp16,omitempty"`
+	// Precision opts into the true fp16 compute path with dynamic loss
+	// scaling when set (see PrecisionConfig).
+	Precision *PrecisionConfig `json:"precision,omitempty"`
 	// Checkpoint enables activation checkpointing.
 	Checkpoint bool `json:"activation_checkpoint,omitempty"`
 	// BucketElems is the gradient bucket size in elements (0 = one bucket
@@ -270,6 +294,16 @@ func (c Config) Normalized() (Config, error) {
 	if c.NodeSize != 0 {
 		if err := comm.CheckNodeSize(c.Ranks, c.NodeSize); err != nil {
 			return c, fmt.Errorf("%w: %v", ErrTopology, err)
+		}
+	}
+	if p := c.Precision; p != nil {
+		if p.InitialLossScale < 0 || p.LossScaleWindow < 0 {
+			return c, fmt.Errorf("%w: initial_loss_scale %g / loss_scale_window %d (want ≥ 0)",
+				ErrPrecision, p.InitialLossScale, p.LossScaleWindow)
+		}
+		if p.FP16Compute && c.Checkpoint {
+			return c, fmt.Errorf("%w: fp16_compute is incompatible with activation_checkpoint (the half path stores activations, it does not recompute them)",
+				ErrPrecision)
 		}
 	}
 
@@ -454,7 +488,7 @@ func (c Config) compile() (zero.Options, error) {
 	if err != nil {
 		return zero.Options{}, fmt.Errorf("%w: %v", ErrOptimizer, err)
 	}
-	return zero.Options{
+	opts := zero.Options{
 		Stage:         stage,
 		LR:            c.Optimizer.LR,
 		Seed:          c.Seed,
@@ -473,5 +507,11 @@ func (c Config) compile() (zero.Options, error) {
 			Momentum:    c.Optimizer.Momentum,
 			WeightDecay: c.Optimizer.WeightDecay,
 		},
-	}, nil
+	}
+	if p := c.Precision; p != nil {
+		opts.FP16Compute = p.FP16Compute
+		opts.InitialLossScale = p.InitialLossScale
+		opts.LossScaleWindow = p.LossScaleWindow
+	}
+	return opts, nil
 }

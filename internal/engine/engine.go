@@ -40,11 +40,16 @@ type Engine struct {
 
 // StepInfo is the observation delivered at every accumulation boundary:
 // the optimizer step that just fired, the boundary's mean local loss, and
-// the pre-clipping global gradient norm (0 when clipping is off).
+// the pre-clipping global gradient norm (0 when clipping is off). Under
+// the fp16 compute path it also carries the dynamic loss scale after the
+// boundary and the cumulative count of overflow-skipped steps (both 0
+// when fp16_compute is off).
 type StepInfo struct {
-	Step     int
-	Loss     float64
-	GradNorm float64
+	Step          int
+	Loss          float64
+	GradNorm      float64
+	LossScale     float64
+	OverflowSteps int
 }
 
 // Observe registers fn to be invoked synchronously at every accumulation
@@ -212,7 +217,10 @@ func (e *Engine) Step() bool {
 	e.lossSum = 0
 	e.steps++
 	if e.observer != nil {
-		e.observer(StepInfo{Step: e.steps, Loss: e.last, GradNorm: e.tr.LastGradNorm})
+		e.observer(StepInfo{
+			Step: e.steps, Loss: e.last, GradNorm: e.tr.LastGradNorm,
+			LossScale: e.tr.LossScale(), OverflowSteps: e.tr.OverflowSteps(),
+		})
 	}
 	for _, fn := range e.onBoundary {
 		fn(e.steps)
@@ -327,6 +335,13 @@ func (e *Engine) MicroSteps() int { return e.micro }
 // LastGradNorm returns the pre-clipping global gradient norm of the most
 // recent boundary (when grad_clip is enabled).
 func (e *Engine) LastGradNorm() float64 { return e.tr.LastGradNorm }
+
+// LossScale returns the current dynamic loss scale (0 when fp16_compute
+// is off).
+func (e *Engine) LossScale() float64 { return e.tr.LossScale() }
+
+// OverflowSteps counts optimizer steps skipped on fp16 overflow.
+func (e *Engine) OverflowSteps() int { return e.tr.OverflowSteps() }
 
 // Owned returns this rank's partition of the flat parameter space.
 func (e *Engine) Owned() comm.Range { return e.tr.Owned() }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -317,12 +318,13 @@ func TestStageThroughputShape(t *testing.T) {
 	}
 }
 
-// The stage-memory sweep covers all four stages; stage 0 is flat and
-// stage 3 scales as 1/Nd.
+// The stage-memory sweep covers all four stages (stage 0 flat, stage 3
+// scaling as 1/Nd) and appends the measured fp16-compute residency block:
+// 2-byte activation storage and a per-rank compute footprint below fp32.
 func TestStageMemorySweep(t *testing.T) {
 	tab := StageMemory()
-	if len(tab.Rows) != 4 {
-		t.Fatalf("want 4 stage rows, got %d", len(tab.Rows))
+	if len(tab.Rows) != 8 {
+		t.Fatalf("want 4 stage rows + 4 measured rows, got %d", len(tab.Rows))
 	}
 	if tab.Rows[0][1] != tab.Rows[0][6] {
 		t.Errorf("stage 0 must be flat across DP degrees: %v vs %v", tab.Rows[0][1], tab.Rows[0][6])
@@ -330,6 +332,17 @@ func TestStageMemorySweep(t *testing.T) {
 	last := parseF(t, tab.Rows[3][6])
 	if last > 0.2 {
 		t.Errorf("Pos+g+p at Nd=1024 = %v GB, want ≈0.12", last)
+	}
+	if got := tab.Rows[5][1]; got != "4 -> 2 B/elem" {
+		t.Errorf("activation storage row = %q, want fp32->fp16 width cut", got)
+	}
+	var f32Res, f16Res int64
+	var pct float64
+	if _, err := fmt.Sscanf(tab.Rows[7][1], "%d B -> %d B (%f%% of fp32)", &f32Res, &f16Res, &pct); err != nil {
+		t.Fatalf("compute-resident row %q: %v", tab.Rows[7][1], err)
+	}
+	if f16Res >= f32Res {
+		t.Errorf("fp16 compute residency %d B not below fp32's %d B", f16Res, f32Res)
 	}
 }
 

@@ -66,6 +66,19 @@ type Model struct {
 	// slot for simplicity — they are 2h elements.)
 	BackwardHook func(layer int)
 
+	// ParamsH is the binary16 compute copy of Params the fp16 path's
+	// kernels read; Params stays the fp32 master. Valid only while
+	// FP16Compute is on, refreshed via RefreshHalfParams (see fp16.go).
+	ParamsH tensor.HalfBuffer
+
+	// LossScale multiplies dLogits on the fp16 path (dynamic loss scaling;
+	// the trainer folds the inverse into its gradient averaging). Zero
+	// means 1. Ignored on the fp32 path.
+	LossScale float32
+
+	// fp16 routes Loss/Backward through the half-precision storage path.
+	fp16 bool
+
 	// ws is the persistent step workspace (activations, gradients,
 	// attention scratch), reused across steps; fwd points at it between a
 	// Loss and its Backward. See workspace.go for the ownership rules.
@@ -147,6 +160,9 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 	if seqLen > m.Cfg.Seq {
 		panic("model: sequence longer than configured maximum")
 	}
+	if m.fp16 {
+		return m.lossH(ids, targets, batch)
+	}
 	h := m.Cfg.Hidden
 	mRows := batch * seqLen
 	fs := &m.ws
@@ -217,6 +233,10 @@ func (m *Model) Loss(ids, targets []int, batch int) float64 {
 // Backward accumulates gradients of the last Loss call into Grads. Call
 // after Loss; panics otherwise.
 func (m *Model) Backward() {
+	if m.fp16 {
+		m.backwardH()
+		return
+	}
 	fs := m.fwd
 	if fs == nil {
 		panic("model: Backward without a preceding Loss")

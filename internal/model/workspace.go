@@ -1,5 +1,7 @@
 package model
 
+import "repro/internal/tensor"
+
 // The model's step workspace: every activation, gradient and attention
 // scratch buffer the forward/backward pass needs, retained across steps so
 // the steady-state training loop performs no heap allocation (the same
@@ -47,6 +49,21 @@ type workspace struct {
 	qh, kh, vh, ctxh []float32
 	dctxh, dP, dS    []float32
 	dqh, dkh, dvh    []float32
+
+	// fp16 compute path (fp16.go). Saved activations live in the 2-byte
+	// hblocks/hxf/hxhatF stores; the s* fp32 staging buffers are shared by
+	// every layer (one layer's working set, not one per layer) and reused
+	// again by backward. hdXa/hdXb double-buffer the input gradient in
+	// 2-byte form; hdStage holds the transient fp16 image of whichever
+	// d-tensor feeds the next fused matmul.
+	hblocks                                []blockActsH
+	hxf, hxhatF                            tensor.HalfBuffer
+	hdLogits, hdXa, hdXb, hdStage          tensor.HalfBuffer
+	sX, sXhat, sA, sCtx, sAttn, sX2, sMlin []float32
+	sQKV, sProbs, sH1, sG, sDH1, sDQKV     []float32
+	sLogits                                []float32 // logits, then probs, then dLogits
+	pGamma, pBeta, pBias                   []float32 // fp16 param decode scratch
+	overflow                               bool      // any fp16 store overflowed since TakeOverflow
 }
 
 // grow returns a slice of length n backed by buf when its capacity
@@ -96,5 +113,28 @@ func (m *Model) WorkspaceBytes() int64 {
 			n += cap(b)
 		}
 	}
-	return int64(n)*4 + int64(cap(ws.ids)+cap(ws.targets))*8
+	// fp16-path buffers: fp32 staging at 4 bytes, fp16 stores at 2.
+	for _, b := range [][]float32{
+		ws.sX, ws.sXhat, ws.sA, ws.sCtx, ws.sAttn, ws.sX2, ws.sMlin,
+		ws.sQKV, ws.sProbs, ws.sH1, ws.sG, ws.sDH1, ws.sDQKV,
+		ws.sLogits, ws.pGamma, ws.pBeta, ws.pBias,
+	} {
+		n += cap(b)
+	}
+	var nh int
+	for _, b := range []tensor.HalfBuffer{
+		ws.hxf, ws.hxhatF, ws.hdLogits, ws.hdXa, ws.hdXb, ws.hdStage,
+	} {
+		nh += cap(b)
+	}
+	for i := range ws.hblocks {
+		a := &ws.hblocks[i]
+		for _, b := range []tensor.HalfBuffer{
+			a.xhat1, a.a, a.qkv, a.probs, a.ctx, a.xhat2, a.mlin, a.h1, a.g,
+		} {
+			nh += cap(b)
+		}
+		n += cap(a.invStd1) + cap(a.invStd2)
+	}
+	return int64(n)*4 + int64(nh)*2 + int64(cap(ws.ids)+cap(ws.targets))*8
 }

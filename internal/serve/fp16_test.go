@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// An fp16_compute job streams its dynamic loss scale and cumulative
+// overflow-skip count through the per-step metric records. The absurd
+// initial scale forces a skip on the very first boundary, so both fields
+// are exercised away from their omitempty zero values, on the wire and in
+// the decoded Record.
+func TestServeStreamsLossScaleMetrics(t *testing.T) {
+	const steps = 8
+	spec := fmt.Sprintf(`{
+		"steps": %d,
+		"config": {
+			"model": {"layers": 1, "hidden": 16, "heads": 2, "vocab": 19, "seq": 8},
+			"ranks": 2,
+			"stage": 2,
+			"optimizer": {"type": "adam", "lr": 3e-3},
+			"global_batch": 4,
+			"micro_batch": 4,
+			"seed": 7,
+			"precision": {"fp16_compute": true, "initial_loss_scale": %g}
+		}
+	}`, steps, float64(uint64(1)<<28))
+
+	_, ts := newTestServer(t, Config{MaxWorlds: 1})
+	st := submit(t, ts, spec)
+	recs := streamRecords(t, ts, st.ID)
+	if len(recs) != steps {
+		t.Fatalf("streamed %d records, want %d", len(recs), steps)
+	}
+	if recs[0].OverflowSteps != 1 {
+		t.Errorf("first record overflow_steps = %d, want 1 (2^28 must overflow)", recs[0].OverflowSteps)
+	}
+	for i, r := range recs {
+		if r.LossScale <= 0 || r.LossScale >= float64(uint64(1)<<28) {
+			t.Errorf("record %d: loss_scale %g outside (0, 2^28)", i, r.LossScale)
+		}
+		if r.OverflowSteps <= 0 {
+			t.Errorf("record %d: overflow_steps %d, want > 0", i, r.OverflowSteps)
+		}
+		if i > 0 && r.OverflowSteps < recs[i-1].OverflowSteps {
+			t.Errorf("record %d: overflow_steps went backwards", i)
+		}
+	}
+
+	// The raw NDJSON carries the documented field names.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(blob), `"loss_scale"`) || !strings.Contains(string(blob), `"overflow_steps"`) {
+		t.Errorf("raw metrics stream missing precision fields: %s", blob)
+	}
+
+	// An f32 job omits both fields entirely (omitempty keeps old streams
+	// byte-compatible).
+	f32 := submit(t, ts, specJSON(2, 7))
+	waitState(t, ts, f32.ID, func(s Status) bool { return s.State.Terminal() })
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + f32.ID + "/metrics?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(blob), "loss_scale") || strings.Contains(string(blob), "overflow_steps") {
+		t.Errorf("f32 metrics stream leaked precision fields: %s", blob)
+	}
+}

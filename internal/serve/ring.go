@@ -15,6 +15,11 @@ type Record struct {
 	// GradNorm is the pre-clipping global gradient norm (0 when grad_clip
 	// is off).
 	GradNorm float64 `json:"grad_norm,omitempty"`
+	// LossScale is the dynamic loss scale after this boundary, and
+	// OverflowSteps the cumulative optimizer steps skipped on fp16
+	// overflow (both 0 when the job's fp16_compute precision is off).
+	LossScale     float64 `json:"loss_scale,omitempty"`
+	OverflowSteps int     `json:"overflow_steps,omitempty"`
 	// WireElems/WireBytes are rank 0's cumulative sent elements and native
 	// dtype-accounted bytes.
 	WireElems int64 `json:"wire_elems"`

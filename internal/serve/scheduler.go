@@ -347,13 +347,15 @@ func (s *Scheduler) runAttempt(j *Job, cfg engine.Config, resume *elastic.Checkp
 				now := mallocs()
 				st := w.Stats(0)
 				j.ring.Append(Record{
-					Step:      info.Step,
-					Loss:      info.Loss,
-					GradNorm:  info.GradNorm,
-					WireElems: st.ElemsSent,
-					WireBytes: st.BytesSent,
-					PerStream: st.PerStream,
-					Allocs:    now - lastMallocs,
+					Step:          info.Step,
+					Loss:          info.Loss,
+					GradNorm:      info.GradNorm,
+					LossScale:     info.LossScale,
+					OverflowSteps: info.OverflowSteps,
+					WireElems:     st.ElemsSent,
+					WireBytes:     st.BytesSent,
+					PerStream:     st.PerStream,
+					Allocs:        now - lastMallocs,
 				})
 				lastMallocs = now
 				j.noteStep(info.Step, info.Loss)

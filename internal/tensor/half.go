@@ -130,17 +130,24 @@ func (b HalfBuffer) Bytes() int64 { return int64(len(b)) * BytesPerHalf }
 // FromFloats overwrites b with the rounded fp16 images of src.
 // The two slices must have equal length.
 //
-// The loop is a branch-light restatement of FromFloat32 (bit-for-bit
+// The conversion is a branch-light restatement of FromFloat32 (bit-for-bit
 // identical, pinned by TestHalfFastPathsMatchReference): normal values
 // round via integer arithmetic on the fp32 bits — adding 0xfff plus the
 // round-to-odd bit implements round-to-nearest-even, with a carry that
 // correctly rolls into the exponent — and the subnormal range rides the
 // FP adder: adding 0.5 (whose ulp is exactly the fp16 subnormal spacing,
-// 2⁻²⁴) makes the hardware's own RNE do the rounding.
+// 2⁻²⁴) makes the hardware's own RNE do the rounding. On amd64 the bulk
+// runs eight lanes at a time through halfencode_amd64.s.
 func (b HalfBuffer) FromFloats(src []float32) {
 	if len(b) != len(src) {
 		panic("tensor: HalfBuffer.FromFloats length mismatch")
 	}
+	fromFloatsImpl(b, src)
+}
+
+// fromFloatsScalar is the portable FromFloats body: the generic build's
+// whole implementation, and the sub-vector tail on amd64.
+func fromFloatsScalar(b HalfBuffer, src []float32) {
 	for i, f := range src {
 		u := math.Float32bits(f)
 		sign := uint16(u>>16) & halfSignMask
@@ -174,15 +181,19 @@ func (b HalfBuffer) ToFloats(dst []float32) {
 	if len(b) != len(dst) {
 		panic("tensor: HalfBuffer.ToFloats length mismatch")
 	}
-	for i, h := range b {
-		em := uint32(h) & 0x7fff
-		if em >= halfPosInf { // Inf or NaN
-			dst[i] = h.Float32()
-			continue
-		}
-		f := math.Float32frombits(em<<13) * 0x1p112
-		dst[i] = math.Float32frombits(math.Float32bits(f) | uint32(h&halfSignMask)<<16)
+	halfDecode(dst, b)
+}
+
+// halfVal decodes one binary16 value with the same scaling trick as
+// ToFloats — the scalar building block of the half-domain matmul kernels,
+// bitwise identical to the vectorized decode (halfdecode_amd64.s).
+func halfVal(h Half) float32 {
+	em := uint32(h) & 0x7fff
+	if em >= halfPosInf { // Inf or NaN
+		return h.Float32()
 	}
+	f := math.Float32frombits(em<<13) * 0x1p112
+	return math.Float32frombits(math.Float32bits(f) | uint32(h&halfSignMask)<<16)
 }
 
 // RoundHalf rounds every element of x through binary16 in place — the
@@ -190,8 +201,13 @@ func (b HalfBuffer) ToFloats(dst []float32) {
 // fp16. Equivalent to FromFloat32(v).Float32() per element (pinned
 // bit-for-bit by TestHalfFastPathsMatchReference) in a single fused pass:
 // normals round on the fp32 bits directly and never leave fp32, so no
-// decode step is needed.
+// decode step is needed. Vectorized on amd64 (halfencode_amd64.s).
 func RoundHalf(x []float32) {
+	roundHalfImpl(x)
+}
+
+// roundHalfScalar is the portable RoundHalf body and the amd64 tail.
+func roundHalfScalar(x []float32) {
 	for i, f := range x {
 		u := math.Float32bits(f)
 		sign := u & 0x80000000
@@ -216,6 +232,98 @@ func RoundHalf(x []float32) {
 			x[i] = math.Float32frombits(math.Float32bits(s-0.5) | sign)
 		}
 	}
+}
+
+// FromFloatsRound is the fused store of the fp16 compute path: it rounds
+// src through binary16 in place (so fp32 consumers see exactly the stored
+// values), writes the fp16 images into b, and reports whether any element
+// overflowed the fp16 range (rounded to ±Inf, or was already non-finite).
+// Per element it is RoundHalf + FromFloats + Overflowed in one pass,
+// bit-for-bit (pinned by TestHalfFusedPathsMatchReference); the overflow
+// flag drives dynamic loss scaling.
+func (b HalfBuffer) FromFloatsRound(src []float32) bool {
+	if len(b) != len(src) {
+		panic("tensor: HalfBuffer.FromFloatsRound length mismatch")
+	}
+	return fromFloatsRoundImpl(b, src)
+}
+
+// fromFloatsRoundScalar is the portable FromFloatsRound body and the
+// amd64 tail.
+func fromFloatsRoundScalar(b HalfBuffer, src []float32) bool {
+	overflow := false
+	for i, f := range src {
+		u := math.Float32bits(f)
+		sign16 := uint16(u>>16) & halfSignMask
+		sign := u & 0x80000000
+		em := u & 0x7fffffff
+		switch {
+		case em >= 0x47800000: // rounds past MaxHalf, Inf, or NaN
+			overflow = true
+			if em > 0x7f800000 {
+				b[i] = Half(sign16 | halfNaN)
+				src[i] = math.Float32frombits(sign | 0x7fc00000)
+			} else {
+				b[i] = Half(sign16 | halfPosInf)
+				src[i] = math.Float32frombits(sign | 0x7f800000)
+			}
+		case em >= 0x38800000: // fp16 normal: rebias, round, pack
+			em += 0xfff + (em >> 13 & 1)
+			if em >= 0x47800000 { // carry rounded up to 2¹⁶ → fp16 Inf
+				overflow = true
+				b[i] = Half(sign16 | halfPosInf)
+				src[i] = math.Float32frombits(sign | 0x7f800000)
+				continue
+			}
+			b[i] = Half(sign16 | uint16((em-0x38000000)>>13))
+			src[i] = math.Float32frombits(sign | em&^0x1fff)
+		default: // fp16 subnormal or zero
+			s := math.Float32frombits(em) + 0.5
+			b[i] = Half(sign16 | uint16(math.Float32bits(s)-0x3f000000))
+			src[i] = math.Float32frombits(math.Float32bits(s-0.5) | sign)
+		}
+	}
+	return overflow
+}
+
+// RoundHalfCheck is RoundHalf with overflow detection: it rounds x through
+// binary16 in place and reports whether any element left the finite fp16
+// range. Used where the fp16 compute path keeps an fp32-resident tensor
+// (master-copy writeback) but still needs the loss-scaling overflow signal.
+func RoundHalfCheck(x []float32) bool {
+	return roundHalfCheckImpl(x)
+}
+
+// roundHalfCheckScalar is the portable RoundHalfCheck body and the amd64
+// tail.
+func roundHalfCheckScalar(x []float32) bool {
+	overflow := false
+	for i, f := range x {
+		u := math.Float32bits(f)
+		sign := u & 0x80000000
+		em := u & 0x7fffffff
+		switch {
+		case em >= 0x47800000: // rounds past MaxHalf, Inf, or NaN
+			overflow = true
+			if em > 0x7f800000 {
+				x[i] = math.Float32frombits(sign | 0x7fc00000)
+			} else {
+				x[i] = math.Float32frombits(sign | 0x7f800000)
+			}
+		case em >= 0x38800000: // fp16 normal: mask the rounded bits in place
+			em += 0xfff + (em >> 13 & 1)
+			if em >= 0x47800000 { // carry rounded up to 2¹⁶ → fp16 Inf
+				overflow = true
+				x[i] = math.Float32frombits(sign | 0x7f800000)
+				continue
+			}
+			x[i] = math.Float32frombits(sign | em&^0x1fff)
+		default: // fp16 subnormal or zero
+			s := math.Float32frombits(em) + 0.5
+			x[i] = math.Float32frombits(math.Float32bits(s-0.5) | sign)
+		}
+	}
+	return overflow
 }
 
 // Floats returns a freshly allocated fp32 expansion of b.

@@ -155,6 +155,56 @@ func TestHalfBufferLengthMismatchPanics(t *testing.T) {
 	NewHalfBuffer(3).FromFloats(make([]float32, 4))
 }
 
+// FuzzHalfRoundTrip drives the batch conversion surface with arbitrary
+// fp32 bit patterns (NaN payloads, Inf, subnormals included): the batch
+// encoders must match the scalar reference bit for bit, the fused
+// round-and-store must agree with the separate passes, decoding what was
+// encoded must round-trip exactly, and the overflow flag must track
+// non-finite encodings.
+func FuzzHalfRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0x3f800000), uint32(0x7f800001), uint32(0x00000001))
+	f.Add(uint32(0x7fc00000), uint32(0xff800000), uint32(0x477fefff), uint32(0x33800000))
+	f.Add(uint32(0x38800000), uint32(0x477ff000), uint32(0x80000001), uint32(0xb8000000))
+	f.Fuzz(func(t *testing.T, u0, u1, u2, u3 uint32) {
+		src := []float32{
+			math.Float32frombits(u0), math.Float32frombits(u1),
+			math.Float32frombits(u2), math.Float32frombits(u3),
+		}
+		enc := NewHalfBuffer(len(src))
+		enc.FromFloats(src)
+		rounded := append([]float32(nil), src...)
+		RoundHalf(rounded)
+		fused := append([]float32(nil), src...)
+		fusedEnc := NewHalfBuffer(len(src))
+		overflow := fusedEnc.FromFloatsRound(fused)
+		checked := append([]float32(nil), src...)
+		checkFlag := RoundHalfCheck(checked)
+		dec := make([]float32, len(src))
+		enc.ToFloats(dec)
+		for i, v := range src {
+			want := FromFloat32(v)
+			if enc[i] != want || fusedEnc[i] != want {
+				t.Fatalf("encode(%#08x): batch %#04x fused %#04x, want %#04x",
+					math.Float32bits(v), enc[i], fusedEnc[i], want)
+			}
+			wantRound := math.Float32bits(want.Float32())
+			for _, got := range []float32{rounded[i], fused[i], checked[i], dec[i]} {
+				if math.Float32bits(got) != wantRound {
+					t.Fatalf("round/decode(%#08x) = %#08x, want %#08x",
+						math.Float32bits(v), math.Float32bits(got), wantRound)
+				}
+			}
+			// Decode→encode is the identity (modulo NaN canonicalization).
+			if back := FromFloat32(dec[i]); back != enc[i] && !enc[i].IsNaN() {
+				t.Fatalf("round trip %#04x -> %v -> %#04x", enc[i], dec[i], back)
+			}
+		}
+		if want := enc.Overflowed(); overflow != want || checkFlag != want {
+			t.Fatalf("overflow flags fused=%v checked=%v, want %v", overflow, checkFlag, want)
+		}
+	})
+}
+
 // halfProbeValues enumerates the inputs that exercise every branch and
 // boundary of the fp16 conversion: each fp16 bit pattern's exact fp32
 // image, both neighbors of that image, halfway (tie) points, the

@@ -1,0 +1,80 @@
+// SSE2 binary16 → binary32 batch decode: the half-decode prologue the
+// fp16-domain kernels bolt onto the axpy sweeps. Lanes are independent, so
+// each element decodes exactly as the scalar halfVal: finite values place
+// the fp16 exponent/mantissa bits in the fp32 fields and rescale with one
+// exact multiply by 2¹¹² (the FP multiplier normalizes fp16 subnormals for
+// free), specials rebuild sign | 0x7f800000 | mantissa<<13 with the quiet
+// bit forced on NaNs. Bitwise identical to halfdecode_generic.go.
+
+#include "textflag.h"
+
+// Splat sources: one fp32 word each, broadcast with PSHUFD at entry.
+DATA hdconst<>+0x00(SB)/4, $0x00007fff // fp16 exp+man mask
+DATA hdconst<>+0x04(SB)/4, $0x80000000 // fp32 sign mask
+DATA hdconst<>+0x08(SB)/4, $0x00007bff // largest finite fp16 em
+DATA hdconst<>+0x0c(SB)/4, $0x77800000 // 0x1p112
+DATA hdconst<>+0x10(SB)/4, $0x007fe000 // fp16 mantissa after <<13
+DATA hdconst<>+0x14(SB)/4, $0x00400000 // fp32 NaN quiet bit
+DATA hdconst<>+0x18(SB)/4, $0x7f800000 // fp32 exponent mask (Inf)
+GLOBL hdconst<>(SB), RODATA|NOPTR, $28
+
+// decode4 turns four zero-extended fp16 words (32-bit lanes of Xh) into
+// fp32 bit patterns in place, using Xt0..Xt4 as scratch.
+#define decode4(Xh, Xt0, Xt1, Xt2, Xt3, Xt4) \
+	MOVO    Xh, Xt0           \ // sign: (h << 16) & 0x80000000
+	PSLLL   $16, Xt0          \
+	PAND    X9, Xt0           \
+	PAND    X8, Xh            \ // em = h & 0x7fff
+	MOVO    Xh, Xt1           \
+	PCMPGTL X10, Xt1          \ // special mask: em > 0x7bff
+	PSLLL   $13, Xh           \ // em << 13
+	MOVO    Xh, Xt2           \
+	MULPS   X11, Xt2          \ // finite: bits(float(em<<13) * 0x1p112)
+	PAND    X12, Xh           \ // man13 = (em<<13) & 0x007fe000
+	MOVO    Xh, Xt3           \
+	PCMPEQL X15, Xt3          \ // lanes with zero mantissa (Inf)
+	PANDN   X13, Xt3          \ // quiet bit where mantissa != 0 (NaN)
+	POR     X14, Xh           \ // special: 0x7f800000 | man13 | quiet
+	POR     Xt3, Xh           \
+	PAND    Xt1, Xh           \ // blend: special where mask …
+	MOVO    Xt1, Xt4          \
+	PANDN   Xt2, Xt4          \ // … finite elsewhere
+	POR     Xt4, Xh           \
+	POR     Xt0, Xh             // | sign
+
+// func halfDecodeSSE(dst []float32, src []Half)
+// len(dst) is a non-zero multiple of 8; len(src) >= len(dst).
+TEXT ·halfDecodeSSE(SB), NOSPLIT, $0-48
+	MOVQ   dst_base+0(FP), DI
+	MOVQ   dst_len+8(FP), CX
+	MOVQ   src_base+24(FP), SI
+	PXOR   X15, X15
+	MOVSS  hdconst<>+0x00(SB), X8
+	PSHUFD $0x00, X8, X8
+	MOVSS  hdconst<>+0x04(SB), X9
+	PSHUFD $0x00, X9, X9
+	MOVSS  hdconst<>+0x08(SB), X10
+	PSHUFD $0x00, X10, X10
+	MOVSS  hdconst<>+0x0c(SB), X11
+	PSHUFD $0x00, X11, X11
+	MOVSS  hdconst<>+0x10(SB), X12
+	PSHUFD $0x00, X12, X12
+	MOVSS  hdconst<>+0x14(SB), X13
+	PSHUFD $0x00, X13, X13
+	MOVSS  hdconst<>+0x18(SB), X14
+	PSHUFD $0x00, X14, X14
+	XORQ   AX, AX
+
+loop8:
+	MOVOU (SI)(AX*2), X0 // eight halves
+	MOVO  X0, X1
+	PUNPCKLWL X15, X0    // h0..h3 zero-extended to 32-bit lanes
+	PUNPCKHWL X15, X1    // h4..h7
+	decode4(X0, X2, X3, X4, X5, X6)
+	decode4(X1, X2, X3, X4, X5, X6)
+	MOVUPS X0, (DI)(AX*4)
+	MOVUPS X1, 16(DI)(AX*4)
+	ADDQ  $8, AX
+	CMPQ  AX, CX
+	JL    loop8
+	RET

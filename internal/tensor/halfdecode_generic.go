@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package tensor
+
+import "math"
+
+// halfDecode expands src into dst as fp32 (equal lengths, guaranteed by
+// callers). Portable scalar loop; the amd64 build replaces the body with
+// the SSE2 lane decode in halfdecode_amd64.s. Both produce the bits of
+// halfVal per element, so kernels built on halfDecode are bitwise
+// identical on every architecture.
+func halfDecode(dst []float32, src []Half) {
+	for i, h := range src {
+		em := uint32(h) & 0x7fff
+		if em >= halfPosInf { // Inf or NaN
+			dst[i] = h.Float32()
+			continue
+		}
+		f := math.Float32frombits(em<<13) * 0x1p112
+		dst[i] = math.Float32frombits(math.Float32bits(f) | uint32(h&halfSignMask)<<16)
+	}
+}

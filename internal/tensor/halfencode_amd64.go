@@ -1,0 +1,66 @@
+//go:build amd64
+
+package tensor
+
+// SSE2 fp32 → binary16 batch conversions (halfencode_amd64.s): the encode
+// mirror of halfdecode_amd64.go. Each vector lane computes exactly the
+// scalar branch-light conversion from half.go — same integer rounding on
+// the fp32 bits for normals, same FP-adder trick for subnormals, same
+// special-value assembly — so every impl is bitwise identical to its
+// scalar fallback (pinned by TestHalfFastPathsMatchReference and
+// TestHalfFusedPathsMatchReference). Vector bodies take the 8-multiple
+// prefix; the scalar loops finish the tail.
+
+// halfEncodeSSE encodes len(dst) fp32 values into binary16 without
+// touching src. len(dst) must be a non-zero multiple of 8 and
+// len(src) >= len(dst).
+//
+//go:noescape
+func halfEncodeSSE(dst []Half, src []float32)
+
+// halfEncodeRoundSSE encodes src into dst and rounds src through binary16
+// in place, returning nonzero if any element overflowed the fp16 range.
+// Length contract as halfEncodeSSE.
+//
+//go:noescape
+func halfEncodeRoundSSE(dst []Half, src []float32) int64
+
+// roundHalfSSE rounds x through binary16 in place, returning nonzero if
+// any element overflowed. len(x) must be a non-zero multiple of 8.
+//
+//go:noescape
+func roundHalfSSE(x []float32) int64
+
+func fromFloatsImpl(b HalfBuffer, src []float32) {
+	n8 := len(b) &^ 7
+	if n8 > 0 {
+		halfEncodeSSE(b[:n8], src[:n8])
+	}
+	fromFloatsScalar(b[n8:], src[n8:])
+}
+
+func roundHalfImpl(x []float32) {
+	n8 := len(x) &^ 7
+	if n8 > 0 {
+		roundHalfSSE(x[:n8])
+	}
+	roundHalfScalar(x[n8:])
+}
+
+func fromFloatsRoundImpl(b HalfBuffer, src []float32) bool {
+	overflow := false
+	n8 := len(b) &^ 7
+	if n8 > 0 {
+		overflow = halfEncodeRoundSSE(b[:n8], src[:n8]) != 0
+	}
+	return fromFloatsRoundScalar(b[n8:], src[n8:]) || overflow
+}
+
+func roundHalfCheckImpl(x []float32) bool {
+	overflow := false
+	n8 := len(x) &^ 7
+	if n8 > 0 {
+		overflow = roundHalfSSE(x[:n8]) != 0
+	}
+	return roundHalfCheckScalar(x[n8:]) || overflow
+}

@@ -1,0 +1,195 @@
+// SSE2 fp32 → binary16 batch encode: the mirror of halfdecode_amd64.s.
+// Each lane restates the branch-light scalar conversion from half.go with
+// masks instead of branches — normals round by integer arithmetic on the
+// fp32 bits (add 0xfff plus the round-to-odd bit, carry rolling into the
+// exponent), subnormals ride the FP adder's own RNE (|f| + 0.5 places the
+// fp16 subnormal count in the low mantissa bits), and the overflow/NaN
+// lanes assemble sign | 0x7c00 (| 0x200 quiet) exactly as the scalar
+// switch. Bitwise identical to the loops in half.go per element.
+//
+// One macro produces both results every caller wants some subset of: the
+// packed fp16 image (H) and the binary16-rounded fp32 image (R), plus an
+// accumulated overflow mask. The three entry points differ only in which
+// results they store.
+
+#include "textflag.h"
+
+// Broadcast constant rows, one 16-byte row each; the 240-byte symbol is
+// 16-aligned by the linker (data symbols ≥ 16 bytes), as the aligned
+// m128 operands below require.
+DATA heconst<>+0x00(SB)/8, $0x8000000080000000 // fp32 sign mask
+DATA heconst<>+0x08(SB)/8, $0x8000000080000000
+DATA heconst<>+0x10(SB)/8, $0x7fffffff7fffffff // abs mask
+DATA heconst<>+0x18(SB)/8, $0x7fffffff7fffffff
+DATA heconst<>+0x20(SB)/8, $0x0000000100000001 // round-to-odd bit
+DATA heconst<>+0x28(SB)/8, $0x0000000100000001
+DATA heconst<>+0x30(SB)/8, $0x00000fff00000fff // RNE increment
+DATA heconst<>+0x38(SB)/8, $0x00000fff00000fff
+DATA heconst<>+0x40(SB)/8, $0x3800000038000000 // exponent rebias
+DATA heconst<>+0x48(SB)/8, $0x3800000038000000
+DATA heconst<>+0x50(SB)/8, $0x00001fff00001fff // rounded-off low bits
+DATA heconst<>+0x58(SB)/8, $0x00001fff00001fff
+DATA heconst<>+0x60(SB)/8, $0x3f0000003f000000 // 0.5f, and the subnormal h bias
+DATA heconst<>+0x68(SB)/8, $0x3f0000003f000000
+DATA heconst<>+0x70(SB)/8, $0x3880000038800000 // smallest fp16-normal em
+DATA heconst<>+0x78(SB)/8, $0x3880000038800000
+DATA heconst<>+0x80(SB)/8, $0xc77fffffc77fffff // (0x47800000 ^ sign) - 1: unsigned ovf cmp
+DATA heconst<>+0x88(SB)/8, $0xc77fffffc77fffff
+DATA heconst<>+0x90(SB)/8, $0x7f8000007f800000 // fp32 Inf
+DATA heconst<>+0x98(SB)/8, $0x7f8000007f800000
+DATA heconst<>+0xa0(SB)/8, $0x0000020000000200 // fp16 NaN quiet bit
+DATA heconst<>+0xa8(SB)/8, $0x0000020000000200
+DATA heconst<>+0xb0(SB)/8, $0x00007c0000007c00 // fp16 Inf
+DATA heconst<>+0xb8(SB)/8, $0x00007c0000007c00
+DATA heconst<>+0xc0(SB)/8, $0x0040000000400000 // fp32 NaN quiet bit
+DATA heconst<>+0xc8(SB)/8, $0x0040000000400000
+DATA heconst<>+0xd0(SB)/8, $0x0000800000008000 // pack bias (dword)
+DATA heconst<>+0xd8(SB)/8, $0x0000800000008000
+DATA heconst<>+0xe0(SB)/8, $0x8000800080008000 // pack bias undo (words)
+DATA heconst<>+0xe8(SB)/8, $0x8000800080008000
+GLOBL heconst<>(SB), RODATA|NOPTR, $240
+
+// encode4 converts the four fp32 bit patterns in X0 into the fp16 images
+// (u32 lanes of X4) and the rounded fp32 images (X8), OR-ing the
+// overflowed lanes' masks into X15. Clobbers X0..X13.
+#define encode4 \
+	MOVO    X0, X1                   \ // sign = u & 0x80000000
+	PAND    heconst<>+0x00(SB), X1   \
+	PAND    heconst<>+0x10(SB), X0   \
+	MOVO    X0, X2                   \ // em = u & 0x7fffffff
+	MOVO    X2, X3                   \ // T = em + 0xfff + (em>>13 & 1)
+	PSRLL   $13, X3                  \
+	PAND    heconst<>+0x20(SB), X3   \
+	PADDL   X2, X3                   \
+	PADDL   heconst<>+0x30(SB), X3   \
+	MOVO    X3, X4                   \ // HN = (T - 0x38000000) >> 13
+	PSUBL   heconst<>+0x40(SB), X4   \
+	PSRLL   $13, X4                  \
+	MOVO    heconst<>+0x50(SB), X5   \ // RN = sign | (T &^ 0x1fff)
+	PANDN   X3, X5                   \
+	POR     X1, X5                   \
+	MOVO    X2, X6                   \ // S = |f| + 0.5 (FP adder's RNE rounds)
+	ADDPS   heconst<>+0x60(SB), X6   \
+	MOVO    X6, X7                   \ // RS = sign | (S - 0.5): Sterbenz-exact
+	SUBPS   heconst<>+0x60(SB), X7   \
+	POR     X1, X7                   \
+	PSUBL   heconst<>+0x60(SB), X6   \ // HS = bits(S) - 0x3f000000
+	MOVO    heconst<>+0x70(SB), X8   \ // MSUB: em below the fp16 normal range
+	PCMPGTL X2, X8                   \
+	MOVO    X3, X9                   \ // MOVF: T >= 0x47800000, unsigned via
+	PXOR    heconst<>+0x00(SB), X9   \ // sign-bias so a wrapped T still compares
+	PCMPGTL heconst<>+0x80(SB), X9   \
+	MOVO    X2, X10                  \ // MNAN: em above fp32 Inf
+	PCMPGTL heconst<>+0x90(SB), X10  \
+	MOVO    X10, X11                 \ // HOVF = 0x7c00 | quiet bit on NaN lanes
+	PAND    heconst<>+0xa0(SB), X11  \
+	POR     heconst<>+0xb0(SB), X11  \
+	MOVO    X10, X12                 \ // ROVF = sign | Inf | quiet bit on NaN
+	PAND    heconst<>+0xc0(SB), X12  \
+	POR     heconst<>+0x90(SB), X12  \
+	POR     X1, X12                  \
+	MOVO    X9, X13                  \ // H = MSUB ? HS : MOVF ? HOVF : HN
+	PAND    X11, X13                 \
+	MOVO    X9, X11                  \
+	PANDN   X4, X11                  \
+	POR     X13, X11                 \
+	MOVO    X8, X13                  \
+	PAND    X6, X13                  \
+	MOVO    X8, X4                   \
+	PANDN   X11, X4                  \
+	POR     X13, X4                  \
+	MOVO    X1, X13                  \ // | sign >> 16
+	PSRLL   $16, X13                 \
+	POR     X13, X4                  \
+	MOVO    X9, X13                  \ // R = MSUB ? RS : MOVF ? ROVF : RN
+	PAND    X12, X13                 \
+	MOVO    X9, X12                  \
+	PANDN   X5, X12                  \
+	POR     X13, X12                 \
+	MOVO    X8, X13                  \
+	PAND    X7, X13                  \
+	PANDN   X12, X8                  \
+	POR     X13, X8                  \
+	POR     X9, X15                    // overflow lanes accumulate
+
+// pack8 squeezes the u32 fp16 lanes of Xlo (elements 0..3) and Xhi (4..7)
+// into eight u16s in Xlo: PACKSSDW saturates signed, so bias both sides
+// down by 0x8000, pack, and flip the bias back with a word XOR.
+#define pack8(Xlo, Xhi) \
+	PSUBL    heconst<>+0xd0(SB), Xlo \
+	PSUBL    heconst<>+0xd0(SB), Xhi \
+	PACKSSLW Xhi, Xlo                \
+	PXOR     heconst<>+0xe0(SB), Xlo
+
+// func halfEncodeSSE(dst []Half, src []float32)
+// len(dst) is a non-zero multiple of 8; len(src) >= len(dst). src is not
+// written.
+TEXT ·halfEncodeSSE(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	PXOR X15, X15
+	XORQ AX, AX
+
+encloop:
+	MOVUPS (SI)(AX*4), X0
+	encode4
+	MOVO   X4, X14
+	MOVUPS 16(SI)(AX*4), X0
+	encode4
+	pack8(X14, X4)
+	MOVUPS X14, (DI)(AX*2)
+	ADDQ   $8, AX
+	CMPQ   AX, CX
+	JL     encloop
+	RET
+
+// func halfEncodeRoundSSE(dst []Half, src []float32) int64
+// As halfEncodeSSE, but also rounds src through binary16 in place and
+// returns nonzero if any element overflowed the fp16 range.
+TEXT ·halfEncodeRoundSSE(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	PXOR X15, X15
+	XORQ AX, AX
+
+encrloop:
+	MOVUPS (SI)(AX*4), X0
+	encode4
+	MOVUPS X8, (SI)(AX*4)
+	MOVO   X4, X14
+	MOVUPS 16(SI)(AX*4), X0
+	encode4
+	MOVUPS X8, 16(SI)(AX*4)
+	pack8(X14, X4)
+	MOVUPS X14, (DI)(AX*2)
+	ADDQ   $8, AX
+	CMPQ   AX, CX
+	JL     encrloop
+	MOVMSKPS X15, AX
+	MOVQ     AX, ret+48(FP)
+	RET
+
+// func roundHalfSSE(x []float32) int64
+// Rounds x through binary16 in place; returns nonzero if any element
+// overflowed. len(x) is a non-zero multiple of 8.
+TEXT ·roundHalfSSE(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	PXOR X15, X15
+	XORQ AX, AX
+
+rndloop:
+	MOVUPS (SI)(AX*4), X0
+	encode4
+	MOVUPS X8, (SI)(AX*4)
+	MOVUPS 16(SI)(AX*4), X0
+	encode4
+	MOVUPS X8, 16(SI)(AX*4)
+	ADDQ   $8, AX
+	CMPQ   AX, CX
+	JL     rndloop
+	MOVMSKPS X15, AX
+	MOVQ     AX, ret+24(FP)
+	RET

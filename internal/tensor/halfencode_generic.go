@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tensor
+
+// Portable fp32 → binary16 batch conversions: the scalar loops in half.go
+// are the whole implementation off amd64.
+
+func fromFloatsImpl(b HalfBuffer, src []float32) { fromFloatsScalar(b, src) }
+
+func roundHalfImpl(x []float32) { roundHalfScalar(x) }
+
+func fromFloatsRoundImpl(b HalfBuffer, src []float32) bool { return fromFloatsRoundScalar(b, src) }
+
+func roundHalfCheckImpl(x []float32) bool { return roundHalfCheckScalar(x) }

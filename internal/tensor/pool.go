@@ -35,14 +35,17 @@ const (
 	opATAddCols
 	opAT
 	opATCols
+	opMMHF // fp16 A coefficients against decoded fp32 B
 )
 
 // job carries one parallel kernel invocation's arguments and its
 // completion counter. Jobs are recycled through jobFree so steady-state
-// dispatch does not allocate.
+// dispatch does not allocate. The half-domain kernels carry their fp16
+// operand in ha alongside the fp32 slices.
 type job struct {
 	kind       op
 	c, a, b    []float32
+	ha         HalfBuffer
 	d0, d1, d2 int
 	wg         sync.WaitGroup
 }
@@ -76,14 +79,14 @@ func startPool() {
 	for i := 0; i < poolSize; i++ {
 		go func() {
 			for t := range poolCh {
-				runKernel(t.j.kind, t.j.c, t.j.a, t.j.b, t.j.d0, t.j.d1, t.j.d2, t.lo, t.hi)
+				runKernel(t.j.kind, t.j.c, t.j.a, t.j.b, t.j.ha, t.j.d0, t.j.d1, t.j.d2, t.lo, t.hi)
 				t.j.wg.Done()
 			}
 		}()
 	}
 }
 
-func runKernel(kind op, c, a, b []float32, d0, d1, d2, lo, hi int) {
+func runKernel(kind op, c, a, b []float32, ha HalfBuffer, d0, d1, d2, lo, hi int) {
 	switch kind {
 	case opMM:
 		matMulRange(c, a, b, d0, d1, lo, hi)
@@ -97,6 +100,8 @@ func runKernel(kind op, c, a, b []float32, d0, d1, d2, lo, hi int) {
 		matMulATRange(c, a, b, d0, d1, d2, lo, hi)
 	case opATCols:
 		matMulATColsRange(c, a, b, d0, d1, lo, hi)
+	case opMMHF:
+		matMulHFRange(c, ha, b, d0, d1, lo, hi)
 	}
 }
 
@@ -124,6 +129,16 @@ func chunk(units, width, i int) (lo, hi int) {
 // runParallel splits units across the pool and the calling goroutine.
 // Callers have already checked fanOut.
 func runParallel(kind op, c, a, b []float32, d0, d1, d2, units int) {
+	dispatch(kind, c, a, b, nil, d0, d1, d2, units)
+}
+
+// runParallelH is runParallel for the half-domain kernels: ha carries the
+// fp16 operand, b the already-decoded fp32 one.
+func runParallelH(kind op, c []float32, ha HalfBuffer, b []float32, d0, d1, d2, units int) {
+	dispatch(kind, c, nil, b, ha, d0, d1, d2, units)
+}
+
+func dispatch(kind op, c, a, b []float32, ha HalfBuffer, d0, d1, d2, units int) {
 	poolOnce.Do(startPool)
 	width := runtime.GOMAXPROCS(0)
 	if width > poolSize+1 {
@@ -133,7 +148,7 @@ func runParallel(kind op, c, a, b []float32, d0, d1, d2, units int) {
 		width = units
 	}
 	if width <= 1 {
-		runKernel(kind, c, a, b, d0, d1, d2, 0, units)
+		runKernel(kind, c, a, b, ha, d0, d1, d2, 0, units)
 		return
 	}
 	var jb *job
@@ -142,16 +157,16 @@ func runParallel(kind op, c, a, b []float32, d0, d1, d2, units int) {
 	default:
 		jb = new(job) // free list drained by concurrent ranks; rare
 	}
-	jb.kind, jb.c, jb.a, jb.b, jb.d0, jb.d1, jb.d2 = kind, c, a, b, d0, d1, d2
+	jb.kind, jb.c, jb.a, jb.b, jb.ha, jb.d0, jb.d1, jb.d2 = kind, c, a, b, ha, d0, d1, d2
 	jb.wg.Add(width - 1)
 	for i := 0; i < width-1; i++ {
 		lo, hi := chunk(units, width, i)
 		poolCh <- task{j: jb, lo: lo, hi: hi}
 	}
 	lo, _ := chunk(units, width, width-1)
-	runKernel(kind, c, a, b, d0, d1, d2, lo, units) // caller takes the last range
+	runKernel(kind, c, a, b, ha, d0, d1, d2, lo, units) // caller takes the last range
 	jb.wg.Wait()
-	jb.c, jb.a, jb.b = nil, nil, nil
+	jb.c, jb.a, jb.b, jb.ha = nil, nil, nil, nil
 	select {
 	case jobFree <- jb:
 	default:

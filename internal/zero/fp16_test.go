@@ -1,0 +1,198 @@
+package zero
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/losscurve"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// FP16Compute trajectory golden: over 10 steps the half-compute path must
+// track the f32 reference within tolerance (fp16 rounding noise, not
+// algorithm drift) and actually descend, at every stage with and without
+// overlap/prefetch. The tolerance pins the trajectory against regressions
+// in the fused kernels or the staging discipline.
+func TestFP16ComputeTrajectoryTracksF32(t *testing.T) {
+	cfg := testConfig()
+	const n, steps, batch = 4, 10, 4
+	ids, targets := model.SyntheticBatch(31, batch, cfg.Seq, cfg.Vocab)
+
+	ref := lossTrajectory(cfg, n, steps, batch, Options{LR: testLR, Seed: testSeed}, ids, targets)
+
+	var first []float64
+	for _, stage := range AllStages {
+		for _, overlap := range []bool{false, true} {
+			for _, prefetch := range []bool{false, true} {
+				if prefetch && !overlap {
+					continue // prefetch rides the overlapped schedule
+				}
+				got := lossTrajectory(cfg, n, steps, batch, Options{
+					Stage: stage, LR: testLR, Seed: testSeed,
+					Overlap: overlap, Prefetch: prefetch,
+					FP16Compute: true,
+				}, ids, targets)
+				for s := range ref {
+					if math.Abs(got[s]-ref[s]) > 0.05*math.Abs(ref[s]) {
+						t.Errorf("%v overlap=%v prefetch=%v step %d: fp16 loss %.6f drifts from f32 %.6f",
+							stage, overlap, prefetch, s, got[s], ref[s])
+						break
+					}
+				}
+				if slope := losscurve.FitSlope(got); slope >= 0 {
+					t.Errorf("%v overlap=%v prefetch=%v: fp16 trajectory does not descend (slope %.3g)",
+						stage, overlap, prefetch, slope)
+				}
+				// Partitioning and scheduling must not perturb the fp16
+				// path either: all variants walk identical trajectories.
+				if first == nil {
+					first = got
+					continue
+				}
+				for s := range first {
+					if got[s] != first[s] {
+						t.Errorf("%v overlap=%v prefetch=%v step %d: fp16 loss %.17g != variant reference %.17g",
+							stage, overlap, prefetch, s, got[s], first[s])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// A loss scale far beyond fp16 range must overflow on the very first step:
+// every rank skips the optimizer step together (parameters bitwise
+// unchanged), the scale backs off by the same factor everywhere, and the
+// skip is counted.
+func TestFP16OverflowSkipIsConsistent(t *testing.T) {
+	cfg := testConfig()
+	const n, batch = 4, 4
+	ids, targets := model.SyntheticBatch(17, batch, cfg.Seq, cfg.Vocab)
+
+	for _, stage := range AllStages {
+		scales := make([]float64, n)
+		skips := make([]int, n)
+		unchanged := make([]bool, n)
+		w := comm.NewWorld(n)
+		w.Run(func(c *comm.Comm) {
+			tr := MustNew(c, cfg, Options{
+				Stage: stage, LR: testLR, Seed: testSeed,
+				FP16Compute: true, InitialLossScale: 1e30,
+			})
+			defer tr.Close()
+			before := append([]float32(nil), tr.Model.Params...)
+			tr.Step(ids, targets, batch)
+			r := c.Rank()
+			scales[r] = tr.LossScale()
+			skips[r] = tr.OverflowSteps()
+			unchanged[r] = tensor.MaxDiff(before, tr.Model.Params) == 0
+			if tr.AccumulatedMicros() != 0 {
+				t.Errorf("%v rank %d: skip left %d accumulated micros", stage, r, tr.AccumulatedMicros())
+			}
+		})
+		for r := 0; r < n; r++ {
+			if skips[r] != 1 {
+				t.Errorf("%v rank %d: OverflowSteps = %d, want 1", stage, r, skips[r])
+			}
+			if scales[r] != 0.5e30 {
+				t.Errorf("%v rank %d: loss scale %.3g, want backed off to 5e29", stage, r, scales[r])
+			}
+			if stage != StageFull && !unchanged[r] {
+				t.Errorf("%v rank %d: skipped step mutated parameters", stage, r)
+			}
+		}
+	}
+}
+
+// Dynamic backoff recovers on its own: start at an absurd scale, skip until
+// the scale is representable, then train normally. All ranks must agree on
+// the final scale and skip count, and the post-recovery steps must descend.
+func TestFP16LossScaleBackoffRecovers(t *testing.T) {
+	cfg := testConfig()
+	const n, steps, batch = 2, 40, 4
+	ids, targets := model.SyntheticBatch(23, batch, cfg.Seq, cfg.Vocab)
+
+	losses := make([][]float64, n)
+	scales := make([]float64, n)
+	skips := make([]int, n)
+	w := comm.NewWorld(n)
+	w.Run(func(c *comm.Comm) {
+		tr := MustNew(c, cfg, Options{
+			Stage: StageOSGrad, LR: testLR, Seed: testSeed, Overlap: true,
+			FP16Compute: true, InitialLossScale: float64(uint64(1) << 30),
+		})
+		defer tr.Close()
+		out := make([]float64, steps)
+		for s := 0; s < steps; s++ {
+			out[s] = tr.Step(ids, targets, batch)
+		}
+		r := c.Rank()
+		losses[r] = out
+		scales[r] = tr.LossScale()
+		skips[r] = tr.OverflowSteps()
+	})
+	for r := 0; r < n; r++ {
+		if scales[r] != scales[0] || skips[r] != skips[0] {
+			t.Fatalf("rank %d diverged: scale %g skips %d vs rank 0 scale %g skips %d",
+				r, scales[r], skips[r], scales[0], skips[0])
+		}
+	}
+	if skips[0] == 0 {
+		t.Fatal("initial scale 2^30 never overflowed fp16")
+	}
+	if skips[0] >= steps/2 {
+		t.Fatalf("backoff did not converge: %d of %d steps skipped", skips[0], steps)
+	}
+	if scales[0] >= float64(uint64(1)<<30) {
+		t.Errorf("loss scale did not back off: %g", scales[0])
+	}
+	last := losses[0][steps-1]
+	if last >= losses[0][0] {
+		t.Errorf("loss did not fall after recovery: %.4f -> %.4f", losses[0][0], last)
+	}
+}
+
+// FP16Compute is incompatible with activation checkpointing (the half path
+// stores activations, it does not recompute them) and must be rejected at
+// construction, before any collective is in flight.
+func TestFP16ComputeRejectsCheckpoint(t *testing.T) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		_, err := New(c, testConfig(), Options{
+			LR: testLR, Seed: testSeed, FP16Compute: true, Checkpoint: true,
+		})
+		if err == nil {
+			t.Error("New accepted FP16Compute together with Checkpoint")
+		}
+	})
+}
+
+// Trainer-level residency gate: with FP16Compute on, the step workspace
+// plus the parameter copy the kernels read must come in under 60% of the
+// f32 trainer's, at a bench-representative shape.
+func TestFP16ComputeResidencyUnder60Percent(t *testing.T) {
+	cfg := model.Config{Layers: 4, Hidden: 128, Heads: 4, Vocab: 512, Seq: 32}
+	const batch = 2
+	ids, targets := model.SyntheticBatch(3, batch, cfg.Seq, cfg.Vocab)
+
+	residency := func(fp16 bool) int64 {
+		var bytes int64
+		w := comm.NewWorld(1)
+		w.Run(func(c *comm.Comm) {
+			tr := MustNew(c, cfg, Options{LR: testLR, Seed: testSeed, FP16Compute: fp16})
+			defer tr.Close()
+			tr.Step(ids, targets, batch)
+			bytes = tr.ComputeResidencyBytes()
+		})
+		return bytes
+	}
+	f32Bytes := residency(false)
+	fp16Bytes := residency(true)
+	if fp16Bytes >= f32Bytes*3/5 {
+		t.Errorf("fp16 compute residency %d B is not under 60%% of f32's %d B (%.1f%%)",
+			fp16Bytes, f32Bytes, 100*float64(fp16Bytes)/float64(f32Bytes))
+	}
+}

@@ -146,6 +146,13 @@ func (t *Trainer) Load(s *Snapshot) error {
 	} else {
 		tensor.Copy(t.Model.Params, s.Params)
 	}
+	if t.opts.FP16Compute {
+		// Re-encode the 2-byte kernel copy from the restored (and already
+		// fp16-rounded) parameters. Stage 3's unowned groups go stale when
+		// dropUnowned runs below, but the next gather re-halves them.
+		t.Model.RefreshHalfParams(0, len(t.Model.Params))
+		t.halfStale = true
+	}
 	if t.stage == StageFull {
 		t.dropUnowned()
 	}

@@ -127,6 +127,21 @@ type Options struct {
 	// Collectives carry F16-typed buffers, so Stats counts 2 bytes per
 	// element natively.
 	FP16 bool
+	// FP16Compute enables the true fp16 compute path: activations and the
+	// parameter copy the kernels read are *stored* in 2-byte binary16
+	// (model.SetFP16Compute) with fp32 accumulation inside the fused half
+	// kernels, and dynamic loss scaling guards the gradient stream —
+	// overflowing steps are skipped by a group-wide vote so every rank
+	// backs the scale off together. Implies FP16 (the master-copy and
+	// fp16-wire machinery). Incompatible with Checkpoint: the recompute
+	// path has no half-domain equivalent yet (zero.New reports the error).
+	FP16Compute bool
+	// InitialLossScale overrides the dynamic loss scaler's starting scale
+	// under FP16Compute (0 = the conventional 2^16).
+	InitialLossScale float64
+	// LossScaleWindow overrides how many clean steps double the loss scale
+	// under FP16Compute (0 = the conventional 1000).
+	LossScaleWindow int
 	// ClipNorm caps the global gradient L2 norm before the optimizer step
 	// (0 disables). The norm of the *partitioned* gradient is computed
 	// with one extra N-element all-gather of per-shard partial sums — the
@@ -172,6 +187,11 @@ type Trainer struct {
 	opts  Options
 	stage Stage
 
+	// Dynamic loss scaling state (FP16Compute): scaler drives the scale,
+	// overflow latches any fp16-store overflow seen since the last vote.
+	scaler   *optimizer.LossScaler
+	overflow bool
+
 	parts    []comm.Range        // global Ψ/Nd partition; parts[rank] is owned
 	opt      optimizer.Optimizer // optimizer over the owned partition (full buffer at stage 0)
 	master   []float32           // fp32 master copy of the optimizer's domain (FP16 mode)
@@ -203,6 +223,7 @@ type Trainer struct {
 	groupsParts    [][]comm.Range  // per t.groups entry: partition clipped to the group
 	fwdPf          paramPrefetcher // stage-3 forward gather pipeline
 	bwdPf          paramPrefetcher // stage-3 backward gather pipeline
+	halfStale      bool            // stage-3 ParamsH lags the master values (set by Update)
 	fwdHook        func(int)       // persistent Model.ForwardHook body
 	bwdPreHook     func(int)       // persistent Model.BackwardPreHook body
 	bwdHook        func(int)       // persistent Model.BackwardHook body (overlap)
@@ -238,6 +259,12 @@ type bucketPlan struct {
 func New(c *comm.Comm, cfg model.Config, opts Options) (*Trainer, error) {
 	if !opts.Stage.Valid() {
 		return nil, fmt.Errorf("zero: unknown stage %v (want StageDDP..StageFull)", opts.Stage)
+	}
+	if opts.FP16Compute {
+		if opts.Checkpoint {
+			return nil, fmt.Errorf("zero: FP16Compute is incompatible with activation checkpointing")
+		}
+		opts.FP16 = true // fp16 compute implies the fp16 master-copy/wire machinery
 	}
 	if opts.Topology.NodeSize != 0 {
 		if err := comm.CheckNodeSize(c.Size(), opts.Topology.NodeSize); err != nil {
@@ -297,6 +324,17 @@ func New(c *comm.Comm, cfg model.Config, opts Options) (*Trainer, error) {
 	if opts.FP16 {
 		t.master = append([]float32(nil), m.Params[optDomain.Lo:optDomain.Hi]...)
 		quantizeFP16(m.Params) // forward always sees fp16-valued weights
+	}
+	if opts.FP16Compute {
+		m.SetFP16Compute(true) // ParamsH encodes the already-rounded Params exactly
+		t.scaler = optimizer.NewLossScaler()
+		if opts.InitialLossScale > 0 {
+			t.scaler.Scale = opts.InitialLossScale
+		}
+		if opts.LossScaleWindow > 0 {
+			t.scaler.GrowthInterval = opts.LossScaleWindow
+		}
+		m.LossScale = float32(t.scaler.Scale)
 	}
 	if opts.Stage == StageFull {
 		t.dropUnowned()
@@ -482,7 +520,15 @@ func (t *Trainer) dropUnowned() {
 func (t *Trainer) gatherParams() {
 	for i := range t.groups {
 		t.allGather(t.prefetchStream(), t.wireBuf(t.Model.Params), t.groupsParts[i]).Wait()
+		if t.opts.FP16Compute && t.halfStale {
+			// The fp16 compute copy must track every freshly gathered group.
+			t.Model.RefreshHalfParams(t.groups[i].Lo, t.groups[i].Hi)
+		}
 	}
+	// Every group is now encoded; until the next optimizer step delivers
+	// new values, re-gathers (the backward pass, accumulation micro-batches)
+	// reproduce these bytes exactly and need no re-encode.
+	t.halfStale = false
 }
 
 // GatheredParams returns a copy of the full parameter buffer, re-gathering
@@ -560,6 +606,12 @@ func (p *paramPrefetcher) submit(k int) {
 func (p *paramPrefetcher) arrive(k int) {
 	p.submit(k) // defensive; a no-op on the normal path
 	p.handles[k].Wait()
+	if p.t.opts.FP16Compute && p.t.halfStale {
+		// The fp16 compute copy must track the group that just landed. A
+		// re-gather of unchanged values (the backward pass) skips this: the
+		// gather is deterministic, so ParamsH already holds these bytes.
+		p.t.Model.RefreshHalfParams(p.order[k].Lo, p.order[k].Hi)
+	}
 	for d := 1; d <= p.depth; d++ {
 		p.submit(k + d)
 	}
@@ -584,6 +636,8 @@ func (t *Trainer) forwardPrefetched(ids, targets []int, per int) float64 {
 	t.Model.ForwardHook = t.fwdHook
 	loss := t.Model.Loss(ids, targets, per)
 	t.Model.ForwardHook = nil
+	// The hooks arrived (and, when stale, re-encoded) every group.
+	t.halfStale = false
 	return loss
 }
 
@@ -685,7 +739,7 @@ func (t *Trainer) Backward() {
 	} else {
 		t.Model.Backward()
 		if t.opts.FP16 {
-			quantizeFP16(t.Model.Grads)
+			t.quantizeGrads(t.Model.Grads)
 		}
 		p := t.ensurePlan()
 		for i := range p.ranges {
@@ -694,6 +748,11 @@ func (t *Trainer) Backward() {
 	}
 	if prefetching {
 		t.Model.BackwardPreHook = nil
+	}
+	// Latch any fp16-store overflow this micro-batch raised; the group
+	// votes on the accumulated flag at the next Update.
+	if t.opts.FP16Compute && t.Model.TakeOverflow() {
+		t.overflow = true
 	}
 
 	// Stage ≥ 2: micro-gradients outside the owned partition are released
@@ -723,10 +782,23 @@ func (t *Trainer) Update() {
 		panic("zero: Update without an accumulated Backward")
 	}
 
+	// Dynamic loss scaling (FP16Compute): the group votes on overflow
+	// before anything else touches the accumulator, so every rank skips —
+	// or steps — together with an identical stream schedule.
+	if t.opts.FP16Compute && t.voteOverflow() {
+		t.skipStep()
+		return
+	}
+
 	// Average over the group and the accumulation window. Micro-batch
 	// losses are means over 1/k of the rows, so the accumulated sum is
-	// k·N times the global-batch mean gradient.
-	tensor.Scale(t.accum, 1/float32(t.c.Size()*t.accumMicros))
+	// k·N times the global-batch mean gradient. Under FP16Compute the
+	// loss-scale unscale folds into the same multiply.
+	inv := 1 / float32(t.c.Size()*t.accumMicros)
+	if t.opts.FP16Compute {
+		inv = float32(1 / (float64(t.c.Size()*t.accumMicros) * t.scaler.Scale))
+	}
+	tensor.Scale(t.accum, inv)
 
 	// Global gradient clipping over the partition-ordered partial Σg².
 	// Stage 0 computes every partial locally (the full accumulator is
@@ -775,8 +847,91 @@ func (t *Trainer) Update() {
 		t.allGather(t.gradStream(), t.wireBuf(t.Model.Params), t.parts).Wait()
 	}
 
+	// Successful step: grow the loss scale on schedule and refresh the
+	// 2-byte parameter copy the fused kernels read. Stage 3 skips the
+	// refresh — its parameters are gathered (and re-halved) lazily group
+	// by group at the next forward pass.
+	if t.opts.FP16Compute {
+		t.scaler.Update(false)
+		t.Model.LossScale = float32(t.scaler.Scale)
+		if t.stage != StageFull {
+			t.Model.RefreshHalfParams(0, len(t.Model.Params))
+		} else {
+			t.halfStale = true
+		}
+	}
+
 	tensor.Zero(t.accum)
 	t.accumMicros = 0
+}
+
+// voteOverflow agrees group-wide on whether any rank's fp16 stores
+// overflowed during the accumulation window. Overflow is data-dependent
+// per rank (each rank backpropagates its own micro-batch slice), so even
+// stage 0 must vote: a single-rank skip would fork the replicas. The
+// N-float exchange rides the priority lane like gradient clipping does.
+func (t *Trainer) voteOverflow() bool {
+	partials := t.clipPartials
+	var f float32
+	if t.overflow {
+		f = 1
+	}
+	partials[t.c.Rank()] = f
+	t.priorityStream().AllGather(comm.F32Buf(partials), t.clipParts).Wait()
+	t.overflow = false
+	for _, v := range partials {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// skipStep abandons an overflowed accumulation window: no clip, no
+// optimizer step, no parameter exchange — every rank backs the loss scale
+// off by the same factor and re-zeroes its accumulator, so the replicas
+// stay bitwise identical through the skip. Stage 3 still drops unowned
+// parameter shards to honor its residency contract.
+func (t *Trainer) skipStep() {
+	if t.stage == StageFull {
+		t.dropUnowned()
+	}
+	t.scaler.Update(true)
+	t.Model.LossScale = float32(t.scaler.Scale)
+	tensor.Zero(t.accum)
+	t.accumMicros = 0
+}
+
+// FP16Compute reports whether the half-precision compute path is active.
+func (t *Trainer) FP16Compute() bool { return t.opts.FP16Compute }
+
+// LossScale returns the current dynamic loss scale, or 0 when the fp16
+// compute path is off.
+func (t *Trainer) LossScale() float64 {
+	if t.scaler == nil {
+		return 0
+	}
+	return t.scaler.Scale
+}
+
+// OverflowSteps counts the optimizer steps skipped due to fp16 overflow
+// since the trainer was built.
+func (t *Trainer) OverflowSteps() int {
+	if t.scaler == nil {
+		return 0
+	}
+	return t.scaler.Skips()
+}
+
+// ComputeResidencyBytes reports the bytes the step computation keeps
+// resident: the retained workspace plus the parameter copy the kernels
+// read — the 2-byte ParamsH under FP16Compute (the fp32 master then
+// counts as optimizer state, §3.1), the fp32 Params otherwise.
+func (t *Trainer) ComputeResidencyBytes() int64 {
+	if t.opts.FP16Compute {
+		return t.Model.WorkspaceBytes() + t.Model.ParamsH.Bytes()
+	}
+	return t.Model.WorkspaceBytes() + int64(len(t.Model.Params))*tensor.BytesPerFloat32
 }
 
 // stepOptimizer applies one optimizer update, routing layer-wise
@@ -979,7 +1134,7 @@ func (t *Trainer) submitLayerBuckets(layer int) {
 	p := t.ensurePlan()
 	if t.opts.FP16 {
 		g := t.layerGroup(layer)
-		quantizeFP16(t.Model.Grads[g.Lo:g.Hi])
+		t.quantizeGrads(t.Model.Grads[g.Lo:g.Hi])
 	}
 	for _, i := range p.byLayer[layer] {
 		t.gradHandles = append(t.gradHandles, t.reduceBucketAt(p, i))
@@ -1010,6 +1165,21 @@ func (t *Trainer) backwardOverlapped() {
 // fp16 storage of a buffer whose arithmetic happens in fp32.
 func quantizeFP16(x []float32) {
 	comm.F16Buf(x).Quantize()
+}
+
+// quantizeGrads rounds a gradient range through binary16 for the wire.
+// Under FP16Compute the same rounding also feeds overflow detection
+// (RoundHalfCheck produces bitwise-identical values to Quantize) — a
+// loss-scaled weight gradient can exceed the fp16 range even when every
+// activation store stayed finite.
+func (t *Trainer) quantizeGrads(x []float32) {
+	if t.opts.FP16Compute {
+		if tensor.RoundHalfCheck(x) {
+			t.overflow = true
+		}
+		return
+	}
+	quantizeFP16(x)
 }
 
 // ModelStateBytes returns this rank's resident model-state bytes under the

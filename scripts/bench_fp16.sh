@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate the fp16 compute-path baseline (BENCH_FP16.json): one ZeRO
+# step at stage 2 (overlap) and stage 3 (overlap + prefetch) in both
+# precisions, so the committed baseline pins the fp16-vs-fp32 step-time
+# ratio alongside the 2-byte compute residency (resident-B/rank) and wire
+# volume. allocs/op is the hard gate: the half kernels must stay on the
+# pooled-scratch discipline.
+set -eu
+exec "$(dirname "$0")/bench.sh" "${1:-10x}" '^BenchmarkFP16Step$' BENCH_FP16.json
